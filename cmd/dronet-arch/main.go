@@ -1,0 +1,40 @@
+// Command dronet-arch prints the layer structure of the paper's four CNN
+// architectures — the information in Fig. 1 (baselines) and Fig. 2 (DroNet)
+// — together with per-layer and total workload (FLOPs) and parameter
+// counts.
+//
+// Usage:
+//
+//	dronet-arch                # all four models at their Fig. 1 size
+//	dronet-arch -model dronet -size 512
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/internal/models"
+	"repro/internal/tensor"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("dronet-arch: ")
+	model := flag.String("model", "", "model to print (default: all four)")
+	size := flag.Int("size", 416, "input resolution")
+	flag.Parse()
+
+	names := models.Names()
+	if *model != "" {
+		names = []string{*model}
+	}
+	rng := tensor.NewRNG(1)
+	for _, name := range names {
+		net, _, err := models.Build(name, *size, rng)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(net.Summary())
+	}
+}

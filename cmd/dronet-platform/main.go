@@ -1,0 +1,86 @@
+// Command dronet-platform regenerates the paper's platform results (§IV.B
+// and the §IV.A speedup claims): predicted FPS for every model on the Intel
+// i5-2520M, Odroid-XU4 and Raspberry Pi 3 platform models, the published
+// speedup ratios, and an optional per-layer cost breakdown.
+//
+// Usage:
+//
+//	dronet-platform                    # full model × platform FPS table @512
+//	dronet-platform -size 386          # the paper's §IV.A comparison point
+//	dronet-platform -platform odroid -model dronet -breakdown
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/internal/models"
+	"repro/internal/platform"
+	"repro/internal/tensor"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("dronet-platform: ")
+	size := flag.Int("size", 512, "input resolution")
+	platName := flag.String("platform", "", "restrict to one platform (i5, odroid, rpi3)")
+	model := flag.String("model", "", "restrict to one model")
+	breakdown := flag.Bool("breakdown", false, "print the per-layer cost table")
+	flag.Parse()
+
+	plats := platform.All()
+	if *platName != "" {
+		p, err := platform.ByName(*platName)
+		if err != nil {
+			log.Fatal(err)
+		}
+		plats = []platform.Platform{p}
+	}
+	names := models.Names()
+	if *model != "" {
+		names = []string{*model}
+	}
+
+	rng := tensor.NewRNG(1)
+	fmt.Printf("Predicted FPS at input %dx%d (calibrated roofline model)\n\n", *size, *size)
+	fmt.Printf("%-14s", "model")
+	for _, p := range plats {
+		fmt.Printf(" %28s", p.Name)
+	}
+	fmt.Println()
+	fps := map[string]map[string]float64{}
+	for _, name := range names {
+		net, _, err := models.Build(name, *size, rng)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-14s", name)
+		fps[name] = map[string]float64{}
+		for _, p := range plats {
+			pred := p.Predict(net)
+			fps[name][p.Name] = pred.FPS
+			fmt.Printf(" %28.2f", pred.FPS)
+			if *breakdown {
+				defer fmt.Println(pred.String())
+			}
+		}
+		fmt.Println()
+	}
+	fmt.Println()
+
+	// Paper anchor ratios, printed when both models are in the table.
+	if len(names) == len(models.Names()) {
+		for _, p := range plats {
+			voc := fps[models.TinyYoloVoc][p.Name]
+			if voc <= 0 {
+				continue
+			}
+			fmt.Printf("%s: DroNet %.0fx, TinyYoloNet %.0fx, SmallYoloV3 %.0fx faster than TinyYoloVoc\n",
+				p.Name,
+				fps[models.DroNet][p.Name]/voc,
+				fps[models.TinyYoloNet][p.Name]/voc,
+				fps[models.SmallYoloV3][p.Name]/voc)
+		}
+	}
+}

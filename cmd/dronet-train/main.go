@@ -1,0 +1,99 @@
+// Command dronet-train trains one of the paper's models on a dataset
+// directory produced by dronet-data (or on freshly generated scenes with
+// -synth), then writes the trained weights.
+//
+// Usage:
+//
+//	dronet-train -model dronet -size 128 -scale 0.5 -synth 48 -batches 400 -out dronet.weights
+//	dronet-train -model dronet -size 512 -data data/train -out dronet.weights
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/models"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("dronet-train: ")
+	model := flag.String("model", models.DroNet, "model name")
+	size := flag.Int("size", 512, "network input resolution")
+	scale := flag.Float64("scale", 1.0, "filter-count scale for the reduced-resolution study")
+	data := flag.String("data", "", "dataset directory (from dronet-data)")
+	synth := flag.Int("synth", 0, "generate this many synthetic scenes instead of loading -data")
+	batches := flag.Int("batches", 0, "training batches (default: model's max_batches)")
+	batchSize := flag.Int("batch", 0, "mini-batch size (default: model's batch)")
+	lr := flag.Float64("lr", 0, "learning rate (default: model's)")
+	seed := flag.Uint64("seed", 1, "initialization/shuffle seed")
+	out := flag.String("out", "model.weights", "output weights path")
+	flag.Parse()
+
+	det, err := buildDetector(*model, *size, *scale, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var ds *dataset.Dataset
+	switch {
+	case *synth > 0:
+		cfg := dataset.DefaultConfig(*size)
+		ds = dataset.Generate(cfg, *synth, *seed+100)
+	case *data != "":
+		ds, err = dataset.Load(*data)
+		if err != nil {
+			log.Fatal(err)
+		}
+	default:
+		log.Fatal("provide -data DIR or -synth N")
+	}
+	fmt.Println("dataset:", ds.Stats())
+
+	tc := det.DefaultTrainConfig()
+	tc.Seed = *seed
+	tc.Log = os.Stdout
+	if *batches > 0 {
+		tc.Batches = *batches
+	}
+	if *batchSize > 0 {
+		tc.BatchSize = *batchSize
+	}
+	if *lr > 0 {
+		tc.LR = *lr
+	}
+	res, err := det.TrainOn(ds, tc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("trained %d batches, final loss %.4f (avg %.4f)\n", res.Batches, res.FinalLoss, res.AvgLoss)
+	m, err := det.EvaluateOn(ds)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("training-set metrics:", m)
+	if err := det.SaveWeights(*out); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("weights written to", *out)
+}
+
+// buildDetector constructs a (possibly filter-scaled) model.
+func buildDetector(model string, size int, scale float64, seed uint64) (*core.Detector, error) {
+	if scale == 1.0 {
+		return core.NewDetector(model, size, seed)
+	}
+	text, err := models.Cfg(model, size)
+	if err != nil {
+		return nil, err
+	}
+	scaled, err := models.Scale(text, scale)
+	if err != nil {
+		return nil, err
+	}
+	return core.NewDetectorFromCfg(fmt.Sprintf("%s-x%.2f", model, scale), scaled, seed)
+}

@@ -1,0 +1,8 @@
+// Package repro is a from-scratch Go reproduction of "DroNet: Efficient
+// Convolutional Neural Network Detector for Real-Time UAV Applications"
+// (Kyrkou et al., DATE 2018): a Darknet-style CNN framework, the paper's
+// four detector architectures, a synthetic aerial-vehicle dataset, the
+// evaluation metrics, and calibrated platform models for the paper's three
+// deployment targets. See README.md for the layout and EXPERIMENTS.md for
+// the paper-vs-measured results.
+package repro

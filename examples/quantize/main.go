@@ -1,0 +1,88 @@
+// Quantize: the paper's §V future work — "applying finer-level
+// optimizations to reduce bitwidth precisions". The example trains the demo
+// DroNet, folds its batch normalization into the convolution weights,
+// quantizes it to INT8 with per-channel weight scales, and compares the
+// float32 and INT8 paths on accuracy (held-out scenes) and on the platform
+// model's predicted throughput for the paper's three boards.
+//
+// Run with:
+//
+//	go run ./examples/quantize
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/demo"
+	"repro/internal/detect"
+	"repro/internal/eval"
+	"repro/internal/models"
+	"repro/internal/platform"
+	"repro/internal/quant"
+	"repro/internal/tensor"
+)
+
+func main() {
+	log.SetFlags(0)
+	demo.Banner(os.Stdout, "INT8 quantization (§V future work)")
+
+	const size = 128
+	det, _, err := demo.TrainDemoDetector(size, 64, 1200, 47, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("float32 detector trained")
+
+	// Calibrate activation scales on a few fresh scenes.
+	calibScenes := dataset.Generate(demo.SceneConfig(size), 4, 1234)
+	calib := make([]*tensor.Tensor, 0, len(calibScenes.Items))
+	for _, it := range calibScenes.Items {
+		calib = append(calib, it.Image.ToTensor())
+	}
+	qnet, err := quant.Quantize(det.Net, calib)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var floatBytes int64
+	for _, p := range det.Net.Params() {
+		floatBytes += int64(p.W.Len()) * 4
+	}
+	fmt.Printf("weights: float32 %d bytes -> INT8 %d bytes (%.1fx smaller)\n",
+		floatBytes, qnet.WeightBytes(), float64(floatBytes)/float64(qnet.WeightBytes()))
+
+	// Accuracy comparison on held-out scenes.
+	val := dataset.Generate(demo.SceneConfig(size), 12, 4321)
+	var fc, qc eval.Counter
+	for _, item := range val.Items {
+		truthBoxes := make([]detect.Box, len(item.Truths))
+		for i, t := range item.Truths {
+			truthBoxes[i] = t.Box
+		}
+		x := item.Image.ToTensor()
+		fdets, err := det.Net.Detect(x, det.Thresh, det.NMSThresh)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fc.AddImage(fdets, truthBoxes)
+		qc.AddImage(qnet.Detect(x, det.Thresh, det.NMSThresh), truthBoxes)
+	}
+	fmt.Println("\nheld-out accuracy:")
+	fmt.Println("  float32:", fc.Metrics(0))
+	fmt.Println("  int8:   ", qc.Metrics(0))
+
+	// Platform-model throughput for the full-size DroNet, float vs INT8.
+	full, err := core.NewDetector(models.DroNet, 512, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\npredicted full DroNet@512 throughput (platform model):")
+	for _, p := range platform.All() {
+		f := p.Predict(full.Net).FPS
+		q := quant.PredictFPS(p, full.Net)
+		fmt.Printf("  %-28s float32 %6.2f FPS -> INT8 %6.2f FPS (%.2fx)\n", p.Name, f, q, q/f)
+	}
+}

@@ -1,0 +1,65 @@
+// Quickstart: the smallest end-to-end use of the DroNet library.
+//
+// It generates a synthetic aerial scene, trains a scaled DroNet on similar
+// scenes for a few hundred batches (seconds on a laptop), detects the
+// vehicles in the held-out scene, reports accuracy against the exact ground
+// truth, and writes an annotated PNG.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/dataset"
+	"repro/internal/demo"
+	"repro/internal/detect"
+	"repro/internal/eval"
+)
+
+func main() {
+	log.SetFlags(0)
+	demo.Banner(os.Stdout, "DroNet quickstart: train, detect, annotate")
+
+	const size = 128
+	det, _, err := demo.TrainDemoDetector(size, 64, 1200, 7, os.Stdout)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nmodel:")
+	fmt.Println(det.Summary())
+
+	// A fresh scene the detector has never seen.
+	scene := dataset.Generate(demo.SceneConfig(size), 1, 999).Items[0]
+	dets, err := det.DetectImage(scene.Image)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("detected %d vehicles (ground truth: %d) at altitude %.0f m\n",
+		len(dets), len(scene.Truths), scene.Altitude)
+
+	var counter eval.Counter
+	truthBoxes := make([]detect.Box, len(scene.Truths))
+	for i, t := range scene.Truths {
+		truthBoxes[i] = t.Box
+	}
+	counter.AddImage(dets, truthBoxes)
+	fmt.Println("scene metrics:", counter.Metrics(0))
+
+	annotated := scene.Image.Clone()
+	for _, t := range scene.Truths {
+		annotated.DrawBox(t.Box, 1, 0.1, 0.9, 0.1) // green: ground truth
+	}
+	for _, d := range dets {
+		annotated.DrawBox(d.Box, 1, 0.9, 0.1, 0.1) // red: detections
+	}
+	const out = "quickstart_detections.png"
+	if err := annotated.SavePNG(out); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("annotated image written to", out)
+}

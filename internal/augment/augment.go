@@ -1,0 +1,96 @@
+// Package augment applies the box-consistent training-time data
+// augmentations Darknet uses for detector training: horizontal flips,
+// random translation crops, and saturation/exposure jitter.
+package augment
+
+import (
+	"repro/internal/dataset"
+	"repro/internal/layers"
+	"repro/internal/tensor"
+)
+
+// Config bounds the augmentation magnitudes. The zero value disables
+// everything; Default mirrors Darknet's detector defaults.
+type Config struct {
+	FlipProb   float64 // probability of a horizontal mirror
+	Translate  float64 // max translation as a fraction of image size
+	Saturation float64 // max multiplicative saturation jitter (e.g. 0.5 → ×[0.67,1.5])
+	Exposure   float64 // max multiplicative exposure jitter
+}
+
+// Default returns Darknet-like augmentation settings.
+func Default() Config {
+	return Config{FlipProb: 0.5, Translate: 0.1, Saturation: 0.5, Exposure: 0.5}
+}
+
+// Apply returns an augmented copy of the item. Boxes are transformed
+// consistently with the pixels; objects whose center leaves the image after
+// translation are dropped.
+func Apply(cfg Config, item dataset.Item, rng *tensor.RNG) dataset.Item {
+	img := item.Image
+	truths := make([]dataset.Annotation, len(item.Truths))
+	copy(truths, item.Truths)
+
+	if cfg.FlipProb > 0 && rng.Float64() < cfg.FlipProb {
+		img = img.FlipHorizontal()
+		for i := range truths {
+			truths[i].Box.X = 1 - truths[i].Box.X
+		}
+	} else if img == item.Image {
+		img = img.Clone() // never mutate the caller's pixels
+	}
+
+	if cfg.Translate > 0 {
+		dx := rng.Range(-cfg.Translate, cfg.Translate)
+		dy := rng.Range(-cfg.Translate, cfg.Translate)
+		px := int(dx * float64(img.W))
+		py := int(dy * float64(img.H))
+		img = img.Crop(px, py, img.W, img.H)
+		shifted := truths[:0]
+		for _, t := range truths {
+			b := t.Box
+			b.X -= float64(px) / float64(img.W)
+			b.Y -= float64(py) / float64(img.H)
+			if b.X <= 0 || b.X >= 1 || b.Y <= 0 || b.Y >= 1 {
+				continue // object center translated out of frame
+			}
+			clipped := b.Clip()
+			if clipped.Area() < 0.5*t.Box.Area() {
+				continue // less than half the object remains visible
+			}
+			t.Box = clipped
+			shifted = append(shifted, t)
+		}
+		truths = shifted
+	}
+
+	if cfg.Saturation > 0 || cfg.Exposure > 0 {
+		sat := scaleJitter(rng, cfg.Saturation)
+		exp := scaleJitter(rng, cfg.Exposure)
+		img.JitterHSV(sat, exp)
+	}
+
+	return dataset.Item{Image: img, Truths: truths, Altitude: item.Altitude}
+}
+
+// scaleJitter draws a multiplicative jitter in [1/(1+m), 1+m], Darknet's
+// rand_scale convention.
+func scaleJitter(rng *tensor.RNG, m float64) float64 {
+	if m <= 0 {
+		return 1
+	}
+	s := rng.Range(1, 1+m)
+	if rng.Float64() < 0.5 {
+		return 1 / s
+	}
+	return s
+}
+
+// ToTruths converts annotations to the region layer's truth type.
+func ToTruths(anns []dataset.Annotation) []layers.Truth {
+	out := make([]layers.Truth, len(anns))
+	for i, a := range anns {
+		out[i] = layers.Truth{Box: a.Box, Class: a.Class}
+	}
+	return out
+}

@@ -1,0 +1,157 @@
+package augment
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/detect"
+	"repro/internal/imgproc"
+	"repro/internal/tensor"
+)
+
+func testItem() dataset.Item {
+	img := imgproc.NewImage(32, 32)
+	img.Fill(0.4, 0.4, 0.4)
+	img.FillRect(4, 4, 10, 10, 1, 0, 0) // object at left
+	return dataset.Item{
+		Image: img,
+		Truths: []dataset.Annotation{
+			{Box: detect.Box{X: 7.0 / 32, Y: 7.0 / 32, W: 6.0 / 32, H: 6.0 / 32}},
+		},
+		Altitude: 42,
+	}
+}
+
+func TestApplyNeverMutatesInput(t *testing.T) {
+	item := testItem()
+	orig := item.Image.Clone()
+	rng := tensor.NewRNG(1)
+	for i := 0; i < 10; i++ {
+		Apply(Default(), item, rng)
+	}
+	for i := range orig.Pix {
+		if item.Image.Pix[i] != orig.Pix[i] {
+			t.Fatal("Apply mutated the source image")
+		}
+	}
+	if item.Truths[0].Box.X != 7.0/32 {
+		t.Fatal("Apply mutated the source annotations")
+	}
+}
+
+func TestFlipMirrorsBoxes(t *testing.T) {
+	item := testItem()
+	cfg := Config{FlipProb: 1}
+	out := Apply(cfg, item, tensor.NewRNG(2))
+	wantX := 1 - 7.0/32
+	if math.Abs(out.Truths[0].Box.X-wantX) > 1e-9 {
+		t.Fatalf("flipped box X = %v, want %v", out.Truths[0].Box.X, wantX)
+	}
+	// Red block should now be on the right side of the image.
+	if r, _, _ := out.Image.RGB(32-7, 7); r != 1 {
+		t.Fatal("pixels not mirrored with boxes")
+	}
+}
+
+func TestTranslateShiftsBoxesConsistently(t *testing.T) {
+	item := testItem()
+	cfg := Config{Translate: 0.2}
+	rng := tensor.NewRNG(3)
+	out := Apply(cfg, item, rng)
+	// Find the red block in the output and compare with the box center.
+	found := false
+	for _, tr := range out.Truths {
+		cx := int(tr.Box.X * 32)
+		cy := int(tr.Box.Y * 32)
+		if r, _, _ := out.Image.RGB(cx, cy); r > 0.9 {
+			found = true
+		}
+	}
+	if len(out.Truths) > 0 && !found {
+		t.Fatal("translated box no longer covers the object")
+	}
+}
+
+func TestTranslateDropsOffscreenObjects(t *testing.T) {
+	img := imgproc.NewImage(32, 32)
+	item := dataset.Item{
+		Image: img,
+		Truths: []dataset.Annotation{
+			{Box: detect.Box{X: 0.03, Y: 0.03, W: 0.05, H: 0.05}},
+		},
+	}
+	// Force a large positive shift so the near-corner object leaves frame.
+	cfg := Config{Translate: 0.4}
+	dropped := false
+	rng := tensor.NewRNG(4)
+	for i := 0; i < 50; i++ {
+		out := Apply(cfg, item, rng)
+		if len(out.Truths) == 0 {
+			dropped = true
+			break
+		}
+	}
+	if !dropped {
+		t.Fatal("corner object never dropped across 50 random translations")
+	}
+}
+
+func TestJitterKeepsRange(t *testing.T) {
+	item := testItem()
+	cfg := Config{Saturation: 0.5, Exposure: 0.5}
+	out := Apply(cfg, item, tensor.NewRNG(5))
+	for _, v := range out.Image.Pix {
+		if v < 0 || v > 1 {
+			t.Fatalf("jitter escaped [0,1]: %v", v)
+		}
+	}
+	if out.Altitude != 42 {
+		t.Fatal("altitude metadata lost")
+	}
+}
+
+func TestZeroConfigIsIdentity(t *testing.T) {
+	item := testItem()
+	out := Apply(Config{}, item, tensor.NewRNG(6))
+	for i := range item.Image.Pix {
+		if out.Image.Pix[i] != item.Image.Pix[i] {
+			t.Fatal("zero config altered pixels")
+		}
+	}
+	if len(out.Truths) != 1 || out.Truths[0] != item.Truths[0] {
+		t.Fatal("zero config altered truths")
+	}
+}
+
+func TestToTruths(t *testing.T) {
+	anns := []dataset.Annotation{
+		{Box: detect.Box{X: 0.5, Y: 0.5, W: 0.1, H: 0.1}, Class: 2},
+	}
+	ts := ToTruths(anns)
+	if len(ts) != 1 || ts[0].Class != 2 || ts[0].Box.X != 0.5 {
+		t.Fatalf("ToTruths = %+v", ts)
+	}
+}
+
+func TestScaleJitterSymmetric(t *testing.T) {
+	rng := tensor.NewRNG(7)
+	var above, below int
+	for i := 0; i < 2000; i++ {
+		s := scaleJitter(rng, 0.5)
+		if s < 1.0/1.5-1e-9 || s > 1.5+1e-9 {
+			t.Fatalf("jitter %v outside [1/1.5, 1.5]", s)
+		}
+		if s > 1 {
+			above++
+		} else {
+			below++
+		}
+	}
+	if above == 0 || below == 0 {
+		t.Fatal("jitter never flipped direction")
+	}
+	if scaleJitter(rng, 0) != 1 {
+		t.Fatal("zero magnitude must return 1")
+	}
+}

@@ -1,0 +1,210 @@
+package cfg
+
+import (
+	"fmt"
+
+	"repro/internal/layers"
+	"repro/internal/network"
+	"repro/internal/tensor"
+)
+
+// Hyper carries the training hyper-parameters declared in the [net] section.
+type Hyper struct {
+	Batch        int
+	LearningRate float64
+	Momentum     float64
+	Decay        float64
+	MaxBatches   int
+	BurnIn       int
+	// Steps/Scales define the step learning-rate schedule.
+	Steps  []int
+	Scales []float64
+}
+
+// Build instantiates a runnable network from a parsed definition, seeding
+// weight initialization from rng. The name labels the network.
+func Build(name string, d *Def, rng *tensor.RNG) (*network.Network, *Hyper, error) {
+	w, err := d.Net.Int("width", 416)
+	if err != nil {
+		return nil, nil, err
+	}
+	h, err := d.Net.Int("height", 416)
+	if err != nil {
+		return nil, nil, err
+	}
+	c, err := d.Net.Int("channels", 3)
+	if err != nil {
+		return nil, nil, err
+	}
+	hyper, err := parseHyper(d.Net)
+	if err != nil {
+		return nil, nil, err
+	}
+	net := network.New(name, w, h, c)
+	in := layers.Shape{C: c, H: h, W: w}
+	for i, s := range d.Sections {
+		var l layers.Layer
+		switch s.Type {
+		case "convolutional", "conv":
+			l, err = buildConv(s, in, rng)
+		case "maxpool":
+			l, err = buildMaxPool(s, in)
+		case "region", "detection":
+			l, err = buildRegion(s, in, hyper)
+		default:
+			err = fmt.Errorf("cfg: unsupported layer type [%s]", s.Type)
+		}
+		if err != nil {
+			return nil, nil, fmt.Errorf("cfg: layer %d: %w", i, err)
+		}
+		if err := net.Add(l); err != nil {
+			return nil, nil, err
+		}
+		in = l.OutShape()
+	}
+	if len(net.Layers) == 0 {
+		return nil, nil, fmt.Errorf("cfg: definition has no layers")
+	}
+	return net, hyper, nil
+}
+
+func parseHyper(net *Section) (*Hyper, error) {
+	h := &Hyper{}
+	var err error
+	if h.Batch, err = net.Int("batch", 1); err != nil {
+		return nil, err
+	}
+	if h.LearningRate, err = net.Float("learning_rate", 0.001); err != nil {
+		return nil, err
+	}
+	if h.Momentum, err = net.Float("momentum", 0.9); err != nil {
+		return nil, err
+	}
+	if h.Decay, err = net.Float("decay", 0.0005); err != nil {
+		return nil, err
+	}
+	if h.MaxBatches, err = net.Int("max_batches", 0); err != nil {
+		return nil, err
+	}
+	if h.BurnIn, err = net.Int("burn_in", 0); err != nil {
+		return nil, err
+	}
+	steps, err := net.Floats("steps")
+	if err != nil {
+		return nil, err
+	}
+	for _, s := range steps {
+		h.Steps = append(h.Steps, int(s))
+	}
+	if h.Scales, err = net.Floats("scales"); err != nil {
+		return nil, err
+	}
+	if len(h.Scales) != len(h.Steps) {
+		if len(h.Scales) != 0 || len(h.Steps) != 0 {
+			return nil, fmt.Errorf("cfg: steps (%d) and scales (%d) length mismatch", len(h.Steps), len(h.Scales))
+		}
+	}
+	return h, nil
+}
+
+func buildConv(s *Section, in layers.Shape, rng *tensor.RNG) (layers.Layer, error) {
+	filters, err := s.Int("filters", 1)
+	if err != nil {
+		return nil, err
+	}
+	size, err := s.Int("size", 1)
+	if err != nil {
+		return nil, err
+	}
+	stride, err := s.Int("stride", 1)
+	if err != nil {
+		return nil, err
+	}
+	// Darknet: pad=1 means "same" padding of size/2.
+	padFlag, err := s.Int("pad", 0)
+	if err != nil {
+		return nil, err
+	}
+	pad := 0
+	if padFlag != 0 {
+		pad = size / 2
+	}
+	if p, errP := s.Int("padding", -1); errP == nil && p >= 0 {
+		pad = p
+	}
+	bn, err := s.Int("batch_normalize", 0)
+	if err != nil {
+		return nil, err
+	}
+	act := layers.ActLinear
+	switch a := s.Str("activation", "logistic"); a {
+	case "leaky":
+		act = layers.ActLeaky
+	case "linear", "logistic":
+		act = layers.ActLinear
+	default:
+		return nil, fmt.Errorf("cfg: unsupported activation %q", a)
+	}
+	return layers.NewConv2D(in, filters, size, stride, pad, bn != 0, act, rng)
+}
+
+func buildMaxPool(s *Section, in layers.Shape) (layers.Layer, error) {
+	size, err := s.Int("size", 2)
+	if err != nil {
+		return nil, err
+	}
+	stride, err := s.Int("stride", size)
+	if err != nil {
+		return nil, err
+	}
+	pad, err := s.Int("padding", -1)
+	if err != nil {
+		return nil, err
+	}
+	return layers.NewMaxPool(in, size, stride, pad)
+}
+
+func buildRegion(s *Section, in layers.Shape, hyper *Hyper) (layers.Layer, error) {
+	classes, err := s.Int("classes", 1)
+	if err != nil {
+		return nil, err
+	}
+	num, err := s.Int("num", 5)
+	if err != nil {
+		return nil, err
+	}
+	raw, err := s.Floats("anchors")
+	if err != nil {
+		return nil, err
+	}
+	if len(raw) != 2*num {
+		return nil, fmt.Errorf("cfg: region num=%d expects %d anchor values, got %d", num, 2*num, len(raw))
+	}
+	anchors := make([][2]float64, num)
+	for i := range anchors {
+		anchors[i] = [2]float64{raw[2*i], raw[2*i+1]}
+	}
+	rc := layers.DefaultRegionConfig(classes, anchors)
+	if v, err := s.Float("thresh", rc.IgnoreThresh); err == nil {
+		rc.IgnoreThresh = v
+	}
+	if v, err := s.Float("coord_scale", rc.CoordScale); err == nil {
+		rc.CoordScale = v
+	}
+	if v, err := s.Float("noobject_scale", rc.NoObjScale); err == nil {
+		rc.NoObjScale = v
+	}
+	if v, err := s.Float("object_scale", rc.ObjScale); err == nil {
+		rc.ObjScale = v
+	}
+	if v, err := s.Float("class_scale", rc.ClassScale); err == nil {
+		rc.ClassScale = v
+	}
+	if v, err := s.Int("rescore", 1); err == nil {
+		rc.Rescore = v != 0
+	}
+	if hyper != nil && hyper.BurnIn > 0 {
+		rc.BurnIn = hyper.BurnIn * hyper.Batch
+	}
+	return layers.NewRegion(in, rc)
+}

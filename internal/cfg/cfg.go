@@ -1,0 +1,186 @@
+// Package cfg parses and serializes Darknet-style .cfg model definition
+// files and builds runnable networks from them. Supporting the same textual
+// format the paper's authors used keeps the four reconstructed
+// architectures inspectable and editable as plain text.
+package cfg
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Section is one bracketed block of a cfg file with its key=value options.
+type Section struct {
+	Type    string
+	Options map[string]string
+	order   []string
+}
+
+// NewSection creates an empty section of the given type.
+func NewSection(typ string) *Section {
+	return &Section{Type: typ, Options: map[string]string{}}
+}
+
+// Set stores an option, preserving first-set ordering for serialization.
+func (s *Section) Set(key, value string) {
+	if _, ok := s.Options[key]; !ok {
+		s.order = append(s.order, key)
+	}
+	s.Options[key] = value
+}
+
+// Int returns the integer option or def when absent.
+func (s *Section) Int(key string, def int) (int, error) {
+	v, ok := s.Options[key]
+	if !ok {
+		return def, nil
+	}
+	i, err := strconv.Atoi(strings.TrimSpace(v))
+	if err != nil {
+		return 0, fmt.Errorf("cfg: [%s] %s=%q is not an integer", s.Type, key, v)
+	}
+	return i, nil
+}
+
+// Float returns the float option or def when absent.
+func (s *Section) Float(key string, def float64) (float64, error) {
+	v, ok := s.Options[key]
+	if !ok {
+		return def, nil
+	}
+	f, err := strconv.ParseFloat(strings.TrimSpace(v), 64)
+	if err != nil {
+		return 0, fmt.Errorf("cfg: [%s] %s=%q is not a number", s.Type, key, v)
+	}
+	return f, nil
+}
+
+// Str returns the string option or def when absent.
+func (s *Section) Str(key, def string) string {
+	if v, ok := s.Options[key]; ok {
+		return strings.TrimSpace(v)
+	}
+	return def
+}
+
+// Floats parses a comma-separated list option.
+func (s *Section) Floats(key string) ([]float64, error) {
+	v, ok := s.Options[key]
+	if !ok {
+		return nil, nil
+	}
+	parts := strings.Split(v, ",")
+	out := make([]float64, 0, len(parts))
+	for _, p := range parts {
+		p = strings.TrimSpace(p)
+		if p == "" {
+			continue
+		}
+		f, err := strconv.ParseFloat(p, 64)
+		if err != nil {
+			return nil, fmt.Errorf("cfg: [%s] %s contains non-number %q", s.Type, key, p)
+		}
+		out = append(out, f)
+	}
+	return out, nil
+}
+
+// Def is a parsed model definition: the leading [net] section followed by
+// the layer sections in file order.
+type Def struct {
+	Net      *Section
+	Sections []*Section
+}
+
+// Parse reads a cfg document. The first section must be [net] (or
+// [network]); comments start with '#' or ';'.
+func Parse(r io.Reader) (*Def, error) {
+	sc := bufio.NewScanner(r)
+	var sections []*Section
+	var cur *Section
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || line[0] == '#' || line[0] == ';' {
+			continue
+		}
+		if line[0] == '[' {
+			end := strings.IndexByte(line, ']')
+			if end < 0 {
+				return nil, fmt.Errorf("cfg: line %d: unterminated section header %q", lineNo, line)
+			}
+			cur = NewSection(strings.ToLower(strings.TrimSpace(line[1:end])))
+			sections = append(sections, cur)
+			continue
+		}
+		eq := strings.IndexByte(line, '=')
+		if eq < 0 {
+			return nil, fmt.Errorf("cfg: line %d: expected key=value, got %q", lineNo, line)
+		}
+		if cur == nil {
+			return nil, fmt.Errorf("cfg: line %d: option outside any section", lineNo)
+		}
+		cur.Set(strings.TrimSpace(line[:eq]), strings.TrimSpace(line[eq+1:]))
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("cfg: %w", err)
+	}
+	if len(sections) == 0 {
+		return nil, fmt.Errorf("cfg: empty definition")
+	}
+	head := sections[0]
+	if head.Type != "net" && head.Type != "network" {
+		return nil, fmt.Errorf("cfg: first section must be [net], got [%s]", head.Type)
+	}
+	return &Def{Net: head, Sections: sections[1:]}, nil
+}
+
+// ParseString parses a cfg document held in a string.
+func ParseString(s string) (*Def, error) { return Parse(strings.NewReader(s)) }
+
+// Write serializes the definition back to cfg text. Option order within a
+// section follows insertion order (parse order for parsed files), so a
+// Parse→Write round trip is stable.
+func (d *Def) Write(w io.Writer) error {
+	write := func(s *Section) error {
+		if _, err := fmt.Fprintf(w, "[%s]\n", s.Type); err != nil {
+			return err
+		}
+		keys := s.order
+		if len(keys) != len(s.Options) {
+			keys = make([]string, 0, len(s.Options))
+			for k := range s.Options {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+		}
+		for _, k := range keys {
+			if _, err := fmt.Fprintf(w, "%s=%s\n", k, s.Options[k]); err != nil {
+				return err
+			}
+		}
+		_, err := fmt.Fprintln(w)
+		return err
+	}
+	if err := write(d.Net); err != nil {
+		return err
+	}
+	for _, s := range d.Sections {
+		if err := write(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// String serializes the definition to a string.
+func (d *Def) String() string {
+	var b strings.Builder
+	_ = d.Write(&b)
+	return b.String()
+}

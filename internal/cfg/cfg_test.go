@@ -1,0 +1,219 @@
+package cfg
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/layers"
+	"repro/internal/tensor"
+)
+
+const sampleCfg = `
+# a tiny detector
+[net]
+width=32
+height=32
+channels=3
+batch=2
+learning_rate=0.01
+momentum=0.9
+decay=0.0005
+max_batches=100
+steps=50,80
+scales=0.1,0.1
+
+[convolutional]
+batch_normalize=1
+filters=8
+size=3
+stride=1
+pad=1
+activation=leaky
+
+[maxpool]
+size=2
+stride=2
+
+[convolutional]
+filters=18
+size=1
+stride=1
+pad=1
+activation=linear
+
+[region]
+anchors = 1.0,1.0, 2.0,2.0, 0.5,0.8
+classes=1
+num=3
+`
+
+func TestParseSections(t *testing.T) {
+	d, err := ParseString(sampleCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Net.Type != "net" {
+		t.Fatalf("net section type = %q", d.Net.Type)
+	}
+	if len(d.Sections) != 4 {
+		t.Fatalf("sections = %d, want 4", len(d.Sections))
+	}
+	w, err := d.Net.Int("width", 0)
+	if err != nil || w != 32 {
+		t.Fatalf("width = %d, %v", w, err)
+	}
+	lr, err := d.Net.Float("learning_rate", 0)
+	if err != nil || lr != 0.01 {
+		t.Fatalf("lr = %v, %v", lr, err)
+	}
+	anchors, err := d.Sections[3].Floats("anchors")
+	if err != nil || len(anchors) != 6 {
+		t.Fatalf("anchors = %v, %v", anchors, err)
+	}
+	if d.Sections[0].Str("activation", "") != "leaky" {
+		t.Fatal("activation lost")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"",                    // empty
+		"[conv]\nfilters=1\n", // missing [net] first
+		"key=value\n",         // option before section
+		"[net\nwidth=1\n",     // unterminated header
+		"[net]\nwidth\n",      // not key=value
+	}
+	for _, c := range cases {
+		if _, err := ParseString(c); err == nil {
+			t.Errorf("expected parse error for %q", c)
+		}
+	}
+}
+
+func TestParseTypeErrors(t *testing.T) {
+	d, err := ParseString("[net]\nwidth=abc\nrate=x\nlist=1,z\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Net.Int("width", 0); err == nil {
+		t.Error("expected int error")
+	}
+	if _, err := d.Net.Float("rate", 0); err == nil {
+		t.Error("expected float error")
+	}
+	if _, err := d.Net.Floats("list"); err == nil {
+		t.Error("expected floats error")
+	}
+	// Defaults for absent keys are not errors.
+	if v, err := d.Net.Int("missing", 7); err != nil || v != 7 {
+		t.Errorf("default int = %d, %v", v, err)
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	d, err := ParseString(sampleCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := d.String()
+	d2, err := ParseString(text)
+	if err != nil {
+		t.Fatalf("re-parse: %v\n%s", err, text)
+	}
+	if d2.String() != text {
+		t.Fatal("serialization is not a fixed point after one round trip")
+	}
+	if len(d2.Sections) != len(d.Sections) {
+		t.Fatal("section count changed in round trip")
+	}
+}
+
+func TestBuildNetwork(t *testing.T) {
+	d, err := ParseString(sampleCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, hyper, err := Build("sample", d, tensor.NewRNG(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(net.Layers) != 4 {
+		t.Fatalf("layers = %d, want 4", len(net.Layers))
+	}
+	if net.InputW != 32 || net.InputH != 32 || net.InputC != 3 {
+		t.Fatalf("input = %dx%dx%d", net.InputW, net.InputH, net.InputC)
+	}
+	// conv(8,/1) keeps 32, maxpool halves to 16, conv 1x1 keeps 16.
+	out := net.OutShape()
+	if out.H != 16 || out.W != 16 || out.C != 18 {
+		t.Fatalf("out shape = %+v", out)
+	}
+	r := net.Region()
+	if r == nil {
+		t.Fatal("no region layer")
+	}
+	if got := len(r.Config().Anchors); got != 3 {
+		t.Fatalf("anchors = %d, want 3", got)
+	}
+	if hyper.Batch != 2 || hyper.MaxBatches != 100 {
+		t.Fatalf("hyper = %+v", hyper)
+	}
+	if len(hyper.Steps) != 2 || hyper.Steps[1] != 80 || hyper.Scales[0] != 0.1 {
+		t.Fatalf("schedule = %+v", hyper)
+	}
+	// First conv must be batch-normalized with leaky activation.
+	c, ok := net.Layers[0].(*layers.Conv2D)
+	if !ok || !c.BatchNorm || c.Act != layers.ActLeaky {
+		t.Fatalf("layer 0 misconfigured: %v", net.Layers[0].Name())
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	cases := []struct {
+		name, text string
+	}{
+		{"unknown layer", "[net]\nwidth=8\nheight=8\nchannels=1\n[route]\nlayers=-1\n"},
+		{"anchor mismatch", "[net]\nwidth=8\nheight=8\nchannels=1\n[convolutional]\nfilters=18\nsize=1\nactivation=linear\n[region]\nanchors=1,1\nclasses=1\nnum=3\n"},
+		{"region channels", "[net]\nwidth=8\nheight=8\nchannels=1\n[convolutional]\nfilters=7\nsize=1\nactivation=linear\n[region]\nanchors=1,1\nclasses=1\nnum=1\n"},
+		{"bad activation", "[net]\nwidth=8\nheight=8\nchannels=1\n[convolutional]\nfilters=4\nsize=3\npad=1\nactivation=swish\n"},
+		{"empty body", "[net]\nwidth=8\nheight=8\nchannels=1\n"},
+		{"steps scales mismatch", "[net]\nwidth=8\nheight=8\nchannels=1\nsteps=1,2\nscales=0.1\n[convolutional]\nfilters=4\nsize=3\npad=1\nactivation=leaky\n"},
+	}
+	for _, tc := range cases {
+		d, err := ParseString(tc.text)
+		if err != nil {
+			t.Fatalf("%s: parse failed: %v", tc.name, err)
+		}
+		if _, _, err := Build("x", d, tensor.NewRNG(1)); err == nil {
+			t.Errorf("%s: expected build error", tc.name)
+		}
+	}
+}
+
+func TestBuildDarknetPadConvention(t *testing.T) {
+	// pad=1 on a 3x3 conv means padding size/2 = 1 ("same"); padding=0
+	// overrides explicitly.
+	text := "[net]\nwidth=8\nheight=8\nchannels=1\n[convolutional]\nfilters=4\nsize=3\npad=1\npadding=0\nactivation=leaky\n"
+	d, err := ParseString(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, _, err := Build("pad", d, tensor.NewRNG(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out := net.OutShape(); out.H != 6 {
+		t.Fatalf("explicit padding=0 ignored: out H = %d, want 6", out.H)
+	}
+}
+
+func TestWriteUnparsedSectionSortsKeys(t *testing.T) {
+	s := NewSection("net")
+	s.Options["b"] = "2" // bypass Set to simulate hand-built sections
+	s.Options["a"] = "1"
+	d := &Def{Net: s}
+	text := d.String()
+	if strings.Index(text, "a=1") > strings.Index(text, "b=2") {
+		t.Fatalf("keys not sorted:\n%s", text)
+	}
+}

@@ -1,0 +1,215 @@
+package core
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/imgproc"
+	"repro/internal/models"
+)
+
+func TestNewDetectorAllModels(t *testing.T) {
+	for _, m := range models.Names() {
+		d, err := NewDetector(m, 352, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", m, err)
+		}
+		if d.Thresh != 0.24 || d.NMSThresh != 0.45 {
+			t.Fatalf("%s: default thresholds %v/%v", m, d.Thresh, d.NMSThresh)
+		}
+		if d.FLOPs() <= 0 {
+			t.Fatalf("%s: FLOPs = %d", m, d.FLOPs())
+		}
+		if !strings.Contains(d.Summary(), "conv") {
+			t.Fatalf("%s: summary missing layers", m)
+		}
+	}
+	if _, err := NewDetector("alexnet", 352, 1); err == nil {
+		t.Fatal("expected error for unknown model")
+	}
+}
+
+func TestNewDetectorFromCfg(t *testing.T) {
+	text, err := models.Cfg(models.DroNet, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := NewDetectorFromCfg("custom", text, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Net.InputW != 128 {
+		t.Fatalf("input = %d", d.Net.InputW)
+	}
+	if _, err := NewDetectorFromCfg("bad", "garbage", 1); err == nil {
+		t.Fatal("expected parse error")
+	}
+	noRegion := "[net]\nwidth=32\nheight=32\nchannels=3\n[convolutional]\nfilters=4\nsize=3\npad=1\nactivation=leaky\n"
+	if _, err := NewDetectorFromCfg("noregion", noRegion, 1); err == nil {
+		t.Fatal("expected error for missing region layer")
+	}
+}
+
+func TestDetectImageMatchingSize(t *testing.T) {
+	d, err := NewDetectorFromCfg("small", smallCfg(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	img := imgproc.NewImage(48, 48)
+	if _, err := d.DetectImage(img); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.DetectImage(nil); err == nil {
+		t.Fatal("expected error for nil image")
+	}
+}
+
+func TestDetectImageLetterboxMapsBack(t *testing.T) {
+	d, err := NewDetectorFromCfg("small", smallCfg(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Thresh = 0.001                // untrained net: accept anything so mapping is exercised
+	img := imgproc.NewImage(96, 48) // 2:1 aspect forces real letterboxing
+	dets, err := d.DetectImage(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, dt := range dets {
+		b := dt.Box
+		if b.Left() < -1e-9 || b.Right() > 1+1e-9 || b.Top() < -1e-9 || b.Bottom() > 1+1e-9 {
+			t.Fatalf("mapped box escapes the original image: %+v", b)
+		}
+	}
+}
+
+func TestWeightsRoundTripThroughDetector(t *testing.T) {
+	d1, err := NewDetectorFromCfg("small", smallCfg(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "w.weights")
+	if err := d1.SaveWeights(path); err != nil {
+		t.Fatal(err)
+	}
+	d2, err := NewDetectorFromCfg("small", smallCfg(), 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d2.LoadWeights(path); err != nil {
+		t.Fatal(err)
+	}
+	img := imgproc.NewImage(48, 48)
+	img.Fill(0.3, 0.5, 0.7)
+	a := d1.Net.Forward(img.ToTensor(), false).Clone()
+	b := d2.Net.Forward(img.ToTensor(), false)
+	for i := range a.Data {
+		if a.Data[i] != b.Data[i] {
+			t.Fatal("detectors disagree after weight round trip")
+		}
+	}
+}
+
+func TestPredictFPS(t *testing.T) {
+	d, err := NewDetector(models.DroNet, 512, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fps, err := d.PredictFPS("odroid")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fps < 7.5 || fps > 10.5 {
+		t.Fatalf("odroid DroNet@512 = %v FPS, want the paper's 8-10", fps)
+	}
+	if _, err := d.PredictFPS("tpu"); err == nil {
+		t.Fatal("expected error for unknown platform")
+	}
+}
+
+// TestTrainEvaluateEndToEnd exercises the full public path: build, train
+// briefly, evaluate, detect.
+func TestTrainEvaluateEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end training skipped in -short mode")
+	}
+	d, err := NewDetectorFromCfg("small", smallCfg(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := dataset.DefaultConfig(48)
+	cfg.AltMin, cfg.AltMax = 12, 20
+	cfg.VehiclesMin, cfg.VehiclesMax = 1, 2
+	cfg.TreeProb = 0
+	ds := dataset.Generate(cfg, 4, 21)
+	tc := d.DefaultTrainConfig()
+	tc.Batches = 60
+	tc.BatchSize = 2
+	tc.Seed = 9
+	res, err := d.TrainOn(ds, tc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Batches != 60 {
+		t.Fatalf("trained %d batches", res.Batches)
+	}
+	if _, err := d.EvaluateOn(ds); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.DetectImage(ds.Items[0].Image); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// smallCfg is a 48x48 micro detector for fast API tests.
+func smallCfg() string {
+	return `
+[net]
+width=48
+height=48
+channels=3
+batch=2
+learning_rate=0.002
+momentum=0.9
+decay=0.0005
+max_batches=60
+burn_in=5
+
+[convolutional]
+batch_normalize=1
+filters=4
+size=3
+stride=1
+pad=1
+activation=leaky
+
+[maxpool]
+size=2
+stride=2
+
+[convolutional]
+batch_normalize=1
+filters=8
+size=3
+stride=1
+pad=1
+activation=leaky
+
+[maxpool]
+size=2
+stride=2
+
+[convolutional]
+filters=18
+size=1
+stride=1
+activation=linear
+
+[region]
+anchors=0.6,0.6, 1.0,1.0, 1.6,1.6
+classes=1
+num=3
+`
+}

@@ -1,0 +1,177 @@
+package dataset
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/detect"
+	"repro/internal/imgproc"
+	"repro/internal/tensor"
+)
+
+// Dataset is an in-memory collection of labelled scenes.
+type Dataset struct {
+	Items []Item
+}
+
+// Generate renders n scenes with the given configuration. The generator is
+// deterministic in (cfg, n, seed).
+func Generate(cfg SceneConfig, n int, seed uint64) *Dataset {
+	rng := tensor.NewRNG(seed)
+	d := &Dataset{Items: make([]Item, 0, n)}
+	for i := 0; i < n; i++ {
+		d.Items = append(d.Items, GenerateScene(cfg, rng))
+	}
+	return d
+}
+
+// Len returns the number of items.
+func (d *Dataset) Len() int { return len(d.Items) }
+
+// TotalObjects returns the number of annotations across all items.
+func (d *Dataset) TotalObjects() int {
+	total := 0
+	for _, it := range d.Items {
+		total += len(it.Truths)
+	}
+	return total
+}
+
+// Split partitions the dataset into a training set with the given fraction
+// of items and a validation set with the rest. Items are split in order
+// (generation order is already random).
+func (d *Dataset) Split(trainFrac float64) (train, val *Dataset) {
+	cut := int(float64(len(d.Items)) * trainFrac)
+	if cut < 0 {
+		cut = 0
+	}
+	if cut > len(d.Items) {
+		cut = len(d.Items)
+	}
+	return &Dataset{Items: d.Items[:cut]}, &Dataset{Items: d.Items[cut:]}
+}
+
+// Save writes the dataset to dir in Darknet layout: img_NNNN.png plus
+// img_NNNN.txt with one "class cx cy w h" line per object (normalized), and
+// a meta line with the altitude in img_NNNN.alt.
+func (d *Dataset) Save(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("dataset: %w", err)
+	}
+	for i, it := range d.Items {
+		base := filepath.Join(dir, fmt.Sprintf("img_%04d", i))
+		if err := it.Image.SavePNG(base + ".png"); err != nil {
+			return err
+		}
+		var sb strings.Builder
+		for _, t := range it.Truths {
+			fmt.Fprintf(&sb, "%d %.6f %.6f %.6f %.6f\n", t.Class, t.Box.X, t.Box.Y, t.Box.W, t.Box.H)
+		}
+		if err := os.WriteFile(base+".txt", []byte(sb.String()), 0o644); err != nil {
+			return fmt.Errorf("dataset: %w", err)
+		}
+		alt := fmt.Sprintf("%.3f\n", it.Altitude)
+		if err := os.WriteFile(base+".alt", []byte(alt), 0o644); err != nil {
+			return fmt.Errorf("dataset: %w", err)
+		}
+	}
+	return nil
+}
+
+// Load reads a dataset previously written by Save.
+func Load(dir string) (*Dataset, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("dataset: %w", err)
+	}
+	var pngs []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".png") {
+			pngs = append(pngs, e.Name())
+		}
+	}
+	sort.Strings(pngs)
+	d := &Dataset{}
+	for _, name := range pngs {
+		base := strings.TrimSuffix(name, ".png")
+		img, err := imgproc.LoadPNG(filepath.Join(dir, name))
+		if err != nil {
+			return nil, err
+		}
+		truths, err := loadLabels(filepath.Join(dir, base+".txt"))
+		if err != nil {
+			return nil, err
+		}
+		item := Item{Image: img, Truths: truths}
+		if raw, err := os.ReadFile(filepath.Join(dir, base+".alt")); err == nil {
+			if alt, err := strconv.ParseFloat(strings.TrimSpace(string(raw)), 64); err == nil {
+				item.Altitude = alt
+			}
+		}
+		d.Items = append(d.Items, item)
+	}
+	if len(d.Items) == 0 {
+		return nil, fmt.Errorf("dataset: no images found in %s", dir)
+	}
+	return d, nil
+}
+
+func loadLabels(path string) ([]Annotation, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil // an image with no objects has no label file
+		}
+		return nil, fmt.Errorf("dataset: %w", err)
+	}
+	defer f.Close()
+	var truths []Annotation
+	sc := bufio.NewScanner(f)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		fields := strings.Fields(sc.Text())
+		if len(fields) == 0 {
+			continue
+		}
+		if len(fields) != 5 {
+			return nil, fmt.Errorf("dataset: %s:%d: want 5 fields, got %d", path, lineNo, len(fields))
+		}
+		vals := make([]float64, 5)
+		for i, fd := range fields {
+			v, err := strconv.ParseFloat(fd, 64)
+			if err != nil {
+				return nil, fmt.Errorf("dataset: %s:%d: %w", path, lineNo, err)
+			}
+			vals[i] = v
+		}
+		truths = append(truths, Annotation{
+			Class: int(vals[0]),
+			Box:   detect.Box{X: vals[1], Y: vals[2], W: vals[3], H: vals[4]},
+		})
+	}
+	return truths, sc.Err()
+}
+
+// Stats summarizes a dataset for logging: image count, object count, and
+// object-size distribution (mean normalized box side).
+func (d *Dataset) Stats() string {
+	var sumSide float64
+	n := 0
+	for _, it := range d.Items {
+		for _, t := range it.Truths {
+			sumSide += (t.Box.W + t.Box.H) / 2
+			n++
+		}
+	}
+	mean := 0.0
+	if n > 0 {
+		mean = sumSide / float64(n)
+	}
+	return fmt.Sprintf("%d images, %d objects, mean normalized box side %.3f", len(d.Items), n, mean)
+}

@@ -1,0 +1,332 @@
+// Package dataset synthesizes the top-view aerial vehicle imagery the paper
+// trains and evaluates on. The original dataset (350 images, ~5000 vehicles
+// from satellite crops, web images and UAV footage) is not available, so
+// this package procedurally renders urban scenes — grass, roads with lane
+// markings, buildings, trees and shaded, oriented vehicles — reproducing the
+// nuisance factors the paper lists: illumination, viewpoint/rotation,
+// occlusion, colour and altitude-dependent scale. Ground truth is exact, and
+// the paper's labelling rule (annotate vehicles with at least 50% of the
+// body visible) is applied.
+package dataset
+
+import (
+	"math"
+
+	"repro/internal/detect"
+	"repro/internal/imgproc"
+	"repro/internal/tensor"
+)
+
+// Annotation is one labelled object in a scene.
+type Annotation struct {
+	Box   detect.Box // normalized, center format
+	Class int        // 0 = vehicle
+}
+
+// Item is a generated image with its ground truth and capture metadata.
+type Item struct {
+	Image    *imgproc.Image
+	Truths   []Annotation
+	Altitude float64 // simulated UAV altitude in metres
+}
+
+// SceneConfig controls the procedural generator. The zero value is not
+// useful; start from DefaultConfig.
+type SceneConfig struct {
+	Width, Height int
+	// AltMin, AltMax bound the simulated UAV altitude in metres; altitude
+	// fixes the ground resolution via FOV.
+	AltMin, AltMax float64
+	// FOV is the camera's horizontal field of view in radians.
+	FOV float64
+	// VehiclesMin, VehiclesMax bound the vehicle count per scene.
+	VehiclesMin, VehiclesMax int
+	// IllumMin, IllumMax bound the global illumination multiplier.
+	IllumMin, IllumMax float64
+	// NoiseStd is the additive Gaussian sensor-noise sigma.
+	NoiseStd float64
+	// TreeProb is the probability that a vehicle gets a tree drawn near it
+	// (producing partial occlusions); independent scenery trees are added too.
+	TreeProb float64
+	// Roads is the number of road bands per scene.
+	Roads int
+}
+
+// DefaultConfig mirrors the paper's data collection variability at the given
+// image size.
+func DefaultConfig(size int) SceneConfig {
+	return SceneConfig{
+		Width: size, Height: size,
+		AltMin: 30, AltMax: 80,
+		FOV:         84 * math.Pi / 180,
+		VehiclesMin: 6, VehiclesMax: 18,
+		IllumMin: 0.55, IllumMax: 1.25,
+		NoiseStd: 0.02,
+		TreeProb: 0.25,
+		Roads:    2,
+	}
+}
+
+// vehicle palette: typical car colours (white, black, silver, red, blue,
+// dark green, taupe).
+var vehicleColors = [][3]float32{
+	{0.92, 0.92, 0.93},
+	{0.10, 0.10, 0.11},
+	{0.65, 0.66, 0.70},
+	{0.72, 0.12, 0.10},
+	{0.12, 0.22, 0.55},
+	{0.10, 0.32, 0.16},
+	{0.45, 0.40, 0.34},
+}
+
+type road struct {
+	horizontal bool
+	center     float64 // pixel coordinate of the band center
+	width      float64
+}
+
+// GenerateScene renders one scene and its annotations using rng.
+func GenerateScene(cfg SceneConfig, rng *tensor.RNG) Item {
+	img := imgproc.NewImage(cfg.Width, cfg.Height)
+	altitude := rng.Range(cfg.AltMin, cfg.AltMax)
+	footprint := 2 * altitude * math.Tan(cfg.FOV/2) // metres across the image width
+	pxPerMeter := float64(cfg.Width) / footprint
+
+	drawBackground(img, rng)
+	roads := drawRoads(img, cfg, rng, pxPerMeter)
+	drawBuildings(img, rng, pxPerMeter)
+
+	n := cfg.VehiclesMin
+	if cfg.VehiclesMax > cfg.VehiclesMin {
+		n += rng.Intn(cfg.VehiclesMax - cfg.VehiclesMin + 1)
+	}
+	type placed struct {
+		cx, cy, w, h, angle float64
+	}
+	vehicles := make([]placed, 0, n)
+	for i := 0; i < n; i++ {
+		length := rng.Range(3.8, 5.6) * pxPerMeter
+		width := rng.Range(1.7, 2.1) * pxPerMeter
+		var cx, cy, angle float64
+		if len(roads) > 0 && rng.Float64() < 0.65 {
+			r := roads[rng.Intn(len(roads))]
+			lane := rng.Range(-0.3, 0.3) * r.width
+			if r.horizontal {
+				cx = rng.Range(0, float64(cfg.Width))
+				cy = r.center + lane
+				angle = rng.Range(-0.08, 0.08)
+			} else {
+				cx = r.center + lane
+				cy = rng.Range(0, float64(cfg.Height))
+				angle = math.Pi/2 + rng.Range(-0.08, 0.08)
+			}
+		} else {
+			// Parked or off-road: anywhere, any orientation; may straddle
+			// the border (exercises the 50%-visible labelling rule).
+			cx = rng.Range(-0.05, 1.05) * float64(cfg.Width)
+			cy = rng.Range(-0.05, 1.05) * float64(cfg.Height)
+			angle = rng.Range(0, 2*math.Pi)
+		}
+		drawVehicle(img, cx, cy, length, width, angle, rng)
+		vehicles = append(vehicles, placed{cx, cy, length, width, angle})
+	}
+
+	// Trees: scenery plus deliberate occluders near vehicles.
+	trees := make([][3]float64, 0)
+	for i := 0; i < 3+rng.Intn(5); i++ {
+		r := rng.Range(1.5, 4.0) * pxPerMeter
+		x := rng.Range(0, float64(cfg.Width))
+		y := rng.Range(0, float64(cfg.Height))
+		drawTree(img, x, y, r, rng)
+		trees = append(trees, [3]float64{x, y, r})
+	}
+	for _, v := range vehicles {
+		if rng.Float64() < cfg.TreeProb {
+			r := rng.Range(1.5, 3.5) * pxPerMeter
+			x := v.cx + rng.Range(-1.5, 1.5)*r
+			y := v.cy + rng.Range(-1.5, 1.5)*r
+			drawTree(img, x, y, r, rng)
+			trees = append(trees, [3]float64{x, y, r})
+		}
+	}
+
+	img.ScaleBrightness(rng.Range(cfg.IllumMin, cfg.IllumMax))
+	img.AddNoise(cfg.NoiseStd, rng.Normal)
+	img.Clamp()
+
+	// Annotations: axis-aligned hull of each oriented vehicle, subject to
+	// the paper's 50%-visible rule for image borders and tree occlusion.
+	var truths []Annotation
+	for _, v := range vehicles {
+		box := orientedHull(v.cx, v.cy, v.w, v.h, v.angle, cfg.Width, cfg.Height)
+		if visibleFraction(box, trees, cfg.Width, cfg.Height) < 0.5 {
+			continue
+		}
+		clipped := box.Clip()
+		if clipped.Area() <= 0 {
+			continue
+		}
+		truths = append(truths, Annotation{Box: clipped, Class: 0})
+	}
+	return Item{Image: img, Truths: truths, Altitude: altitude}
+}
+
+func drawBackground(img *imgproc.Image, rng *tensor.RNG) {
+	base := [3]float32{0.32, 0.42, 0.24} // dry grass
+	img.Fill(base[0], base[1], base[2])
+	// Low-frequency patches break up the uniform field.
+	for i := 0; i < 24; i++ {
+		w := rng.Range(0.1, 0.35) * float64(img.W)
+		h := rng.Range(0.1, 0.35) * float64(img.H)
+		x := rng.Range(-0.1, 1.0) * float64(img.W)
+		y := rng.Range(-0.1, 1.0) * float64(img.H)
+		d := float32(rng.Range(-0.06, 0.06))
+		img.FillRect(int(x), int(y), int(x+w), int(y+h),
+			base[0]+d, base[1]+d*1.2, base[2]+d*0.8)
+	}
+}
+
+func drawRoads(img *imgproc.Image, cfg SceneConfig, rng *tensor.RNG, pxPerMeter float64) []road {
+	roads := make([]road, 0, cfg.Roads)
+	for i := 0; i < cfg.Roads; i++ {
+		r := road{
+			horizontal: rng.Float64() < 0.5,
+			width:      rng.Range(6, 9) * pxPerMeter,
+		}
+		asphalt := float32(rng.Range(0.28, 0.4))
+		if r.horizontal {
+			r.center = rng.Range(0.15, 0.85) * float64(img.H)
+			y0 := int(r.center - r.width/2)
+			y1 := int(r.center + r.width/2)
+			img.FillRect(0, y0, img.W, y1, asphalt, asphalt, asphalt)
+			// Dashed center line.
+			dash := int(2 * pxPerMeter)
+			if dash < 2 {
+				dash = 2
+			}
+			for x := 0; x < img.W; x += 3 * dash {
+				img.FillRect(x, int(r.center)-1, x+dash, int(r.center)+1, 0.9, 0.9, 0.85)
+			}
+		} else {
+			r.center = rng.Range(0.15, 0.85) * float64(img.W)
+			x0 := int(r.center - r.width/2)
+			x1 := int(r.center + r.width/2)
+			img.FillRect(x0, 0, x1, img.H, asphalt, asphalt, asphalt)
+			dash := int(2 * pxPerMeter)
+			if dash < 2 {
+				dash = 2
+			}
+			for y := 0; y < img.H; y += 3 * dash {
+				img.FillRect(int(r.center)-1, y, int(r.center)+1, y+dash, 0.9, 0.9, 0.85)
+			}
+		}
+		roads = append(roads, r)
+	}
+	return roads
+}
+
+func drawBuildings(img *imgproc.Image, rng *tensor.RNG, pxPerMeter float64) {
+	for i := 0; i < 2+rng.Intn(4); i++ {
+		w := rng.Range(8, 20) * pxPerMeter
+		h := rng.Range(8, 20) * pxPerMeter
+		x := rng.Range(0, 1) * float64(img.W)
+		y := rng.Range(0, 1) * float64(img.H)
+		shade := float32(rng.Range(0.45, 0.7))
+		img.FillRect(int(x), int(y), int(x+w), int(y+h), shade, shade*0.95, shade*0.9)
+		// Roof edge highlight.
+		img.FillRect(int(x), int(y), int(x+w), int(y)+1, shade+0.1, shade+0.1, shade+0.05)
+	}
+}
+
+// drawVehicle paints a structured top-view car sprite: drop shadow, body,
+// darker windshield band, and a roof highlight.
+func drawVehicle(img *imgproc.Image, cx, cy, length, width, angle float64, rng *tensor.RNG) {
+	color := vehicleColors[rng.Intn(len(vehicleColors))]
+	jr := float32(rng.Range(-0.05, 0.05))
+	body := [3]float32{clamp01f(color[0] + jr), clamp01f(color[1] + jr), clamp01f(color[2] + jr)}
+	// Drop shadow, offset by a fixed sun direction.
+	img.FillOrientedRect(cx+1.5, cy+1.5, length, width, angle, 0.12, 0.12, 0.12)
+	img.ShadeOrientedRect(cx, cy, length, width, angle, func(u, v float64) (float32, float32, float32) {
+		r, g, b := body[0], body[1], body[2]
+		switch {
+		case u > 0.18 && u < 0.34:
+			// Windshield band toward the front of the car.
+			return 0.10, 0.12, 0.16
+		case u < -0.38 || u > 0.42:
+			// Hood/trunk edges slightly darker.
+			return r * 0.8, g * 0.8, b * 0.8
+		case math.Abs(v) < 0.18 && u > -0.2 && u < 0.1:
+			// Roof highlight.
+			return clamp01f(r + 0.08), clamp01f(g + 0.08), clamp01f(b + 0.08)
+		default:
+			return r, g, b
+		}
+	})
+}
+
+func clamp01f(v float32) float32 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+func drawTree(img *imgproc.Image, x, y, r float64, rng *tensor.RNG) {
+	g := float32(rng.Range(0.25, 0.45))
+	img.FillCircle(x+1, y+1, r, 0.1, 0.14, 0.08) // shadow
+	img.FillCircle(x, y, r, 0.12, g, 0.10)
+	img.FillCircle(x-r*0.25, y-r*0.25, r*0.45, 0.16, g+0.12, 0.12) // highlight
+}
+
+// orientedHull returns the normalized axis-aligned bounding box of an
+// oriented rectangle in pixel coordinates.
+func orientedHull(cx, cy, w, h, angle float64, imgW, imgH int) detect.Box {
+	sin, cos := math.Sincos(angle)
+	ex := (math.Abs(w*cos) + math.Abs(h*sin)) / 2
+	ey := (math.Abs(w*sin) + math.Abs(h*cos)) / 2
+	return detect.Box{
+		X: cx / float64(imgW),
+		Y: cy / float64(imgH),
+		W: 2 * ex / float64(imgW),
+		H: 2 * ey / float64(imgH),
+	}
+}
+
+// visibleFraction estimates how much of the box remains visible after
+// clipping to the image and subtracting tree cover, by sampling a grid.
+func visibleFraction(box detect.Box, trees [][3]float64, imgW, imgH int) float64 {
+	const grid = 8
+	total := 0
+	visible := 0
+	for iy := 0; iy < grid; iy++ {
+		for ix := 0; ix < grid; ix++ {
+			x := box.Left() + (float64(ix)+0.5)/grid*box.W
+			y := box.Top() + (float64(iy)+0.5)/grid*box.H
+			total++
+			if x < 0 || x >= 1 || y < 0 || y >= 1 {
+				continue
+			}
+			px := x * float64(imgW)
+			py := y * float64(imgH)
+			covered := false
+			for _, t := range trees {
+				dx := px - t[0]
+				dy := py - t[1]
+				if dx*dx+dy*dy <= t[2]*t[2] {
+					covered = true
+					break
+				}
+			}
+			if !covered {
+				visible++
+			}
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(visible) / float64(total)
+}

@@ -1,0 +1,70 @@
+package detect
+
+import (
+	"fmt"
+	"math"
+)
+
+// AltitudeFilter implements the application-level optimization of §III.D:
+// when the UAV altitude is known, the ground footprint of the camera fixes
+// the range of plausible on-image vehicle sizes, and detections outside that
+// range are discarded as false positives.
+//
+// The geometry assumes a nadir-pointing camera: an object of real length L
+// metres seen from altitude h through a lens with horizontal field of view
+// fov spans L / (2·h·tan(fov/2)) of the normalized image width.
+type AltitudeFilter struct {
+	// FOV is the camera's horizontal field of view in radians.
+	FOV float64
+	// MinSize and MaxSize bound the real-world object extent in metres
+	// (e.g. 1.5–6 m for road vehicles seen top-down).
+	MinSize, MaxSize float64
+	// Margin widens the acceptance interval multiplicatively on both sides
+	// to absorb annotation slack; 1.0 means exact, 1.5 allows ±50%.
+	Margin float64
+}
+
+// NewVehicleAltitudeFilter returns a filter configured for top-view road
+// vehicles (1.5–6.5 m extent) and a typical UAV camera FOV of 84°.
+func NewVehicleAltitudeFilter() AltitudeFilter {
+	return AltitudeFilter{FOV: 84 * math.Pi / 180, MinSize: 1.5, MaxSize: 6.5, Margin: 1.4}
+}
+
+// SizeRange returns the allowed normalized size interval [lo, hi] for a
+// detection's larger box side at the given altitude in metres.
+func (f AltitudeFilter) SizeRange(altitude float64) (lo, hi float64, err error) {
+	if altitude <= 0 {
+		return 0, 0, fmt.Errorf("detect: altitude must be positive, got %g", altitude)
+	}
+	footprint := 2 * altitude * math.Tan(f.FOV/2)
+	if footprint <= 0 {
+		return 0, 0, fmt.Errorf("detect: degenerate footprint for fov %g", f.FOV)
+	}
+	margin := f.Margin
+	if margin < 1 {
+		margin = 1
+	}
+	lo = f.MinSize / footprint / margin
+	hi = f.MaxSize / footprint * margin
+	if hi > 1 {
+		hi = 1
+	}
+	return lo, hi, nil
+}
+
+// Apply returns the detections whose larger side falls inside the size range
+// implied by the altitude. Detections are returned in input order.
+func (f AltitudeFilter) Apply(dets []Detection, altitude float64) ([]Detection, error) {
+	lo, hi, err := f.SizeRange(altitude)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Detection, 0, len(dets))
+	for _, d := range dets {
+		side := math.Max(d.Box.W, d.Box.H)
+		if side >= lo && side <= hi {
+			out = append(out, d)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,52 @@
+package detect
+
+import (
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+func randDets(n int, seed uint64) []Detection {
+	rng := tensor.NewRNG(seed)
+	dets := make([]Detection, n)
+	for i := range dets {
+		dets[i] = Detection{
+			Box:   Box{X: rng.Float64(), Y: rng.Float64(), W: rng.Range(0.02, 0.15), H: rng.Range(0.02, 0.15)},
+			Score: rng.Float64(),
+		}
+	}
+	return dets
+}
+
+// BenchmarkNMS measures suppression over a typical raw decode (a few
+// hundred boxes above threshold on a busy frame).
+func BenchmarkNMS(b *testing.B) {
+	dets := randDets(300, 1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		NMS(dets, 0.45)
+	}
+}
+
+// BenchmarkIoU measures the core geometric primitive.
+func BenchmarkIoU(b *testing.B) {
+	x := Box{X: 0.5, Y: 0.5, W: 0.1, H: 0.1}
+	y := Box{X: 0.52, Y: 0.49, W: 0.11, H: 0.1}
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += IoU(x, y)
+	}
+	_ = sink
+}
+
+// BenchmarkAltitudeFilter measures the §III.D size gate on a raw decode.
+func BenchmarkAltitudeFilter(b *testing.B) {
+	f := NewVehicleAltitudeFilter()
+	dets := randDets(300, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := f.Apply(dets, 50); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

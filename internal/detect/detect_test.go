@@ -1,0 +1,218 @@
+package detect
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/tensor"
+)
+
+func TestBoxEdgesAndArea(t *testing.T) {
+	b := Box{X: 0.5, Y: 0.5, W: 0.2, H: 0.4}
+	if b.Left() != 0.4 || b.Right() != 0.6 || b.Top() != 0.3 || b.Bottom() != 0.7 {
+		t.Fatalf("edges = %v %v %v %v", b.Left(), b.Right(), b.Top(), b.Bottom())
+	}
+	if math.Abs(b.Area()-0.08) > 1e-12 {
+		t.Fatalf("area = %v", b.Area())
+	}
+	if (Box{W: -1, H: 2}).Area() != 0 {
+		t.Fatal("degenerate box must have zero area")
+	}
+}
+
+func TestIoUKnownValues(t *testing.T) {
+	a := Box{X: 0.5, Y: 0.5, W: 0.2, H: 0.2}
+	if iou := IoU(a, a); math.Abs(iou-1) > 1e-12 {
+		t.Fatalf("self IoU = %v", iou)
+	}
+	b := Box{X: 0.9, Y: 0.9, W: 0.1, H: 0.1}
+	if iou := IoU(a, b); iou != 0 {
+		t.Fatalf("disjoint IoU = %v", iou)
+	}
+	// Half-overlapping equal boxes: inter = 0.5A, union = 1.5A → 1/3.
+	c := Box{X: 0.6, Y: 0.5, W: 0.2, H: 0.2}
+	if iou := IoU(a, c); math.Abs(iou-1.0/3) > 1e-9 {
+		t.Fatalf("half-shift IoU = %v, want 1/3", iou)
+	}
+}
+
+func TestIoUPropertySymmetricBounded(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := tensor.NewRNG(seed | 1)
+		rb := func() Box {
+			return Box{X: rng.Float64(), Y: rng.Float64(), W: rng.Range(0.01, 0.5), H: rng.Range(0.01, 0.5)}
+		}
+		a, b := rb(), rb()
+		ab, ba := IoU(a, b), IoU(b, a)
+		if math.Abs(ab-ba) > 1e-12 {
+			return false
+		}
+		return ab >= 0 && ab <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShapeIoUIgnoresPosition(t *testing.T) {
+	a := Box{X: 0.1, Y: 0.9, W: 0.2, H: 0.3}
+	b := Box{X: 0.8, Y: 0.2, W: 0.2, H: 0.3}
+	if s := ShapeIoU(a, b); math.Abs(s-1) > 1e-12 {
+		t.Fatalf("identical shapes far apart: ShapeIoU = %v, want 1", s)
+	}
+}
+
+func TestClip(t *testing.T) {
+	b := Box{X: 0.05, Y: 0.5, W: 0.3, H: 0.2}
+	c := b.Clip()
+	if c.Left() < 0 {
+		t.Fatalf("clip left = %v", c.Left())
+	}
+	if math.Abs(c.Right()-0.2) > 1e-12 {
+		t.Fatalf("clip right = %v, want 0.2", c.Right())
+	}
+	if math.Abs(c.H-b.H) > 1e-12 {
+		t.Fatal("clip must not change unclipped dimension")
+	}
+	inside := Box{X: 0.5, Y: 0.5, W: 0.2, H: 0.2}
+	ic := inside.Clip()
+	if math.Abs(ic.X-inside.X) > 1e-12 || math.Abs(ic.Y-inside.Y) > 1e-12 ||
+		math.Abs(ic.W-inside.W) > 1e-12 || math.Abs(ic.H-inside.H) > 1e-12 {
+		t.Fatal("clip changed a fully-inside box")
+	}
+	far := Box{X: 2, Y: 2, W: 0.2, H: 0.2}
+	if far.Clip().Area() != 0 {
+		t.Fatal("fully-outside box must clip to zero area")
+	}
+}
+
+func TestScale(t *testing.T) {
+	b := Box{X: 0.5, Y: 0.25, W: 0.1, H: 0.2}
+	s := b.Scale(100, 200)
+	if s.X != 50 || s.Y != 50 || s.W != 10 || s.H != 40 {
+		t.Fatalf("scaled = %+v", s)
+	}
+}
+
+func TestNMSSuppressesOverlaps(t *testing.T) {
+	dets := []Detection{
+		{Box: Box{X: 0.5, Y: 0.5, W: 0.2, H: 0.2}, Score: 0.9},
+		{Box: Box{X: 0.51, Y: 0.5, W: 0.2, H: 0.2}, Score: 0.8}, // overlaps first
+		{Box: Box{X: 0.2, Y: 0.2, W: 0.1, H: 0.1}, Score: 0.7},  // separate
+	}
+	kept := NMS(dets, 0.45)
+	if len(kept) != 2 {
+		t.Fatalf("kept %d, want 2: %+v", len(kept), kept)
+	}
+	if kept[0].Score != 0.9 || kept[1].Score != 0.7 {
+		t.Fatalf("wrong survivors: %+v", kept)
+	}
+}
+
+func TestNMSKeepsDifferentClasses(t *testing.T) {
+	dets := []Detection{
+		{Box: Box{X: 0.5, Y: 0.5, W: 0.2, H: 0.2}, Score: 0.9, Class: 0},
+		{Box: Box{X: 0.5, Y: 0.5, W: 0.2, H: 0.2}, Score: 0.8, Class: 1},
+	}
+	if kept := NMS(dets, 0.45); len(kept) != 2 {
+		t.Fatalf("NMS must be per-class, kept %d", len(kept))
+	}
+}
+
+func TestNMSPropertiesSortedSubset(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := tensor.NewRNG(seed | 1)
+		n := 1 + rng.Intn(20)
+		dets := make([]Detection, n)
+		for i := range dets {
+			dets[i] = Detection{
+				Box:   Box{X: rng.Float64(), Y: rng.Float64(), W: rng.Range(0.05, 0.3), H: rng.Range(0.05, 0.3)},
+				Score: rng.Float64(),
+			}
+		}
+		kept := NMS(dets, 0.5)
+		if len(kept) > n || len(kept) == 0 {
+			return false
+		}
+		// Sorted descending, pairwise IoU ≤ thresh.
+		for i := 1; i < len(kept); i++ {
+			if kept[i].Score > kept[i-1].Score {
+				return false
+			}
+		}
+		for i := range kept {
+			for j := i + 1; j < len(kept); j++ {
+				if IoU(kept[i].Box, kept[j].Box) > 0.5 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNMSEmptyAndDoesNotMutate(t *testing.T) {
+	if NMS(nil, 0.5) != nil {
+		t.Fatal("NMS(nil) must be nil")
+	}
+	dets := []Detection{
+		{Box: Box{X: 0.1, Y: 0.1, W: 0.1, H: 0.1}, Score: 0.2},
+		{Box: Box{X: 0.9, Y: 0.9, W: 0.1, H: 0.1}, Score: 0.9},
+	}
+	NMS(dets, 0.5)
+	if dets[0].Score != 0.2 {
+		t.Fatal("NMS mutated input order")
+	}
+}
+
+func TestFilterScore(t *testing.T) {
+	dets := []Detection{{Score: 0.3}, {Score: 0.7}, {Score: 0.5}}
+	out := FilterScore(dets, 0.5)
+	if len(out) != 2 || out[0].Score != 0.7 || out[1].Score != 0.5 {
+		t.Fatalf("FilterScore = %+v", out)
+	}
+}
+
+func TestAltitudeFilterSizeRange(t *testing.T) {
+	f := NewVehicleAltitudeFilter()
+	lo50, hi50, err := f.SizeRange(50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Footprint at 50 m with 84° FOV ≈ 90 m; a 1.5–6.5 m car spans
+	// ≈1.7%–7.2% before margin.
+	if lo50 > 0.017 || hi50 < 0.072 {
+		t.Fatalf("range at 50 m = [%v, %v]", lo50, hi50)
+	}
+	// Higher altitude shrinks the acceptable size.
+	_, hi100, err := f.SizeRange(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hi100 >= hi50 {
+		t.Fatal("size range must shrink with altitude")
+	}
+	if _, _, err := f.SizeRange(0); err == nil {
+		t.Fatal("expected error for zero altitude")
+	}
+}
+
+func TestAltitudeFilterRejectsImplausibleDetections(t *testing.T) {
+	f := NewVehicleAltitudeFilter()
+	dets := []Detection{
+		{Box: Box{X: 0.5, Y: 0.5, W: 0.05, H: 0.03}, Score: 0.9},  // plausible car at 50 m
+		{Box: Box{X: 0.2, Y: 0.2, W: 0.6, H: 0.5}, Score: 0.8},    // far too large (building)
+		{Box: Box{X: 0.8, Y: 0.8, W: 0.003, H: 0.003}, Score: .7}, // far too small (noise)
+	}
+	kept, err := f.Apply(dets, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(kept) != 1 || kept[0].Score != 0.9 {
+		t.Fatalf("altitude filter kept %+v", kept)
+	}
+}

@@ -1,0 +1,50 @@
+package detect
+
+import "sort"
+
+// Detection is a scored, classified box produced by decoding the network
+// output.
+type Detection struct {
+	Box   Box
+	Class int
+	// Score is the detection confidence: objectness times class probability.
+	Score float64
+}
+
+// NMS performs per-class greedy non-maximum suppression: detections are
+// processed in descending score order and any detection overlapping an
+// already-kept detection of the same class with IoU > thresh is dropped.
+// The input slice is not modified; the result is sorted by descending score.
+func NMS(dets []Detection, thresh float64) []Detection {
+	if len(dets) == 0 {
+		return nil
+	}
+	sorted := make([]Detection, len(dets))
+	copy(sorted, dets)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].Score > sorted[j].Score })
+	kept := make([]Detection, 0, len(sorted))
+	for _, d := range sorted {
+		suppressed := false
+		for _, k := range kept {
+			if k.Class == d.Class && IoU(k.Box, d.Box) > thresh {
+				suppressed = true
+				break
+			}
+		}
+		if !suppressed {
+			kept = append(kept, d)
+		}
+	}
+	return kept
+}
+
+// FilterScore returns the detections with Score >= thresh, preserving order.
+func FilterScore(dets []Detection, thresh float64) []Detection {
+	out := make([]Detection, 0, len(dets))
+	for _, d := range dets {
+		if d.Score >= thresh {
+			out = append(out, d)
+		}
+	}
+	return out
+}

@@ -1,0 +1,113 @@
+package eval
+
+import (
+	"sort"
+
+	"repro/internal/detect"
+)
+
+// PRPoint is one operating point on a precision/recall curve.
+type PRPoint struct {
+	Threshold          float64
+	Precision, Recall  float64
+	TP, FP, TotalTruth int
+}
+
+// prSample pairs a detection score with its match outcome.
+type prSample struct {
+	score float64
+	tp    bool
+}
+
+// APAccumulator collects scored matches across images to compute a
+// precision/recall curve and average precision (AP@0.5), the standard
+// summary the object-detection community reports alongside the paper's
+// sensitivity/precision operating point.
+type APAccumulator struct {
+	samples    []prSample
+	totalTruth int
+}
+
+// AddImage matches one image greedily by IoU at MatchThresh (same protocol
+// as Counter) and records each detection's score and outcome.
+func (a *APAccumulator) AddImage(dets []detect.Detection, truths []detect.Box) {
+	a.totalTruth += len(truths)
+	sorted := make([]detect.Detection, len(dets))
+	copy(sorted, dets)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].Score > sorted[j].Score })
+	claimed := make([]bool, len(truths))
+	for _, d := range sorted {
+		bestJ, bestIoU := -1, 0.0
+		for j, t := range truths {
+			if claimed[j] {
+				continue
+			}
+			if iou := detect.IoU(d.Box, t); iou > bestIoU {
+				bestIoU = iou
+				bestJ = j
+			}
+		}
+		tp := bestJ >= 0 && bestIoU >= MatchThresh
+		if tp {
+			claimed[bestJ] = true
+		}
+		a.samples = append(a.samples, prSample{score: d.Score, tp: tp})
+	}
+}
+
+// Curve returns the precision/recall curve swept over detection scores,
+// from the highest-scoring detection down.
+func (a *APAccumulator) Curve() []PRPoint {
+	if len(a.samples) == 0 {
+		return nil
+	}
+	sorted := make([]prSample, len(a.samples))
+	copy(sorted, a.samples)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].score > sorted[j].score })
+	var curve []PRPoint
+	tp, fp := 0, 0
+	for _, s := range sorted {
+		if s.tp {
+			tp++
+		} else {
+			fp++
+		}
+		p := PRPoint{Threshold: s.score, TP: tp, FP: fp, TotalTruth: a.totalTruth}
+		if tp+fp > 0 {
+			p.Precision = float64(tp) / float64(tp+fp)
+		}
+		if a.totalTruth > 0 {
+			p.Recall = float64(tp) / float64(a.totalTruth)
+		}
+		curve = append(curve, p)
+	}
+	return curve
+}
+
+// AP returns the average precision: the area under the
+// precision-envelope/recall curve (the "all-points" interpolation used by
+// PASCAL VOC 2010+).
+func (a *APAccumulator) AP() float64 {
+	curve := a.Curve()
+	if len(curve) == 0 || a.totalTruth == 0 {
+		return 0
+	}
+	// Monotone non-increasing precision envelope from the right.
+	env := make([]float64, len(curve))
+	maxP := 0.0
+	for i := len(curve) - 1; i >= 0; i-- {
+		if curve[i].Precision > maxP {
+			maxP = curve[i].Precision
+		}
+		env[i] = maxP
+	}
+	ap := 0.0
+	prevRecall := 0.0
+	for i, p := range curve {
+		if dr := p.Recall - prevRecall; dr > 0 {
+			ap += dr * env[i]
+			prevRecall = p.Recall
+		}
+	}
+	return ap
+}

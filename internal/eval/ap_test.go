@@ -1,0 +1,122 @@
+package eval
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/detect"
+)
+
+func TestAPPerfectDetector(t *testing.T) {
+	var a APAccumulator
+	truths := []detect.Box{
+		{X: 0.2, Y: 0.2, W: 0.1, H: 0.1},
+		{X: 0.8, Y: 0.8, W: 0.1, H: 0.1},
+	}
+	a.AddImage([]detect.Detection{
+		{Box: truths[0], Score: 0.9},
+		{Box: truths[1], Score: 0.8},
+	}, truths)
+	if ap := a.AP(); math.Abs(ap-1) > 1e-9 {
+		t.Fatalf("perfect AP = %v, want 1", ap)
+	}
+}
+
+func TestAPAllMisses(t *testing.T) {
+	var a APAccumulator
+	truths := []detect.Box{{X: 0.2, Y: 0.2, W: 0.1, H: 0.1}}
+	a.AddImage([]detect.Detection{
+		{Box: detect.Box{X: 0.8, Y: 0.8, W: 0.1, H: 0.1}, Score: 0.9},
+	}, truths)
+	if ap := a.AP(); ap != 0 {
+		t.Fatalf("all-miss AP = %v, want 0", ap)
+	}
+}
+
+func TestAPEmpty(t *testing.T) {
+	var a APAccumulator
+	if a.AP() != 0 || a.Curve() != nil {
+		t.Fatal("empty accumulator must yield 0/nil")
+	}
+}
+
+func TestAPHalf(t *testing.T) {
+	// Two truths, one found perfectly (highest score), one missed, one
+	// false positive below it: AP = 0.5 (recall plateau at 0.5 with
+	// precision 1 envelope... then precision falls).
+	var a APAccumulator
+	truths := []detect.Box{
+		{X: 0.2, Y: 0.2, W: 0.1, H: 0.1},
+		{X: 0.8, Y: 0.8, W: 0.1, H: 0.1},
+	}
+	a.AddImage([]detect.Detection{
+		{Box: truths[0], Score: 0.9},
+		{Box: detect.Box{X: 0.5, Y: 0.5, W: 0.1, H: 0.1}, Score: 0.5},
+	}, truths)
+	if ap := a.AP(); math.Abs(ap-0.5) > 1e-9 {
+		t.Fatalf("AP = %v, want 0.5", ap)
+	}
+}
+
+func TestCurveMonotoneRecall(t *testing.T) {
+	var a APAccumulator
+	truths := []detect.Box{
+		{X: 0.2, Y: 0.2, W: 0.1, H: 0.1},
+		{X: 0.5, Y: 0.5, W: 0.1, H: 0.1},
+		{X: 0.8, Y: 0.8, W: 0.1, H: 0.1},
+	}
+	a.AddImage([]detect.Detection{
+		{Box: truths[0], Score: 0.9},
+		{Box: detect.Box{X: 0.35, Y: 0.35, W: 0.1, H: 0.1}, Score: 0.7}, // FP
+		{Box: truths[1], Score: 0.6},
+		{Box: truths[2], Score: 0.3},
+	}, truths)
+	curve := a.Curve()
+	if len(curve) != 4 {
+		t.Fatalf("curve points = %d", len(curve))
+	}
+	for i := 1; i < len(curve); i++ {
+		if curve[i].Recall < curve[i-1].Recall {
+			t.Fatal("recall must be non-decreasing down the score sweep")
+		}
+		if curve[i].Threshold > curve[i-1].Threshold {
+			t.Fatal("thresholds must be non-increasing")
+		}
+	}
+	last := curve[len(curve)-1]
+	if last.Recall != 1 || last.TP != 3 || last.FP != 1 {
+		t.Fatalf("final point = %+v", last)
+	}
+	// AP with one FP at rank 2 of 4: envelope gives 1/3·1 + 2/3·(3/4) = 5/6.
+	if ap := a.AP(); math.Abs(ap-5.0/6) > 1e-9 {
+		t.Fatalf("AP = %v, want 5/6", ap)
+	}
+}
+
+func TestAPDuplicateDetectionsPenalized(t *testing.T) {
+	var a APAccumulator
+	truths := []detect.Box{{X: 0.5, Y: 0.5, W: 0.2, H: 0.2}}
+	a.AddImage([]detect.Detection{
+		{Box: truths[0], Score: 0.9},
+		{Box: truths[0], Score: 0.8}, // duplicate → FP
+	}, truths)
+	if ap := a.AP(); math.Abs(ap-1) > 1e-9 {
+		// Envelope keeps AP at 1 here (recall saturates before the FP),
+		// but the curve must still record the duplicate as FP.
+		t.Fatalf("ap = %v", ap)
+	}
+	curve := a.Curve()
+	if curve[len(curve)-1].FP != 1 {
+		t.Fatal("duplicate not counted as FP")
+	}
+}
+
+func TestAPAccumulatesAcrossImages(t *testing.T) {
+	var a APAccumulator
+	truth := []detect.Box{{X: 0.5, Y: 0.5, W: 0.2, H: 0.2}}
+	a.AddImage([]detect.Detection{{Box: truth[0], Score: 0.9}}, truth)
+	a.AddImage(nil, truth) // second image: truth missed entirely
+	if ap := a.AP(); math.Abs(ap-0.5) > 1e-9 {
+		t.Fatalf("cross-image AP = %v, want 0.5", ap)
+	}
+}

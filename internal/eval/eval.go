@@ -1,0 +1,151 @@
+// Package eval implements the paper's four evaluation metrics — mean IoU,
+// Sensitivity (eq. 1), Precision (eq. 2) and FPS — along with the greedy
+// IoU matching between detections and ground truth, and the weighted
+// composite Score of eq. 3 used to select the deployed model.
+package eval
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/detect"
+)
+
+// MatchThresh is the IoU above which a detection counts as a true positive,
+// the standard object-detection convention.
+const MatchThresh = 0.5
+
+// Counter accumulates matching outcomes over a set of evaluated images.
+type Counter struct {
+	TP, FP, FN int
+	SumIoU     float64 // summed over true positives
+	Images     int
+}
+
+// AddImage matches one image's detections against its ground truth and
+// accumulates the outcome. Matching is greedy: detections in descending
+// score order claim their best unclaimed truth; a claimed IoU ≥ MatchThresh
+// is a true positive.
+func (c *Counter) AddImage(dets []detect.Detection, truths []detect.Box) {
+	c.Images++
+	sorted := make([]detect.Detection, len(dets))
+	copy(sorted, dets)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].Score > sorted[j].Score })
+	claimed := make([]bool, len(truths))
+	for _, d := range sorted {
+		bestJ, bestIoU := -1, 0.0
+		for j, t := range truths {
+			if claimed[j] {
+				continue
+			}
+			if iou := detect.IoU(d.Box, t); iou > bestIoU {
+				bestIoU = iou
+				bestJ = j
+			}
+		}
+		if bestJ >= 0 && bestIoU >= MatchThresh {
+			claimed[bestJ] = true
+			c.TP++
+			c.SumIoU += bestIoU
+		} else {
+			c.FP++
+		}
+	}
+	for _, cl := range claimed {
+		if !cl {
+			c.FN++
+		}
+	}
+}
+
+// Metrics holds the paper's four per-model metrics.
+type Metrics struct {
+	MeanIoU     float64
+	Sensitivity float64
+	Precision   float64
+	FPS         float64
+}
+
+// Metrics reduces the counter; FPS is supplied by the caller (measured or
+// predicted by the platform model).
+func (c *Counter) Metrics(fps float64) Metrics {
+	m := Metrics{FPS: fps}
+	if c.TP > 0 {
+		m.MeanIoU = c.SumIoU / float64(c.TP)
+	}
+	if c.TP+c.FN > 0 {
+		m.Sensitivity = float64(c.TP) / float64(c.TP+c.FN)
+	}
+	if c.TP+c.FP > 0 {
+		m.Precision = float64(c.TP) / float64(c.TP+c.FP)
+	}
+	return m
+}
+
+// String formats the metrics like the paper's tables.
+func (m Metrics) String() string {
+	return fmt.Sprintf("IoU %.3f  Sens %.3f  Prec %.3f  FPS %.2f",
+		m.MeanIoU, m.Sensitivity, m.Precision, m.FPS)
+}
+
+// Weights parametrizes the composite score of eq. 3; entries are
+// (FPS, IoU, Sensitivity, Precision) and must sum to 1.
+type Weights [4]float64
+
+// PaperWeights are the weights the paper uses: FPS prioritized at 0.4, the
+// three accuracy metrics equally weighted at 0.2.
+var PaperWeights = Weights{0.4, 0.2, 0.2, 0.2}
+
+// Valid reports whether the weights lie in [0,1] and sum to 1.
+func (w Weights) Valid() bool {
+	var sum float64
+	for _, v := range w {
+		if v < 0 || v > 1 {
+			return false
+		}
+		sum += v
+	}
+	return sum > 0.999 && sum < 1.001
+}
+
+// Score computes eq. 3 on (already normalized) metrics.
+func Score(w Weights, m Metrics) float64 {
+	return w[0]*m.FPS + w[1]*m.MeanIoU + w[2]*m.Sensitivity + w[3]*m.Precision
+}
+
+// Normalize scales each metric by its maximum across the given entries so
+// all values land in [0,1], the normalization used for the paper's Fig. 3
+// and Fig. 4. Zero maxima leave the metric at zero.
+func Normalize(ms []Metrics) []Metrics {
+	var maxI, maxS, maxP, maxF float64
+	for _, m := range ms {
+		maxI = maxf(maxI, m.MeanIoU)
+		maxS = maxf(maxS, m.Sensitivity)
+		maxP = maxf(maxP, m.Precision)
+		maxF = maxf(maxF, m.FPS)
+	}
+	out := make([]Metrics, len(ms))
+	for i, m := range ms {
+		out[i] = Metrics{
+			MeanIoU:     safeDiv(m.MeanIoU, maxI),
+			Sensitivity: safeDiv(m.Sensitivity, maxS),
+			Precision:   safeDiv(m.Precision, maxP),
+			FPS:         safeDiv(m.FPS, maxF),
+		}
+	}
+	return out
+}
+
+func maxf(a, b float64) float64 {
+	if b > a {
+		return b
+	}
+	return a
+}
+
+func safeDiv(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}

@@ -1,0 +1,150 @@
+package eval
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/detect"
+)
+
+func det(x, y, w, h, score float64) detect.Detection {
+	return detect.Detection{Box: detect.Box{X: x, Y: y, W: w, H: h}, Score: score}
+}
+
+func TestCounterPerfectDetection(t *testing.T) {
+	var c Counter
+	truths := []detect.Box{{X: 0.5, Y: 0.5, W: 0.2, H: 0.2}}
+	c.AddImage([]detect.Detection{det(0.5, 0.5, 0.2, 0.2, 0.9)}, truths)
+	if c.TP != 1 || c.FP != 0 || c.FN != 0 {
+		t.Fatalf("counts = %+v", c)
+	}
+	m := c.Metrics(10)
+	if m.Sensitivity != 1 || m.Precision != 1 || math.Abs(m.MeanIoU-1) > 1e-9 || m.FPS != 10 {
+		t.Fatalf("metrics = %+v", m)
+	}
+}
+
+func TestCounterMissAndFalsePositive(t *testing.T) {
+	var c Counter
+	truths := []detect.Box{
+		{X: 0.2, Y: 0.2, W: 0.1, H: 0.1},
+		{X: 0.8, Y: 0.8, W: 0.1, H: 0.1},
+	}
+	// One good match, one detection in empty space, one truth missed.
+	c.AddImage([]detect.Detection{
+		det(0.2, 0.2, 0.1, 0.1, 0.9),
+		det(0.5, 0.5, 0.1, 0.1, 0.8),
+	}, truths)
+	if c.TP != 1 || c.FP != 1 || c.FN != 1 {
+		t.Fatalf("counts = %+v", c)
+	}
+	m := c.Metrics(0)
+	if math.Abs(m.Sensitivity-0.5) > 1e-9 || math.Abs(m.Precision-0.5) > 1e-9 {
+		t.Fatalf("metrics = %+v", m)
+	}
+}
+
+func TestCounterGreedyPrefersHighScore(t *testing.T) {
+	var c Counter
+	truths := []detect.Box{{X: 0.5, Y: 0.5, W: 0.2, H: 0.2}}
+	// Two detections on the same truth: only the higher-scoring one is TP.
+	c.AddImage([]detect.Detection{
+		det(0.5, 0.5, 0.2, 0.2, 0.6),
+		det(0.51, 0.5, 0.2, 0.2, 0.9),
+	}, truths)
+	if c.TP != 1 || c.FP != 1 {
+		t.Fatalf("duplicate detection not penalized: %+v", c)
+	}
+}
+
+func TestCounterLowIoUNotMatched(t *testing.T) {
+	var c Counter
+	truths := []detect.Box{{X: 0.5, Y: 0.5, W: 0.2, H: 0.2}}
+	c.AddImage([]detect.Detection{det(0.62, 0.62, 0.2, 0.2, 0.9)}, truths)
+	if c.TP != 0 || c.FP != 1 || c.FN != 1 {
+		t.Fatalf("weak overlap must not match: %+v", c)
+	}
+}
+
+func TestCounterAccumulatesAcrossImages(t *testing.T) {
+	var c Counter
+	truths := []detect.Box{{X: 0.5, Y: 0.5, W: 0.2, H: 0.2}}
+	for i := 0; i < 3; i++ {
+		c.AddImage([]detect.Detection{det(0.5, 0.5, 0.2, 0.2, 0.9)}, truths)
+	}
+	if c.Images != 3 || c.TP != 3 {
+		t.Fatalf("accumulation broken: %+v", c)
+	}
+}
+
+func TestMetricsEmptyCounter(t *testing.T) {
+	var c Counter
+	m := c.Metrics(5)
+	if m.Sensitivity != 0 || m.Precision != 0 || m.MeanIoU != 0 || m.FPS != 5 {
+		t.Fatalf("empty metrics = %+v", m)
+	}
+	if m.String() == "" {
+		t.Fatal("empty String")
+	}
+}
+
+func TestWeightsValid(t *testing.T) {
+	if !PaperWeights.Valid() {
+		t.Fatal("paper weights must be valid")
+	}
+	if (Weights{0.5, 0.5, 0.5, 0.5}).Valid() {
+		t.Fatal("weights summing to 2 must be invalid")
+	}
+	if (Weights{-0.2, 0.4, 0.4, 0.4}).Valid() {
+		t.Fatal("negative weight must be invalid")
+	}
+}
+
+func TestScoreEquation(t *testing.T) {
+	m := Metrics{FPS: 1, MeanIoU: 0.5, Sensitivity: 0.8, Precision: 0.6}
+	got := Score(PaperWeights, m)
+	want := 0.4*1 + 0.2*0.5 + 0.2*0.8 + 0.2*0.6
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("score = %v, want %v", got, want)
+	}
+}
+
+func TestScoreFavorsFastModelUnderPaperWeights(t *testing.T) {
+	// The paper's weighting picks DroNet over TinyYoloVoc: a large FPS
+	// advantage outweighs a small accuracy deficit after normalization.
+	voc := Metrics{FPS: 0.03, MeanIoU: 1.0, Sensitivity: 1.0, Precision: 1.0}
+	dro := Metrics{FPS: 1.0, MeanIoU: 0.88, Sensitivity: 0.98, Precision: 0.94}
+	if Score(PaperWeights, dro) <= Score(PaperWeights, voc) {
+		t.Fatal("paper weights should favor the 30x-faster model")
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	ms := []Metrics{
+		{FPS: 2, MeanIoU: 0.5, Sensitivity: 0.9, Precision: 0.4},
+		{FPS: 10, MeanIoU: 0.25, Sensitivity: 0.45, Precision: 0.8},
+	}
+	norm := Normalize(ms)
+	if norm[1].FPS != 1 || norm[0].FPS != 0.2 {
+		t.Fatalf("FPS normalization: %+v", norm)
+	}
+	if norm[0].MeanIoU != 1 || norm[0].Sensitivity != 1 || norm[1].Precision != 1 {
+		t.Fatalf("per-metric maxima must map to 1: %+v", norm)
+	}
+	for _, m := range norm {
+		for _, v := range []float64{m.FPS, m.MeanIoU, m.Sensitivity, m.Precision} {
+			if v < 0 || v > 1 {
+				t.Fatalf("normalized value out of range: %+v", norm)
+			}
+		}
+	}
+}
+
+func TestNormalizeAllZeros(t *testing.T) {
+	norm := Normalize([]Metrics{{}, {}})
+	for _, m := range norm {
+		if m.FPS != 0 || m.MeanIoU != 0 {
+			t.Fatal("zero metrics must stay zero")
+		}
+	}
+}

@@ -1,0 +1,120 @@
+// Package geo provides the nadir-camera ground-projection model the UAV
+// use cases rely on: converting between image coordinates and ground
+// coordinates given the flight altitude and the camera's field of view.
+// The emergency-response example uses it to report detected vehicles as
+// metre offsets an operator can act on, and the altitude size gate
+// (detect.AltitudeFilter) is the inverse use of the same geometry.
+package geo
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/detect"
+)
+
+// Camera models a downward-pointing camera.
+type Camera struct {
+	// FOV is the horizontal field of view in radians.
+	FOV float64
+	// AspectRatio is image width / height (ground footprint follows it).
+	AspectRatio float64
+}
+
+// DefaultUAVCamera returns the 84°, square-image camera used throughout the
+// reproduction (a typical wide-angle UAV camera).
+func DefaultUAVCamera() Camera {
+	return Camera{FOV: 84 * math.Pi / 180, AspectRatio: 1}
+}
+
+// Footprint returns the ground extent (width, height) in metres imaged from
+// the given altitude.
+func (c Camera) Footprint(altitude float64) (w, h float64, err error) {
+	if altitude <= 0 {
+		return 0, 0, fmt.Errorf("geo: altitude must be positive, got %g", altitude)
+	}
+	ar := c.AspectRatio
+	if ar <= 0 {
+		ar = 1
+	}
+	w = 2 * altitude * math.Tan(c.FOV/2)
+	return w, w / ar, nil
+}
+
+// GSD returns the ground sample distance in metres per pixel for an image
+// of the given pixel width.
+func (c Camera) GSD(altitude float64, imageWidthPx int) (float64, error) {
+	if imageWidthPx <= 0 {
+		return 0, fmt.Errorf("geo: image width must be positive, got %d", imageWidthPx)
+	}
+	w, _, err := c.Footprint(altitude)
+	if err != nil {
+		return 0, err
+	}
+	return w / float64(imageWidthPx), nil
+}
+
+// GroundPoint is a position in metres relative to the footprint's
+// north-west (top-left) corner: East grows rightward, South downward.
+type GroundPoint struct {
+	East, South float64
+}
+
+// ToGround maps a normalized image point to ground coordinates.
+func (c Camera) ToGround(altitude, nx, ny float64) (GroundPoint, error) {
+	w, h, err := c.Footprint(altitude)
+	if err != nil {
+		return GroundPoint{}, err
+	}
+	return GroundPoint{East: nx * w, South: ny * h}, nil
+}
+
+// ToImage maps a ground point back to normalized image coordinates.
+func (c Camera) ToImage(altitude float64, p GroundPoint) (nx, ny float64, err error) {
+	w, h, err := c.Footprint(altitude)
+	if err != nil {
+		return 0, 0, err
+	}
+	return p.East / w, p.South / h, nil
+}
+
+// BoxGroundSize returns the ground extent in metres of a normalized
+// detection box seen from the given altitude.
+func (c Camera) BoxGroundSize(altitude float64, b detect.Box) (w, h float64, err error) {
+	fw, fh, err := c.Footprint(altitude)
+	if err != nil {
+		return 0, 0, err
+	}
+	return b.W * fw, b.H * fh, nil
+}
+
+// Localize converts detections to ground positions with their physical
+// sizes — the report format an emergency-response operator needs.
+type Localized struct {
+	Detection detect.Detection
+	Position  GroundPoint
+	// WidthM and HeightM are the object's ground extents in metres.
+	WidthM, HeightM float64
+}
+
+// Localize maps each detection's center to ground coordinates.
+func (c Camera) Localize(dets []detect.Detection, altitude float64) ([]Localized, error) {
+	out := make([]Localized, 0, len(dets))
+	for _, d := range dets {
+		p, err := c.ToGround(altitude, d.Box.X, d.Box.Y)
+		if err != nil {
+			return nil, err
+		}
+		w, h, err := c.BoxGroundSize(altitude, d.Box)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Localized{Detection: d, Position: p, WidthM: w, HeightM: h})
+	}
+	return out, nil
+}
+
+// Distance returns the ground distance between two points in metres.
+func Distance(a, b GroundPoint) float64 {
+	return math.Hypot(a.East-b.East, a.South-b.South)
+}

@@ -1,0 +1,123 @@
+package geo
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/detect"
+	"repro/internal/tensor"
+)
+
+func TestFootprintScalesWithAltitude(t *testing.T) {
+	c := DefaultUAVCamera()
+	w50, h50, err := c.Footprint(50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2·50·tan(42°) ≈ 90 m, square aspect.
+	if math.Abs(w50-90) > 1 || math.Abs(h50-90) > 1 {
+		t.Fatalf("footprint at 50 m = %v x %v, want ≈90", w50, h50)
+	}
+	w100, _, err := c.Footprint(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(w100-2*w50) > 1e-9 {
+		t.Fatalf("footprint not linear in altitude: %v vs %v", w100, 2*w50)
+	}
+	if _, _, err := c.Footprint(0); err == nil {
+		t.Fatal("expected error for zero altitude")
+	}
+}
+
+func TestAspectRatio(t *testing.T) {
+	c := Camera{FOV: math.Pi / 2, AspectRatio: 2}
+	w, h, err := c.Footprint(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(w-2*h) > 1e-9 {
+		t.Fatalf("aspect ratio ignored: %v x %v", w, h)
+	}
+}
+
+func TestGSD(t *testing.T) {
+	c := DefaultUAVCamera()
+	g, err := c.GSD(50, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ≈90 m / 512 px ≈ 0.176 m/px.
+	if math.Abs(g-0.176) > 0.005 {
+		t.Fatalf("GSD = %v, want ≈0.176", g)
+	}
+	if _, err := c.GSD(50, 0); err == nil {
+		t.Fatal("expected error for zero width")
+	}
+}
+
+func TestGroundImageRoundTripProperty(t *testing.T) {
+	c := DefaultUAVCamera()
+	f := func(seed uint64) bool {
+		rng := tensor.NewRNG(seed | 1)
+		alt := rng.Range(10, 120)
+		nx, ny := rng.Float64(), rng.Float64()
+		p, err := c.ToGround(alt, nx, ny)
+		if err != nil {
+			return false
+		}
+		bx, by, err := c.ToImage(alt, p)
+		if err != nil {
+			return false
+		}
+		return math.Abs(bx-nx) < 1e-9 && math.Abs(by-ny) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBoxGroundSizeMatchesVehicle(t *testing.T) {
+	c := DefaultUAVCamera()
+	// At 50 m a ~4.8 m car spans ≈4.8/90 ≈ 0.053 of the image.
+	w, h, err := c.BoxGroundSize(50, detect.Box{W: 0.053, H: 0.022})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(w-4.8) > 0.2 || math.Abs(h-2.0) > 0.2 {
+		t.Fatalf("ground size = %v x %v m, want ≈4.8 x 2.0", w, h)
+	}
+}
+
+func TestLocalize(t *testing.T) {
+	c := DefaultUAVCamera()
+	dets := []detect.Detection{
+		{Box: detect.Box{X: 0.5, Y: 0.5, W: 0.05, H: 0.05}, Score: 0.9},
+		{Box: detect.Box{X: 0, Y: 0, W: 0.05, H: 0.05}, Score: 0.8},
+	}
+	loc, err := c.Localize(dets, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loc) != 2 {
+		t.Fatalf("localized %d", len(loc))
+	}
+	// Center detection is at footprint center ≈ (45, 45).
+	if math.Abs(loc[0].Position.East-45) > 1 || math.Abs(loc[0].Position.South-45) > 1 {
+		t.Fatalf("center position = %+v", loc[0].Position)
+	}
+	if loc[1].Position.East != 0 || loc[1].Position.South != 0 {
+		t.Fatalf("corner position = %+v", loc[1].Position)
+	}
+	if _, err := c.Localize(dets, -1); err == nil {
+		t.Fatal("expected altitude error")
+	}
+}
+
+func TestDistance(t *testing.T) {
+	d := Distance(GroundPoint{East: 3, South: 0}, GroundPoint{East: 0, South: 4})
+	if math.Abs(d-5) > 1e-12 {
+		t.Fatalf("distance = %v, want 5", d)
+	}
+}

@@ -1,0 +1,117 @@
+package imgproc
+
+import (
+	"math"
+
+	"repro/internal/detect"
+)
+
+// FillRect fills the axis-aligned pixel rectangle [x0,x1)×[y0,y1).
+func (m *Image) FillRect(x0, y0, x1, y1 int, r, g, b float32) {
+	for y := y0; y < y1; y++ {
+		for x := x0; x < x1; x++ {
+			m.SetRGB(x, y, r, g, b)
+		}
+	}
+}
+
+// FillOrientedRect fills a rectangle of size w×h centered at (cx, cy) and
+// rotated by angle radians. Coordinates are in pixels.
+func (m *Image) FillOrientedRect(cx, cy, w, h, angle float64, r, g, b float32) {
+	m.ShadeOrientedRect(cx, cy, w, h, angle, func(u, v float64) (float32, float32, float32) {
+		return r, g, b
+	})
+}
+
+// ShadeOrientedRect fills an oriented rectangle using shade(u, v) where
+// (u, v) ∈ [-0.5, 0.5]² are rectangle-local coordinates (u along the
+// length axis). This enables painting structured vehicle sprites.
+func (m *Image) ShadeOrientedRect(cx, cy, w, h, angle float64, shade func(u, v float64) (float32, float32, float32)) {
+	sin, cos := math.Sincos(angle)
+	// Conservative pixel bounding box of the rotated rect.
+	half := math.Hypot(w, h) / 2
+	x0 := int(math.Floor(cx - half))
+	x1 := int(math.Ceil(cx + half))
+	y0 := int(math.Floor(cy - half))
+	y1 := int(math.Ceil(cy + half))
+	for y := y0; y <= y1; y++ {
+		for x := x0; x <= x1; x++ {
+			dx := float64(x) + 0.5 - cx
+			dy := float64(y) + 0.5 - cy
+			// Rotate into the rectangle frame.
+			u := (dx*cos + dy*sin) / w
+			v := (-dx*sin + dy*cos) / h
+			if u >= -0.5 && u < 0.5 && v >= -0.5 && v < 0.5 {
+				r, g, b := shade(u, v)
+				m.SetRGB(x, y, r, g, b)
+			}
+		}
+	}
+}
+
+// FillCircle fills a disk of the given radius centered at (cx, cy) pixels.
+func (m *Image) FillCircle(cx, cy, radius float64, r, g, b float32) {
+	x0 := int(math.Floor(cx - radius))
+	x1 := int(math.Ceil(cx + radius))
+	y0 := int(math.Floor(cy - radius))
+	y1 := int(math.Ceil(cy + radius))
+	r2 := radius * radius
+	for y := y0; y <= y1; y++ {
+		for x := x0; x <= x1; x++ {
+			dx := float64(x) + 0.5 - cx
+			dy := float64(y) + 0.5 - cy
+			if dx*dx+dy*dy <= r2 {
+				m.SetRGB(x, y, r, g, b)
+			}
+		}
+	}
+}
+
+// DrawBox strokes a normalized detection box outline with the given
+// thickness in pixels.
+func (m *Image) DrawBox(b detect.Box, thickness int, r, g, bl float32) {
+	x0 := int(b.Left() * float64(m.W))
+	x1 := int(b.Right() * float64(m.W))
+	y0 := int(b.Top() * float64(m.H))
+	y1 := int(b.Bottom() * float64(m.H))
+	for t := 0; t < thickness; t++ {
+		for x := x0; x <= x1; x++ {
+			m.SetRGB(x, y0+t, r, g, bl)
+			m.SetRGB(x, y1-t, r, g, bl)
+		}
+		for y := y0; y <= y1; y++ {
+			m.SetRGB(x0+t, y, r, g, bl)
+			m.SetRGB(x1-t, y, r, g, bl)
+		}
+	}
+}
+
+// AddNoise perturbs every sample with zero-mean Gaussian noise of the given
+// standard deviation, clamping to [0, 1]. The caller provides the noise
+// source so scenes stay reproducible.
+func (m *Image) AddNoise(std float64, normal func() float64) {
+	if std <= 0 {
+		return
+	}
+	for i := range m.Pix {
+		v := m.Pix[i] + float32(std*normal())
+		if v < 0 {
+			v = 0
+		} else if v > 1 {
+			v = 1
+		}
+		m.Pix[i] = v
+	}
+}
+
+// ScaleBrightness multiplies all samples by k, clamping to [0, 1]; it models
+// global illumination change.
+func (m *Image) ScaleBrightness(k float64) {
+	for i, v := range m.Pix {
+		nv := float32(float64(v) * k)
+		if nv > 1 {
+			nv = 1
+		}
+		m.Pix[i] = nv
+	}
+}

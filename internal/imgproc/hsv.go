@@ -1,0 +1,99 @@
+package imgproc
+
+import "math"
+
+// RGBToHSV converts one RGB sample (each in [0,1]) to HSV with hue in
+// [0, 360) degrees.
+func RGBToHSV(r, g, b float32) (h, s, v float32) {
+	maxc := max3(r, g, b)
+	minc := min3(r, g, b)
+	v = maxc
+	d := maxc - minc
+	if maxc > 0 {
+		s = d / maxc
+	}
+	if d == 0 {
+		return 0, s, v
+	}
+	switch maxc {
+	case r:
+		h = 60 * float32(math.Mod(float64((g-b)/d), 6))
+	case g:
+		h = 60 * ((b-r)/d + 2)
+	default:
+		h = 60 * ((r-g)/d + 4)
+	}
+	if h < 0 {
+		h += 360
+	}
+	return h, s, v
+}
+
+// HSVToRGB converts an HSV sample (hue in degrees) back to RGB.
+func HSVToRGB(h, s, v float32) (r, g, b float32) {
+	c := v * s
+	hp := float64(h) / 60
+	x := c * float32(1-math.Abs(math.Mod(hp, 2)-1))
+	var r1, g1, b1 float32
+	switch {
+	case hp < 1:
+		r1, g1, b1 = c, x, 0
+	case hp < 2:
+		r1, g1, b1 = x, c, 0
+	case hp < 3:
+		r1, g1, b1 = 0, c, x
+	case hp < 4:
+		r1, g1, b1 = 0, x, c
+	case hp < 5:
+		r1, g1, b1 = x, 0, c
+	default:
+		r1, g1, b1 = c, 0, x
+	}
+	m := v - c
+	return r1 + m, g1 + m, b1 + m
+}
+
+// JitterHSV scales saturation and value (exposure) of the whole image, the
+// augmentation Darknet applies during detector training.
+func (m *Image) JitterHSV(satScale, valScale float64) {
+	plane := m.W * m.H
+	for i := 0; i < plane; i++ {
+		h, s, v := RGBToHSV(m.Pix[i], m.Pix[plane+i], m.Pix[2*plane+i])
+		s = clamp01(float32(float64(s) * satScale))
+		v = clamp01(float32(float64(v) * valScale))
+		r, g, b := HSVToRGB(h, s, v)
+		m.Pix[i], m.Pix[plane+i], m.Pix[2*plane+i] = r, g, b
+	}
+}
+
+func clamp01(v float32) float32 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+func max3(a, b, c float32) float32 {
+	m := a
+	if b > m {
+		m = b
+	}
+	if c > m {
+		m = c
+	}
+	return m
+}
+
+func min3(a, b, c float32) float32 {
+	m := a
+	if b < m {
+		m = b
+	}
+	if c < m {
+		m = c
+	}
+	return m
+}

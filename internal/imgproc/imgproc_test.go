@@ -1,0 +1,300 @@
+package imgproc
+
+import (
+	"math"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/detect"
+	"repro/internal/tensor"
+)
+
+func TestNewImageZeroed(t *testing.T) {
+	m := NewImage(4, 3)
+	if len(m.Pix) != 36 {
+		t.Fatalf("pix len = %d", len(m.Pix))
+	}
+	for _, v := range m.Pix {
+		if v != 0 {
+			t.Fatal("new image not black")
+		}
+	}
+}
+
+func TestAtSetBoundsSafe(t *testing.T) {
+	m := NewImage(2, 2)
+	m.Set(0, -1, 0, 5) // must not panic
+	m.Set(0, 0, 7, 5)
+	if m.At(1, 5, 5) != 0 {
+		t.Fatal("out-of-bounds read must return 0")
+	}
+	m.SetRGB(1, 1, 0.1, 0.2, 0.3)
+	r, g, b := m.RGB(1, 1)
+	if r != 0.1 || g != 0.2 || b != 0.3 {
+		t.Fatalf("RGB = %v %v %v", r, g, b)
+	}
+}
+
+func TestFillAndClamp(t *testing.T) {
+	m := NewImage(2, 2)
+	m.Fill(0.5, 1.5, -0.5)
+	m.Clamp()
+	r, g, b := m.RGB(0, 0)
+	if r != 0.5 || g != 1 || b != 0 {
+		t.Fatalf("clamped = %v %v %v", r, g, b)
+	}
+}
+
+func TestTensorRoundTrip(t *testing.T) {
+	m := NewImage(3, 2)
+	for i := range m.Pix {
+		m.Pix[i] = float32(i) / 18
+	}
+	tt := m.ToTensor()
+	if tt.C != 3 || tt.H != 2 || tt.W != 3 {
+		t.Fatalf("tensor shape %v", tt)
+	}
+	back, err := FromTensor(tt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range m.Pix {
+		if back.Pix[i] != m.Pix[i] {
+			t.Fatal("tensor round trip lost data")
+		}
+	}
+	bad := tensor.New(1, 1, 2, 2)
+	if _, err := FromTensor(bad); err == nil {
+		t.Fatal("expected error for non-RGB tensor")
+	}
+}
+
+func TestResizeConstantImageStaysConstant(t *testing.T) {
+	m := NewImage(7, 5)
+	m.Fill(0.3, 0.6, 0.9)
+	r := m.Resize(13, 4)
+	for y := 0; y < r.H; y++ {
+		for x := 0; x < r.W; x++ {
+			rr, gg, bb := r.RGB(x, y)
+			if math.Abs(float64(rr-0.3)) > 1e-6 || math.Abs(float64(gg-0.6)) > 1e-6 || math.Abs(float64(bb-0.9)) > 1e-6 {
+				t.Fatalf("resize changed constant value at (%d,%d)", x, y)
+			}
+		}
+	}
+}
+
+func TestResizeIdentity(t *testing.T) {
+	rng := tensor.NewRNG(4)
+	m := NewImage(6, 6)
+	rng.FillUniform(m.Pix, 0, 1)
+	r := m.Resize(6, 6)
+	for i := range m.Pix {
+		if math.Abs(float64(r.Pix[i]-m.Pix[i])) > 1e-6 {
+			t.Fatal("identity resize altered pixels")
+		}
+	}
+}
+
+func TestResizePreservesMeanApproximately(t *testing.T) {
+	rng := tensor.NewRNG(5)
+	m := NewImage(16, 16)
+	rng.FillUniform(m.Pix, 0, 1)
+	r := m.Resize(8, 8)
+	var m1, m2 float64
+	for _, v := range m.Pix {
+		m1 += float64(v)
+	}
+	for _, v := range r.Pix {
+		m2 += float64(v)
+	}
+	m1 /= float64(len(m.Pix))
+	m2 /= float64(len(r.Pix))
+	if math.Abs(m1-m2) > 0.05 {
+		t.Fatalf("downsample mean drifted: %v vs %v", m1, m2)
+	}
+}
+
+func TestLetterboxGeometry(t *testing.T) {
+	m := NewImage(100, 50) // 2:1 image into a square canvas
+	m.Fill(1, 0, 0)
+	out, sx, sy, ox, oy := m.Letterbox(64, 64)
+	if out.W != 64 || out.H != 64 {
+		t.Fatalf("letterbox size %dx%d", out.W, out.H)
+	}
+	if math.Abs(sx-1.0) > 0.02 || math.Abs(sy-0.5) > 0.02 {
+		t.Fatalf("scales = %v, %v", sx, sy)
+	}
+	if ox != 0 || math.Abs(oy-0.25) > 0.02 {
+		t.Fatalf("offsets = %v, %v", ox, oy)
+	}
+	// Top band is gray padding, center row is red content.
+	if r, g, _ := out.RGB(32, 2); r != 0.5 || g != 0.5 {
+		t.Fatal("expected gray padding at top")
+	}
+	if r, _, _ := out.RGB(32, 32); r < 0.9 {
+		t.Fatal("expected content at center")
+	}
+}
+
+func TestFlipHorizontal(t *testing.T) {
+	m := NewImage(3, 1)
+	m.SetRGB(0, 0, 1, 0, 0)
+	m.SetRGB(2, 0, 0, 0, 1)
+	f := m.FlipHorizontal()
+	if r, _, _ := f.RGB(2, 0); r != 1 {
+		t.Fatal("flip did not mirror red pixel")
+	}
+	if _, _, b := f.RGB(0, 0); b != 1 {
+		t.Fatal("flip did not mirror blue pixel")
+	}
+	// Involution property.
+	ff := f.FlipHorizontal()
+	for i := range m.Pix {
+		if ff.Pix[i] != m.Pix[i] {
+			t.Fatal("double flip is not identity")
+		}
+	}
+}
+
+func TestCrop(t *testing.T) {
+	m := NewImage(4, 4)
+	m.SetRGB(2, 3, 1, 1, 1)
+	c := m.Crop(2, 3, 2, 2)
+	if r, _, _ := c.RGB(0, 0); r != 1 {
+		t.Fatal("crop lost pixel")
+	}
+	if r, _, _ := c.RGB(1, 1); r != 0 {
+		t.Fatal("out-of-source crop region must be black")
+	}
+}
+
+func TestDrawBoxOutline(t *testing.T) {
+	m := NewImage(20, 20)
+	b := detect.Box{X: 0.5, Y: 0.5, W: 0.5, H: 0.5}
+	m.DrawBox(b, 1, 1, 0, 0)
+	if r, _, _ := m.RGB(10, 5); r != 1 {
+		t.Fatal("top edge not drawn")
+	}
+	if r, _, _ := m.RGB(10, 10); r != 0 {
+		t.Fatal("interior must stay unpainted")
+	}
+}
+
+func TestFillOrientedRectRotation(t *testing.T) {
+	m := NewImage(21, 21)
+	// A long thin rect rotated 90° should paint vertically.
+	m.FillOrientedRect(10.5, 10.5, 16, 4, math.Pi/2, 1, 1, 1)
+	if r, _, _ := m.RGB(10, 3); r != 1 {
+		t.Fatal("rotated rect missing vertical extent")
+	}
+	if r, _, _ := m.RGB(3, 10); r != 0 {
+		t.Fatal("rotated rect should not extend horizontally")
+	}
+}
+
+func TestFillCircle(t *testing.T) {
+	m := NewImage(11, 11)
+	m.FillCircle(5.5, 5.5, 3, 0, 1, 0)
+	if _, g, _ := m.RGB(5, 5); g != 1 {
+		t.Fatal("center not filled")
+	}
+	if _, g, _ := m.RGB(0, 0); g != 0 {
+		t.Fatal("corner must not be filled")
+	}
+}
+
+func TestHSVRoundTripProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := tensor.NewRNG(seed | 1)
+		r := rng.Float32()
+		g := rng.Float32()
+		b := rng.Float32()
+		h, s, v := RGBToHSV(r, g, b)
+		if h < 0 || h >= 360 || s < 0 || s > 1 {
+			return false
+		}
+		r2, g2, b2 := HSVToRGB(h, s, v)
+		const tol = 1e-4
+		return math.Abs(float64(r-r2)) < tol && math.Abs(float64(g-g2)) < tol && math.Abs(float64(b-b2)) < tol
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJitterHSVIdentity(t *testing.T) {
+	rng := tensor.NewRNG(6)
+	m := NewImage(4, 4)
+	rng.FillUniform(m.Pix, 0, 1)
+	orig := m.Clone()
+	m.JitterHSV(1, 1)
+	for i := range m.Pix {
+		if math.Abs(float64(m.Pix[i]-orig.Pix[i])) > 1e-4 {
+			t.Fatal("identity jitter changed pixels")
+		}
+	}
+}
+
+func TestJitterHSVExposureScalesValue(t *testing.T) {
+	m := NewImage(2, 2)
+	m.Fill(0.2, 0.4, 0.3)
+	m.JitterHSV(1, 2)
+	if _, g, _ := m.RGB(0, 0); math.Abs(float64(g-0.8)) > 1e-4 {
+		t.Fatalf("exposure x2: g = %v, want 0.8", g)
+	}
+}
+
+func TestPNGRoundTrip(t *testing.T) {
+	rng := tensor.NewRNG(7)
+	m := NewImage(9, 7)
+	rng.FillUniform(m.Pix, 0, 1)
+	path := filepath.Join(t.TempDir(), "x.png")
+	if err := m.SavePNG(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadPNG(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.W != 9 || back.H != 7 {
+		t.Fatalf("size = %dx%d", back.W, back.H)
+	}
+	for i := range m.Pix {
+		if math.Abs(float64(back.Pix[i]-m.Pix[i])) > 1.0/255+1e-4 {
+			t.Fatalf("pixel %d drifted more than quantization: %v vs %v", i, back.Pix[i], m.Pix[i])
+		}
+	}
+	if _, err := LoadPNG(filepath.Join(t.TempDir(), "missing.png")); err == nil {
+		t.Fatal("expected error for missing file")
+	}
+}
+
+func TestAddNoiseBounded(t *testing.T) {
+	rng := tensor.NewRNG(8)
+	m := NewImage(8, 8)
+	m.Fill(0.5, 0.5, 0.5)
+	m.AddNoise(0.1, rng.Normal)
+	for _, v := range m.Pix {
+		if v < 0 || v > 1 {
+			t.Fatalf("noise escaped clamp: %v", v)
+		}
+	}
+	var dev float64
+	for _, v := range m.Pix {
+		dev += math.Abs(float64(v) - 0.5)
+	}
+	if dev == 0 {
+		t.Fatal("noise had no effect")
+	}
+}
+
+func TestScaleBrightness(t *testing.T) {
+	m := NewImage(1, 1)
+	m.Fill(0.4, 0.6, 0.8)
+	m.ScaleBrightness(1.5)
+	r, g, b := m.RGB(0, 0)
+	if math.Abs(float64(r-0.6)) > 1e-6 || math.Abs(float64(g-0.9)) > 1e-6 || b != 1 {
+		t.Fatalf("brightness = %v %v %v", r, g, b)
+	}
+}

@@ -1,0 +1,73 @@
+package imgproc
+
+import (
+	"fmt"
+	"image"
+	"image/color"
+	"image/png"
+	"os"
+)
+
+// ToNRGBA converts the image to an 8-bit standard-library image.
+func (m *Image) ToNRGBA() *image.NRGBA {
+	out := image.NewNRGBA(image.Rect(0, 0, m.W, m.H))
+	for y := 0; y < m.H; y++ {
+		for x := 0; x < m.W; x++ {
+			r, g, b := m.RGB(x, y)
+			out.SetNRGBA(x, y, color.NRGBA{
+				R: to8(r), G: to8(g), B: to8(b), A: 255,
+			})
+		}
+	}
+	return out
+}
+
+func to8(v float32) uint8 {
+	if v <= 0 {
+		return 0
+	}
+	if v >= 1 {
+		return 255
+	}
+	return uint8(v*255 + 0.5)
+}
+
+// FromGoImage converts any standard-library image to a float32 Image.
+func FromGoImage(src image.Image) *Image {
+	b := src.Bounds()
+	m := NewImage(b.Dx(), b.Dy())
+	for y := 0; y < b.Dy(); y++ {
+		for x := 0; x < b.Dx(); x++ {
+			r, g, bl, _ := src.At(b.Min.X+x, b.Min.Y+y).RGBA()
+			m.SetRGB(x, y, float32(r)/65535, float32(g)/65535, float32(bl)/65535)
+		}
+	}
+	return m
+}
+
+// SavePNG writes the image to path as an 8-bit PNG.
+func (m *Image) SavePNG(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("imgproc: %w", err)
+	}
+	defer f.Close()
+	if err := png.Encode(f, m.ToNRGBA()); err != nil {
+		return fmt.Errorf("imgproc: encode %s: %w", path, err)
+	}
+	return f.Close()
+}
+
+// LoadPNG reads a PNG file into a float32 Image.
+func LoadPNG(path string) (*Image, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("imgproc: %w", err)
+	}
+	defer f.Close()
+	src, err := png.Decode(f)
+	if err != nil {
+		return nil, fmt.Errorf("imgproc: decode %s: %w", path, err)
+	}
+	return FromGoImage(src), nil
+}

@@ -1,0 +1,350 @@
+package layers
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// Activation selects the element-wise non-linearity applied after a
+// convolution (and its batch norm, when enabled).
+type Activation int
+
+// Supported activations. Darknet's tiny-YOLO family only uses leaky and
+// linear (the final 1x1 prediction layer).
+const (
+	ActLinear Activation = iota
+	ActLeaky
+)
+
+func (a Activation) String() string {
+	if a == ActLeaky {
+		return "leaky"
+	}
+	return "linear"
+}
+
+// Conv2D is a 2-D convolution with square kernels, optional batch
+// normalization, and an optional activation — the workhorse layer of every
+// model in the paper. Forward lowers to im2col + GEMM per image, exactly
+// like Darknet.
+type Conv2D struct {
+	in, out   Shape
+	Filters   int
+	Ksize     int
+	Stride    int
+	Pad       int
+	BatchNorm bool
+	Act       Activation
+
+	Weights *Param // Filters × (inC·k·k)
+	Biases  *Param // Filters (β when BatchNorm)
+	Scales  *Param // Filters (γ), BatchNorm only
+
+	// Rolling statistics for inference-time batch norm.
+	RollingMean, RollingVar *tensor.Tensor
+
+	// Forward/backward caches.
+	x        *tensor.Tensor // input reference
+	out_     *tensor.Tensor // post-activation output
+	preAct   *tensor.Tensor // pre-activation (post-BN) values
+	preBN    *tensor.Tensor // pre-BN conv outputs (BatchNorm only)
+	xhat     *tensor.Tensor // normalized values (BatchNorm only)
+	batchMu  []float32
+	batchVar []float32
+	col      []float32 // im2col scratch
+	dx       *tensor.Tensor
+}
+
+const bnEps = 1e-5
+
+// NewConv2D creates a convolution layer for the given input shape.
+func NewConv2D(in Shape, filters, ksize, stride, pad int, batchNorm bool, act Activation, rng *tensor.RNG) (*Conv2D, error) {
+	if filters <= 0 || ksize <= 0 || stride <= 0 || pad < 0 {
+		return nil, fmt.Errorf("layers: invalid conv config filters=%d ksize=%d stride=%d pad=%d", filters, ksize, stride, pad)
+	}
+	outH := tensor.ConvOutSize(in.H, ksize, stride, pad)
+	outW := tensor.ConvOutSize(in.W, ksize, stride, pad)
+	if outH <= 0 || outW <= 0 {
+		return nil, fmt.Errorf("layers: conv %dx%d/%d pad %d collapses %dx%d input", ksize, ksize, stride, pad, in.H, in.W)
+	}
+	c := &Conv2D{
+		in:        in,
+		out:       Shape{C: filters, H: outH, W: outW},
+		Filters:   filters,
+		Ksize:     ksize,
+		Stride:    stride,
+		Pad:       pad,
+		BatchNorm: batchNorm,
+		Act:       act,
+	}
+	fanIn := in.C * ksize * ksize
+	w := tensor.New(1, 1, filters, fanIn)
+	rng.FillHe(w.Data, fanIn)
+	c.Weights = newParam("weights", w, true)
+	c.Biases = newParam("biases", tensor.NewVec(filters), false)
+	if batchNorm {
+		s := tensor.NewVec(filters)
+		s.Fill(1)
+		c.Scales = newParam("scales", s, false)
+		c.RollingMean = tensor.NewVec(filters)
+		c.RollingVar = tensor.NewVec(filters)
+		c.RollingVar.Fill(1)
+		c.batchMu = make([]float32, filters)
+		c.batchVar = make([]float32, filters)
+	}
+	c.col = make([]float32, fanIn*outH*outW)
+	return c, nil
+}
+
+// Name implements Layer.
+func (c *Conv2D) Name() string {
+	bn := ""
+	if c.BatchNorm {
+		bn = " bn"
+	}
+	return fmt.Sprintf("conv %dx%d/%d %d%s %s", c.Ksize, c.Ksize, c.Stride, c.Filters, bn, c.Act)
+}
+
+// InShape implements Layer.
+func (c *Conv2D) InShape() Shape { return c.in }
+
+// OutShape implements Layer.
+func (c *Conv2D) OutShape() Shape { return c.out }
+
+// Params implements Layer.
+func (c *Conv2D) Params() []*Param {
+	p := []*Param{c.Weights, c.Biases}
+	if c.BatchNorm {
+		p = append(p, c.Scales)
+	}
+	return p
+}
+
+// FLOPs implements Layer: 2 ops per multiply-accumulate.
+func (c *Conv2D) FLOPs() int64 {
+	macs := int64(c.Filters) * int64(c.in.C*c.Ksize*c.Ksize) * int64(c.out.H*c.out.W)
+	return 2 * macs
+}
+
+// IOBytes implements Layer.
+func (c *Conv2D) IOBytes() int64 {
+	weights := int64(c.Weights.W.Len() + c.Filters)
+	return 4 * (int64(c.in.Size()) + int64(c.out.Size()) + weights)
+}
+
+// Forward implements Layer.
+func (c *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	c.x = x
+	out := ensure(&c.out_, x.N, c.out)
+	m := c.Filters
+	k := c.in.C * c.Ksize * c.Ksize
+	n := c.out.H * c.out.W
+	for b := 0; b < x.N; b++ {
+		src := x.Batch(b).Data
+		col := src
+		if !(c.Ksize == 1 && c.Stride == 1 && c.Pad == 0) {
+			tensor.Im2col(src, c.in.C, c.in.H, c.in.W, c.Ksize, c.Stride, c.Pad, c.col)
+			col = c.col
+		}
+		dst := out.Batch(b).Data
+		tensor.Gemm(false, false, m, n, k, 1, c.Weights.W.Data, k, col, n, 0, dst, n)
+	}
+	if c.BatchNorm {
+		if train {
+			c.preBN = ensureLike(c.preBN, out)
+			c.preBN.Copy(out)
+			c.forwardBatchNormTrain(out)
+		} else {
+			c.forwardBatchNormInfer(out)
+		}
+	}
+	// Add bias (β for batch norm).
+	spatial := c.out.H * c.out.W
+	for b := 0; b < out.N; b++ {
+		d := out.Batch(b).Data
+		for f := 0; f < m; f++ {
+			bias := c.Biases.W.Data[f]
+			seg := d[f*spatial : (f+1)*spatial]
+			for i := range seg {
+				seg[i] += bias
+			}
+		}
+	}
+	if train {
+		c.preAct = ensureLike(c.preAct, out)
+		c.preAct.Copy(out)
+	}
+	if c.Act == ActLeaky {
+		tensor.Leaky(out.Data)
+	}
+	return out
+}
+
+func ensureLike(t, like *tensor.Tensor) *tensor.Tensor {
+	if t == nil || t.Len() != like.Len() {
+		return tensor.New(like.N, like.C, like.H, like.W)
+	}
+	return t
+}
+
+// forwardBatchNormTrain normalizes out in place using batch statistics and
+// updates the rolling statistics (Darknet momentum 0.99/0.01).
+func (c *Conv2D) forwardBatchNormTrain(out *tensor.Tensor) {
+	spatial := c.out.H * c.out.W
+	mTotal := float32(out.N * spatial)
+	c.xhat = ensureLike(c.xhat, out)
+	for f := 0; f < c.Filters; f++ {
+		var sum float64
+		for b := 0; b < out.N; b++ {
+			seg := out.Batch(b).Data[f*spatial : (f+1)*spatial]
+			for _, v := range seg {
+				sum += float64(v)
+			}
+		}
+		mu := float32(sum / float64(mTotal))
+		var vsum float64
+		for b := 0; b < out.N; b++ {
+			seg := out.Batch(b).Data[f*spatial : (f+1)*spatial]
+			for _, v := range seg {
+				d := float64(v - mu)
+				vsum += d * d
+			}
+		}
+		variance := float32(vsum / float64(mTotal))
+		c.batchMu[f] = mu
+		c.batchVar[f] = variance
+		c.RollingMean.Data[f] = 0.99*c.RollingMean.Data[f] + 0.01*mu
+		c.RollingVar.Data[f] = 0.99*c.RollingVar.Data[f] + 0.01*variance
+		inv := 1 / sqrt32(variance+bnEps)
+		gamma := c.Scales.W.Data[f]
+		for b := 0; b < out.N; b++ {
+			seg := out.Batch(b).Data[f*spatial : (f+1)*spatial]
+			xh := c.xhat.Batch(b).Data[f*spatial : (f+1)*spatial]
+			for i, v := range seg {
+				h := (v - mu) * inv
+				xh[i] = h
+				seg[i] = gamma * h
+			}
+		}
+	}
+}
+
+// forwardBatchNormInfer normalizes out in place with rolling statistics.
+func (c *Conv2D) forwardBatchNormInfer(out *tensor.Tensor) {
+	spatial := c.out.H * c.out.W
+	for f := 0; f < c.Filters; f++ {
+		inv := 1 / sqrt32(c.RollingVar.Data[f]+bnEps)
+		mu := c.RollingMean.Data[f]
+		gamma := c.Scales.W.Data[f]
+		for b := 0; b < out.N; b++ {
+			seg := out.Batch(b).Data[f*spatial : (f+1)*spatial]
+			for i, v := range seg {
+				seg[i] = gamma * (v - mu) * inv
+			}
+		}
+	}
+}
+
+func sqrt32(x float32) float32 {
+	if x <= 0 {
+		return 0
+	}
+	return float32(math.Sqrt(float64(x)))
+}
+
+// Backward implements Layer.
+func (c *Conv2D) Backward(dout *tensor.Tensor) *tensor.Tensor {
+	out := c.out_
+	delta := dout.Clone() // gradient w.r.t. pre-activation, refined in stages
+	if c.Act == ActLeaky {
+		tensor.LeakyGrad(out.Data, delta.Data)
+	}
+	spatial := c.out.H * c.out.W
+	// Bias gradient.
+	for b := 0; b < delta.N; b++ {
+		d := delta.Batch(b).Data
+		for f := 0; f < c.Filters; f++ {
+			seg := d[f*spatial : (f+1)*spatial]
+			var s float64
+			for _, v := range seg {
+				s += float64(v)
+			}
+			c.Biases.G.Data[f] += float32(s)
+		}
+	}
+	if c.BatchNorm {
+		c.backwardBatchNorm(delta)
+	}
+	// Weight gradient and input gradient per image.
+	m := c.Filters
+	k := c.in.C * c.Ksize * c.Ksize
+	n := spatial
+	dx := ensureDX(&c.dx, c.x)
+	dx.Zero()
+	pointwise := c.Ksize == 1 && c.Stride == 1 && c.Pad == 0
+	for b := 0; b < delta.N; b++ {
+		src := c.x.Batch(b).Data
+		col := src
+		if !pointwise {
+			tensor.Im2col(src, c.in.C, c.in.H, c.in.W, c.Ksize, c.Stride, c.Pad, c.col)
+			col = c.col
+		}
+		d := delta.Batch(b).Data
+		// dW += d · colᵀ
+		tensor.Gemm(false, true, m, k, n, 1, d, n, col, n, 1, c.Weights.G.Data, k)
+		// dcol = Wᵀ · d ; scatter back with col2im.
+		dxb := dx.Batch(b).Data
+		if pointwise {
+			tensor.Gemm(true, false, k, n, m, 1, c.Weights.W.Data, k, d, n, 1, dxb, n)
+		} else {
+			dcol := c.col // reuse scratch: col contents no longer needed
+			for i := range dcol {
+				dcol[i] = 0
+			}
+			tensor.Gemm(true, false, k, n, m, 1, c.Weights.W.Data, k, d, n, 0, dcol, n)
+			tensor.Col2im(dcol, c.in.C, c.in.H, c.in.W, c.Ksize, c.Stride, c.Pad, dxb)
+		}
+	}
+	return dx
+}
+
+func ensureDX(t **tensor.Tensor, like *tensor.Tensor) *tensor.Tensor {
+	if *t == nil || (*t).Len() != like.Len() {
+		*t = tensor.New(like.N, like.C, like.H, like.W)
+	}
+	return *t
+}
+
+// backwardBatchNorm converts delta (gradient w.r.t. the normalized+scaled
+// output γ·x̂) into the gradient w.r.t. the pre-BN convolution output, and
+// accumulates γ gradients. β's gradient equals the bias gradient already
+// accumulated above.
+func (c *Conv2D) backwardBatchNorm(delta *tensor.Tensor) {
+	spatial := c.out.H * c.out.W
+	mTotal := float32(delta.N * spatial)
+	for f := 0; f < c.Filters; f++ {
+		gamma := c.Scales.W.Data[f]
+		inv := 1 / sqrt32(c.batchVar[f]+bnEps)
+		var sumD, sumDX float64
+		for b := 0; b < delta.N; b++ {
+			d := delta.Batch(b).Data[f*spatial : (f+1)*spatial]
+			xh := c.xhat.Batch(b).Data[f*spatial : (f+1)*spatial]
+			for i, v := range d {
+				sumD += float64(v)
+				sumDX += float64(v) * float64(xh[i])
+			}
+		}
+		c.Scales.G.Data[f] += float32(sumDX)
+		meanD := float32(sumD) / mTotal
+		meanDX := float32(sumDX) / mTotal
+		for b := 0; b < delta.N; b++ {
+			d := delta.Batch(b).Data[f*spatial : (f+1)*spatial]
+			xh := c.xhat.Batch(b).Data[f*spatial : (f+1)*spatial]
+			for i := range d {
+				d[i] = gamma * inv * (d[i] - meanD - xh[i]*meanDX)
+			}
+		}
+	}
+}

@@ -1,0 +1,139 @@
+package layers
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// MaxPool is a Darknet-style max-pooling layer. Darknet pads max-pool
+// windows with `size-1` total padding by default (split as floor(pad/2) on
+// the leading edge, sampling -inf outside the image), which makes the common
+// 2x2/2 pool behave like a ceil-mode pool and lets the 2x2/1 pool in
+// Tiny-YOLO preserve spatial size.
+type MaxPool struct {
+	in, out Shape
+	Size    int
+	Stride  int
+	Pad     int // total padding, darknet default size-1
+
+	x    *tensor.Tensor
+	out_ *tensor.Tensor
+	idx  []int32 // argmax flat input index per output element, -1 for all-pad windows
+	dx   *tensor.Tensor
+}
+
+// NewMaxPool creates a max-pool layer. pad < 0 selects the Darknet default
+// of size-1.
+func NewMaxPool(in Shape, size, stride, pad int) (*MaxPool, error) {
+	if size <= 0 || stride <= 0 {
+		return nil, fmt.Errorf("layers: invalid maxpool size=%d stride=%d", size, stride)
+	}
+	if pad < 0 {
+		pad = size - 1
+	}
+	outH := (in.H+pad-size)/stride + 1
+	outW := (in.W+pad-size)/stride + 1
+	if outH <= 0 || outW <= 0 {
+		return nil, fmt.Errorf("layers: maxpool %d/%d collapses %dx%d input", size, stride, in.H, in.W)
+	}
+	return &MaxPool{
+		in:     in,
+		out:    Shape{C: in.C, H: outH, W: outW},
+		Size:   size,
+		Stride: stride,
+		Pad:    pad,
+	}, nil
+}
+
+// Name implements Layer.
+func (p *MaxPool) Name() string { return fmt.Sprintf("maxpool %dx%d/%d", p.Size, p.Size, p.Stride) }
+
+// InShape implements Layer.
+func (p *MaxPool) InShape() Shape { return p.in }
+
+// OutShape implements Layer.
+func (p *MaxPool) OutShape() Shape { return p.out }
+
+// Params implements Layer.
+func (p *MaxPool) Params() []*Param { return nil }
+
+// FLOPs implements Layer: one compare per window element.
+func (p *MaxPool) FLOPs() int64 {
+	return int64(p.out.Size()) * int64(p.Size*p.Size)
+}
+
+// IOBytes implements Layer.
+func (p *MaxPool) IOBytes() int64 {
+	return 4 * (int64(p.in.Size()) + int64(p.out.Size()))
+}
+
+// Forward implements Layer.
+func (p *MaxPool) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	p.x = x
+	out := ensure(&p.out_, x.N, p.out)
+	if train {
+		need := out.Len()
+		if len(p.idx) != need {
+			p.idx = make([]int32, need)
+		}
+	}
+	off := p.Pad / 2
+	for b := 0; b < x.N; b++ {
+		src := x.Batch(b).Data
+		dst := out.Batch(b).Data
+		for ch := 0; ch < p.in.C; ch++ {
+			plane := src[ch*p.in.H*p.in.W:]
+			for oh := 0; oh < p.out.H; oh++ {
+				for ow := 0; ow < p.out.W; ow++ {
+					best := float32(math.Inf(-1))
+					bestIdx := int32(-1)
+					for kh := 0; kh < p.Size; kh++ {
+						ih := oh*p.Stride - off + kh
+						if ih < 0 || ih >= p.in.H {
+							continue
+						}
+						for kw := 0; kw < p.Size; kw++ {
+							iw := ow*p.Stride - off + kw
+							if iw < 0 || iw >= p.in.W {
+								continue
+							}
+							v := plane[ih*p.in.W+iw]
+							if v > best {
+								best = v
+								bestIdx = int32(ch*p.in.H*p.in.W + ih*p.in.W + iw)
+							}
+						}
+					}
+					if bestIdx == -1 {
+						best = 0
+					}
+					oi := ch*p.out.H*p.out.W + oh*p.out.W + ow
+					dst[oi] = best
+					if train {
+						p.idx[b*p.out.Size()+oi] = bestIdx
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Backward implements Layer: routes each output gradient to its argmax.
+func (p *MaxPool) Backward(dout *tensor.Tensor) *tensor.Tensor {
+	dx := ensureDX(&p.dx, p.x)
+	dx.Zero()
+	outSize := p.out.Size()
+	for b := 0; b < dout.N; b++ {
+		d := dout.Batch(b).Data
+		g := dx.Batch(b).Data
+		for i, v := range d {
+			if src := p.idx[b*outSize+i]; src >= 0 {
+				g[src] += v
+			}
+		}
+	}
+	return dx
+}

@@ -1,0 +1,206 @@
+package models
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cfg"
+	"repro/internal/layers"
+	"repro/internal/tensor"
+)
+
+func flops(t *testing.T, name string, size int) int64 {
+	t.Helper()
+	net, _, err := Build(name, size, tensor.NewRNG(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net.FLOPs()
+}
+
+func TestAllModelsBuildAtAllPaperSizes(t *testing.T) {
+	for _, name := range Names() {
+		for _, size := range []int{352, 386, 416, 480, 512, 544, 608} {
+			net, hyper, err := Build(name, size, tensor.NewRNG(1))
+			if err != nil {
+				t.Fatalf("%s@%d: %v", name, size, err)
+			}
+			if net.Region() == nil {
+				t.Fatalf("%s@%d: no region layer", name, size)
+			}
+			if hyper.LearningRate != 0.001 {
+				t.Fatalf("%s: lr = %v", name, hyper.LearningRate)
+			}
+		}
+	}
+}
+
+// TestNineConvsPerModel checks the paper's structural constraint: every
+// model has exactly nine convolutional layers and 4–6 max-pool layers.
+func TestNineConvsPerModel(t *testing.T) {
+	for _, name := range Names() {
+		net, _, err := Build(name, 416, tensor.NewRNG(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		convs, pools := 0, 0
+		for _, l := range net.Layers {
+			switch l.(type) {
+			case *layers.Conv2D:
+				convs++
+			case *layers.MaxPool:
+				pools++
+			}
+		}
+		if convs != 9 {
+			t.Errorf("%s: %d convolutional layers, paper says 9", name, convs)
+		}
+		if pools < 4 || pools > 6 {
+			t.Errorf("%s: %d max-pool layers, paper says 4-6", name, pools)
+		}
+	}
+}
+
+// TestWorkloadRatios asserts the published workload anchors at input 386:
+// TinyYoloNet ≈10× and DroNet ≈30× fewer operations than TinyYoloVoc, with
+// SmallYoloV3 the smallest of all.
+func TestWorkloadRatios(t *testing.T) {
+	voc := flops(t, TinyYoloVoc, 386)
+	tyn := flops(t, TinyYoloNet, 386)
+	dro := flops(t, DroNet, 386)
+	sml := flops(t, SmallYoloV3, 386)
+	if r := float64(voc) / float64(tyn); r < 8 || r < 1 || r > 13 {
+		t.Errorf("TinyYoloVoc/TinyYoloNet = %.1fx, want ≈10x", r)
+	}
+	if r := float64(voc) / float64(dro); r < 24 || r > 38 {
+		t.Errorf("TinyYoloVoc/DroNet = %.1fx, want ≈30x", r)
+	}
+	if sml >= dro {
+		t.Errorf("SmallYoloV3 (%d) must be the lightest model (DroNet %d)", sml, dro)
+	}
+}
+
+// TestModelOrdering verifies the monotone size ordering the paper's Fig. 3
+// discussion implies: Voc > TinyYoloNet > DroNet > SmallYoloV3 in workload.
+func TestModelOrdering(t *testing.T) {
+	prev := int64(1 << 62)
+	for _, name := range []string{TinyYoloVoc, TinyYoloNet, DroNet, SmallYoloV3} {
+		f := flops(t, name, 416)
+		if f >= prev {
+			t.Fatalf("workload ordering violated at %s", name)
+		}
+		prev = f
+	}
+}
+
+func TestDroNetUsesOnlySmallKernels(t *testing.T) {
+	// Fig. 2: DroNet is built from 3×3 and 1×1 convolutions and 2× pools.
+	net, _, err := Build(DroNet, 416, tensor.NewRNG(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range net.Layers {
+		if c, ok := l.(*layers.Conv2D); ok {
+			if c.Ksize != 1 && c.Ksize != 3 {
+				t.Fatalf("DroNet conv kernel %d, want 1 or 3", c.Ksize)
+			}
+		}
+		if p, ok := l.(*layers.MaxPool); ok {
+			if p.Stride != 2 {
+				t.Fatalf("DroNet pool stride %d, want 2", p.Stride)
+			}
+		}
+	}
+}
+
+func TestCfgErrors(t *testing.T) {
+	if _, err := Cfg("resnet50", 416); err == nil {
+		t.Fatal("expected error for unknown model")
+	}
+	if _, err := Cfg(DroNet, 8); err == nil {
+		t.Fatal("expected error for absurd size")
+	}
+	if _, _, err := Build("nope", 416, tensor.NewRNG(1)); err == nil {
+		t.Fatal("expected Build error for unknown model")
+	}
+}
+
+func TestSingleClassHead(t *testing.T) {
+	// 5 anchors × (5 + 1 class) = 30 output channels for every model.
+	for _, name := range Names() {
+		net, _, err := Build(name, 416, tensor.NewRNG(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := net.OutShape().C; got != 30 {
+			t.Errorf("%s: head channels = %d, want 30", name, got)
+		}
+		rc := net.Region().Config()
+		if rc.Classes != 1 || len(rc.Anchors) != 5 {
+			t.Errorf("%s: region config %+v", name, rc)
+		}
+		if rc.ObjScale != 5 || rc.IgnoreThresh != 0.6 {
+			t.Errorf("%s: region scales not darknet defaults: %+v", name, rc)
+		}
+	}
+}
+
+func TestScaleReducesFilters(t *testing.T) {
+	text, err := Cfg(DroNet, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scaled, err := Scale(text, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := cfg.ParseString(scaled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, _, err := cfg.Build("half", d, tensor.NewRNG(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, _, err := Build(DroNet, 128, tensor.NewRNG(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if net.FLOPs() >= full.FLOPs()/2 {
+		t.Fatalf("scaled FLOPs %d not well below full %d", net.FLOPs(), full.FLOPs())
+	}
+	// Head stays 30 channels so the region layer still validates.
+	if net.OutShape().C != 30 {
+		t.Fatalf("scaled head channels = %d", net.OutShape().C)
+	}
+	// Floor: filters never drop below 2.
+	tiny, err := Scale(text, 0.001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(tiny, "filters=2") {
+		t.Fatal("scale floor of 2 filters not applied")
+	}
+}
+
+func TestScaleRejectsGarbage(t *testing.T) {
+	if _, err := Scale("not a cfg", 0.5); err == nil {
+		t.Fatal("expected error for invalid cfg text")
+	}
+}
+
+func TestCfgTextParsesStandalone(t *testing.T) {
+	// The cfg text must be valid Darknet-style syntax on its own.
+	for _, name := range Names() {
+		text, err := Cfg(name, 416)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := cfg.ParseString(text); err != nil {
+			t.Fatalf("%s cfg does not parse: %v", name, err)
+		}
+		if !strings.Contains(text, "[region]") {
+			t.Fatalf("%s cfg missing region section", name)
+		}
+	}
+}

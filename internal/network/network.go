@@ -1,0 +1,206 @@
+// Package network assembles layers into a trainable feed-forward detector
+// and provides the SGD optimizer, workload accounting (FLOPs, parameters,
+// activation memory) and the layer summary tables used to reproduce the
+// paper's Fig. 1 and Fig. 2.
+package network
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/detect"
+	"repro/internal/layers"
+	"repro/internal/tensor"
+)
+
+// Network is an ordered stack of layers ending, for the paper's detectors,
+// in a region layer.
+type Network struct {
+	// Name labels the model (e.g. "DroNet").
+	Name string
+	// InputW, InputH, InputC describe the expected input image tensor.
+	InputW, InputH, InputC int
+	Layers                 []layers.Layer
+
+	lastOut *tensor.Tensor
+}
+
+// New creates an empty network for the given input geometry.
+func New(name string, w, h, c int) *Network {
+	return &Network{Name: name, InputW: w, InputH: h, InputC: c}
+}
+
+// Add appends a layer; its input shape must chain from the previous layer.
+func (n *Network) Add(l layers.Layer) error {
+	want := n.nextShape()
+	got := l.InShape()
+	if got != want {
+		return fmt.Errorf("network: layer %q input %+v does not chain from %+v", l.Name(), got, want)
+	}
+	n.Layers = append(n.Layers, l)
+	return nil
+}
+
+func (n *Network) nextShape() layers.Shape {
+	if len(n.Layers) == 0 {
+		return layers.Shape{C: n.InputC, H: n.InputH, W: n.InputW}
+	}
+	return n.Layers[len(n.Layers)-1].OutShape()
+}
+
+// OutShape returns the per-sample output shape of the final layer.
+func (n *Network) OutShape() layers.Shape { return n.nextShape() }
+
+// Region returns the terminal region layer, or nil if the network does not
+// end in one.
+func (n *Network) Region() *layers.Region {
+	if len(n.Layers) == 0 {
+		return nil
+	}
+	r, _ := n.Layers[len(n.Layers)-1].(*layers.Region)
+	return r
+}
+
+// Forward runs the network on a batch. The returned tensor is owned by the
+// final layer and is valid until the next Forward.
+func (n *Network) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	cur := x
+	for _, l := range n.Layers {
+		cur = l.Forward(cur, train)
+	}
+	n.lastOut = cur
+	return cur
+}
+
+// Backward back-propagates from the terminal (loss-computing) layer through
+// the stack. It must follow a Forward with train=true.
+func (n *Network) Backward() {
+	var grad *tensor.Tensor
+	for i := len(n.Layers) - 1; i >= 0; i-- {
+		grad = n.Layers[i].Backward(grad)
+	}
+}
+
+// TrainStep runs one forward/backward pass over a batch with the given
+// ground truth and returns the batch loss. Parameter gradients accumulate
+// until Update is called.
+func (n *Network) TrainStep(x *tensor.Tensor, truths [][]layers.Truth) (float64, error) {
+	r := n.Region()
+	if r == nil {
+		return 0, fmt.Errorf("network: TrainStep requires a region layer")
+	}
+	r.SetTruths(truths)
+	n.Forward(x, true)
+	n.Backward()
+	return r.Loss, nil
+}
+
+// Params returns all learnable parameters in layer order.
+func (n *Network) Params() []*layers.Param {
+	var ps []*layers.Param
+	for _, l := range n.Layers {
+		ps = append(ps, l.Params()...)
+	}
+	return ps
+}
+
+// SGD holds the optimizer hyper-parameters, mirroring Darknet's defaults.
+type SGD struct {
+	LR       float64
+	Momentum float64
+	Decay    float64
+}
+
+// Update applies one SGD-with-momentum step, scaled for the batch size, and
+// zeroes the accumulated gradients.
+func (n *Network) Update(opt SGD, batch int) {
+	if batch < 1 {
+		batch = 1
+	}
+	lr := float32(opt.LR / float64(batch))
+	mom := float32(opt.Momentum)
+	for _, p := range n.Params() {
+		w, g, v := p.W.Data, p.G.Data, p.V.Data
+		if p.Decay && opt.Decay != 0 {
+			dec := float32(opt.Decay * float64(batch))
+			for i := range g {
+				g[i] += dec * w[i]
+			}
+		}
+		for i := range w {
+			v[i] = mom*v[i] - lr*g[i]
+			w[i] += v[i]
+			g[i] = 0
+		}
+	}
+}
+
+// ZeroGrads clears all parameter gradients.
+func (n *Network) ZeroGrads() {
+	for _, p := range n.Params() {
+		p.G.Zero()
+	}
+}
+
+// NumParams returns the total learnable parameter count.
+func (n *Network) NumParams() int64 {
+	var total int64
+	for _, p := range n.Params() {
+		total += int64(p.W.Len())
+	}
+	return total
+}
+
+// FLOPs returns the per-image forward cost in floating point operations.
+func (n *Network) FLOPs() int64 {
+	var total int64
+	for _, l := range n.Layers {
+		total += l.FLOPs()
+	}
+	return total
+}
+
+// IOBytes returns the per-image memory-traffic estimate for the roofline
+// platform model.
+func (n *Network) IOBytes() int64 {
+	var total int64
+	for _, l := range n.Layers {
+		total += l.IOBytes()
+	}
+	return total
+}
+
+// Detect runs inference on a single-image tensor and returns thresholded,
+// NMS-filtered detections.
+func (n *Network) Detect(x *tensor.Tensor, thresh, nmsThresh float64) ([]detect.Detection, error) {
+	r := n.Region()
+	if r == nil {
+		return nil, fmt.Errorf("network: Detect requires a region layer")
+	}
+	out := n.Forward(x, false)
+	var all []detect.Detection
+	for b := 0; b < x.N; b++ {
+		all = append(all, r.Decode(out, b, thresh)...)
+	}
+	return detect.NMS(all, nmsThresh), nil
+}
+
+// Summary renders the Fig. 1/Fig. 2-style layer table: index, type, filter
+// configuration, input and output sizes, and per-layer GFLOPs.
+func (n *Network) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s  (input %dx%dx%d)\n", n.Name, n.InputW, n.InputH, n.InputC)
+	fmt.Fprintf(&b, "%-4s %-24s %-16s %-16s %10s\n", "#", "layer", "input", "output", "MFLOPs")
+	in := layers.Shape{C: n.InputC, H: n.InputH, W: n.InputW}
+	for i, l := range n.Layers {
+		out := l.OutShape()
+		fmt.Fprintf(&b, "%-4d %-24s %-16s %-16s %10.2f\n",
+			i, l.Name(),
+			fmt.Sprintf("%dx%dx%d", in.W, in.H, in.C),
+			fmt.Sprintf("%dx%dx%d", out.W, out.H, out.C),
+			float64(l.FLOPs())/1e6)
+		in = out
+	}
+	fmt.Fprintf(&b, "total: %.1f MFLOPs, %d params\n", float64(n.FLOPs())/1e6, n.NumParams())
+	return b.String()
+}

@@ -1,0 +1,207 @@
+package network
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/detect"
+	"repro/internal/layers"
+	"repro/internal/tensor"
+)
+
+func mustConv(t *testing.T, in layers.Shape, filters, ksize, stride, pad int, bn bool, act layers.Activation, rng *tensor.RNG) *layers.Conv2D {
+	t.Helper()
+	c, err := layers.NewConv2D(in, filters, ksize, stride, pad, bn, act, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// tinyDetector builds a minimal conv→conv→region network on an 8x8 input
+// with a 4x4 output grid.
+func tinyDetector(t *testing.T, rng *tensor.RNG) *Network {
+	t.Helper()
+	n := New("tiny", 8, 8, 1)
+	c1 := mustConv(t, layers.Shape{C: 1, H: 8, W: 8}, 4, 3, 2, 1, false, layers.ActLeaky, rng)
+	if err := n.Add(c1); err != nil {
+		t.Fatal(err)
+	}
+	anchors := [][2]float64{{1.2, 1.2}}
+	c2 := mustConv(t, c1.OutShape(), 6, 1, 1, 0, false, layers.ActLinear, rng)
+	if err := n.Add(c2); err != nil {
+		t.Fatal(err)
+	}
+	cfg := layers.DefaultRegionConfig(1, anchors)
+	cfg.BurnIn = 0
+	r, err := layers.NewRegion(c2.OutShape(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Add(r); err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func TestAddRejectsShapeMismatch(t *testing.T) {
+	rng := tensor.NewRNG(1)
+	n := New("bad", 8, 8, 3)
+	c := mustConv(t, layers.Shape{C: 1, H: 8, W: 8}, 4, 3, 1, 1, false, layers.ActLeaky, rng)
+	if err := n.Add(c); err == nil {
+		t.Fatal("expected chaining error for wrong input channels")
+	}
+}
+
+func TestForwardShapes(t *testing.T) {
+	rng := tensor.NewRNG(2)
+	n := tinyDetector(t, rng)
+	x := tensor.New(2, 1, 8, 8)
+	rng.FillUniform(x.Data, 0, 1)
+	out := n.Forward(x, false)
+	if out.C != 6 || out.H != 4 || out.W != 4 {
+		t.Fatalf("out shape = %v", out)
+	}
+	if n.Region() == nil {
+		t.Fatal("Region() returned nil")
+	}
+}
+
+func TestTrainStepReducesLoss(t *testing.T) {
+	rng := tensor.NewRNG(3)
+	n := tinyDetector(t, rng)
+	x := tensor.New(1, 1, 8, 8)
+	rng.FillUniform(x.Data, 0, 1)
+	truths := [][]layers.Truth{{
+		{Box: detect.Box{X: 0.5, Y: 0.5, W: 0.3, H: 0.3}},
+	}}
+	opt := SGD{LR: 0.05, Momentum: 0.9}
+	first, err := n.TrainStep(x, truths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.Update(opt, 1)
+	var last float64
+	for i := 0; i < 60; i++ {
+		last, err = n.TrainStep(x, truths)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n.Update(opt, 1)
+	}
+	if last >= first*0.5 {
+		t.Fatalf("loss did not halve: first %v, last %v", first, last)
+	}
+}
+
+func TestTrainStepRequiresRegion(t *testing.T) {
+	rng := tensor.NewRNG(4)
+	n := New("noregion", 8, 8, 1)
+	c := mustConv(t, layers.Shape{C: 1, H: 8, W: 8}, 2, 3, 1, 1, false, layers.ActLeaky, rng)
+	if err := n.Add(c); err != nil {
+		t.Fatal(err)
+	}
+	x := tensor.New(1, 1, 8, 8)
+	if _, err := n.TrainStep(x, nil); err == nil {
+		t.Fatal("expected error without region layer")
+	}
+	if _, err := n.Detect(x, 0.5, 0.4); err == nil {
+		t.Fatal("expected Detect error without region layer")
+	}
+}
+
+func TestUpdateAppliesMomentumAndDecay(t *testing.T) {
+	rng := tensor.NewRNG(5)
+	n := New("m", 4, 4, 1)
+	c := mustConv(t, layers.Shape{C: 1, H: 4, W: 4}, 1, 1, 1, 0, false, layers.ActLinear, rng)
+	if err := n.Add(c); err != nil {
+		t.Fatal(err)
+	}
+	c.Weights.W.Data[0] = 1
+	c.Weights.G.Data[0] = 2
+	n.Update(SGD{LR: 0.1, Momentum: 0.5, Decay: 0.01}, 1)
+	// g = 2 + 0.01*1 = 2.01; v = -0.1*2.01 = -0.201; w = 0.799
+	if got := c.Weights.W.Data[0]; got < 0.798 || got > 0.80 {
+		t.Fatalf("w after update = %v, want ≈0.799", got)
+	}
+	if c.Weights.G.Data[0] != 0 {
+		t.Fatal("gradient not cleared by Update")
+	}
+	// Second update with zero grad: momentum keeps moving the weight.
+	w1 := c.Weights.W.Data[0]
+	n.Update(SGD{LR: 0.1, Momentum: 0.5, Decay: 0}, 1)
+	if c.Weights.W.Data[0] >= w1 {
+		t.Fatal("momentum did not carry the update")
+	}
+}
+
+func TestNumParamsAndFLOPs(t *testing.T) {
+	rng := tensor.NewRNG(6)
+	n := New("count", 8, 8, 3)
+	c := mustConv(t, layers.Shape{C: 3, H: 8, W: 8}, 4, 3, 1, 1, false, layers.ActLeaky, rng)
+	if err := n.Add(c); err != nil {
+		t.Fatal(err)
+	}
+	// weights 4*3*3*3 = 108, biases 4 → 112 params.
+	if got := n.NumParams(); got != 112 {
+		t.Fatalf("NumParams = %d, want 112", got)
+	}
+	// 2 * 4 filters * 27 fan-in * 64 positions = 13824 FLOPs.
+	if got := n.FLOPs(); got != 13824 {
+		t.Fatalf("FLOPs = %d, want 13824", got)
+	}
+	if n.IOBytes() <= 0 {
+		t.Fatal("IOBytes must be positive")
+	}
+}
+
+func TestDetectProducesBoxesAfterOverfit(t *testing.T) {
+	rng := tensor.NewRNG(7)
+	n := tinyDetector(t, rng)
+	x := tensor.New(1, 1, 8, 8)
+	rng.FillUniform(x.Data, 0, 1)
+	truth := detect.Box{X: 0.55, Y: 0.45, W: 0.3, H: 0.3}
+	truths := [][]layers.Truth{{{Box: truth}}}
+	opt := SGD{LR: 0.05, Momentum: 0.9}
+	for i := 0; i < 250; i++ {
+		if _, err := n.TrainStep(x, truths); err != nil {
+			t.Fatal(err)
+		}
+		n.Update(opt, 1)
+	}
+	dets, err := n.Detect(x, 0.5, 0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dets) == 0 {
+		t.Fatal("no detections after overfitting a single image")
+	}
+	if iou := detect.IoU(dets[0].Box, truth); iou < 0.45 {
+		t.Fatalf("best detection IoU = %v, want >= 0.45 (box %+v)", iou, dets[0].Box)
+	}
+}
+
+func TestSummaryContainsLayers(t *testing.T) {
+	rng := tensor.NewRNG(8)
+	n := tinyDetector(t, rng)
+	s := n.Summary()
+	for _, want := range []string{"tiny", "conv 3x3/2 4", "region", "total:"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("summary missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestZeroGrads(t *testing.T) {
+	rng := tensor.NewRNG(9)
+	n := tinyDetector(t, rng)
+	for _, p := range n.Params() {
+		p.G.Fill(3)
+	}
+	n.ZeroGrads()
+	for _, p := range n.Params() {
+		if p.G.MaxAbs() != 0 {
+			t.Fatal("ZeroGrads left non-zero gradient")
+		}
+	}
+}

@@ -1,0 +1,150 @@
+package platform
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/models"
+	"repro/internal/tensor"
+)
+
+func fps(t *testing.T, p Platform, model string, size int) float64 {
+	t.Helper()
+	net, _, err := models.Build(model, size, tensor.NewRNG(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p.Predict(net).FPS
+}
+
+// TestPaperAnchorI5SmallYoloV3 checks §IV.A: SmallYoloV3 at 386 reaches the
+// highest frame rate of all models, ≈23 FPS, on the i5 CPU.
+func TestPaperAnchorI5SmallYoloV3(t *testing.T) {
+	got := fps(t, IntelI5, models.SmallYoloV3, 386)
+	if got < 20 || got > 26 {
+		t.Fatalf("SmallYoloV3@386 on i5 = %.2f FPS, paper anchor ≈23", got)
+	}
+	for _, m := range models.Names() {
+		if m == models.SmallYoloV3 {
+			continue
+		}
+		if other := fps(t, IntelI5, m, 386); other >= got {
+			t.Fatalf("%s (%.2f FPS) not slower than SmallYoloV3 (%.2f)", m, other, got)
+		}
+	}
+}
+
+// TestPaperAnchorDroNetSpeedupI5 checks §IV.A: DroNet ≈30× faster than
+// TinyYoloVoc at input 386 on the CPU platform.
+func TestPaperAnchorDroNetSpeedupI5(t *testing.T) {
+	ratio := fps(t, IntelI5, models.DroNet, 386) / fps(t, IntelI5, models.TinyYoloVoc, 386)
+	if ratio < 22 || ratio > 42 {
+		t.Fatalf("DroNet/TinyYoloVoc speedup at 386 = %.1fx, paper says ≈30x", ratio)
+	}
+}
+
+// TestPaperAnchorTinyYoloNetSpeedup checks §IV.A: TinyYoloNet ≈10× faster
+// than TinyYoloVoc at 386.
+func TestPaperAnchorTinyYoloNetSpeedup(t *testing.T) {
+	ratio := fps(t, IntelI5, models.TinyYoloNet, 386) / fps(t, IntelI5, models.TinyYoloVoc, 386)
+	if ratio < 7 || ratio > 16 {
+		t.Fatalf("TinyYoloNet/TinyYoloVoc speedup = %.1fx, paper says ≈10x", ratio)
+	}
+}
+
+// TestPaperAnchorOdroid checks §IV.B.1: on the Odroid-XU4, DroNet@512 runs
+// 8–10 FPS while TinyYoloVoc manages only ≈0.1 FPS.
+func TestPaperAnchorOdroid(t *testing.T) {
+	dronet := fps(t, OdroidXU4, models.DroNet, 512)
+	if dronet < 7.5 || dronet > 10.5 {
+		t.Fatalf("DroNet@512 on Odroid = %.2f FPS, paper says 8-10", dronet)
+	}
+	voc := fps(t, OdroidXU4, models.TinyYoloVoc, 512)
+	if voc < 0.07 || voc > 0.14 {
+		t.Fatalf("TinyYoloVoc@512 on Odroid = %.3f FPS, paper says ≈0.1", voc)
+	}
+	if ratio := dronet / voc; ratio < 40 {
+		t.Fatalf("Odroid speedup = %.0fx, paper says at least 40x", ratio)
+	}
+}
+
+// TestPaperAnchorRPi3 checks §IV.B.2: DroNet@512 runs 5–6 FPS on the Pi 3.
+func TestPaperAnchorRPi3(t *testing.T) {
+	got := fps(t, RaspberryPi3, models.DroNet, 512)
+	if got < 4.5 || got > 6.5 {
+		t.Fatalf("DroNet@512 on RPi3 = %.2f FPS, paper says 5-6", got)
+	}
+}
+
+// TestPaperDroNetOperatingRange checks the abstract's claim: DroNet
+// sustains 5–18 FPS across the evaluated platforms and input sizes.
+func TestPaperDroNetOperatingRange(t *testing.T) {
+	for _, p := range All() {
+		for _, size := range []int{386, 512} {
+			got := fps(t, p, models.DroNet, size)
+			if got < 4.5 || got > 19 {
+				t.Fatalf("DroNet@%d on %s = %.2f FPS, outside the paper's 5-18 range", size, p.Name, got)
+			}
+		}
+	}
+}
+
+func TestLargerInputIsSlower(t *testing.T) {
+	for _, p := range All() {
+		for _, m := range models.Names() {
+			prev := fps(t, p, m, 352)
+			for _, size := range []int{416, 480, 544, 608} {
+				cur := fps(t, p, m, size)
+				if cur >= prev {
+					t.Fatalf("%s on %s: FPS did not fall from size %d (%f → %f)", m, p.Name, size, prev, cur)
+				}
+				prev = cur
+			}
+		}
+	}
+}
+
+func TestLayerTimeCacheSensitivity(t *testing.T) {
+	p := Platform{CachedGFLOPS: 10, SpilledGFLOPS: 1, CacheBytes: 1000, MemBWGBps: 1000, LayerOverheadSec: 0}
+	fast := p.LayerTime(1e9, 500, 0)
+	slow := p.LayerTime(1e9, 2000, 0)
+	if slow < fast*9 {
+		t.Fatalf("cache spill must slow the layer ~10x: %v vs %v", fast, slow)
+	}
+}
+
+func TestLayerTimeBandwidthFloor(t *testing.T) {
+	p := Platform{CachedGFLOPS: 1000, SpilledGFLOPS: 1000, CacheBytes: 1 << 30, MemBWGBps: 1, LayerOverheadSec: 0}
+	// Tiny compute, huge traffic: time = bytes / BW.
+	got := p.LayerTime(1, 0, 2e9)
+	if got < 1.9 || got > 2.1 {
+		t.Fatalf("bandwidth floor = %v s, want ≈2", got)
+	}
+}
+
+func TestByName(t *testing.T) {
+	for alias, want := range map[string]string{
+		"i5":     IntelI5.Name,
+		"odroid": OdroidXU4.Name,
+		"rpi3":   RaspberryPi3.Name,
+	} {
+		p, err := ByName(alias)
+		if err != nil || p.Name != want {
+			t.Fatalf("ByName(%q) = %v, %v", alias, p.Name, err)
+		}
+	}
+	if _, err := ByName("gpu"); err == nil {
+		t.Fatal("expected error for unknown platform")
+	}
+}
+
+func TestPredictionString(t *testing.T) {
+	net, _, err := models.Build(models.DroNet, 352, tensor.NewRNG(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := IntelI5.Predict(net).String()
+	if !strings.Contains(s, "FPS") || !strings.Contains(s, "conv") {
+		t.Fatalf("prediction table incomplete:\n%s", s)
+	}
+}

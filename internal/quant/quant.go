@@ -1,0 +1,383 @@
+// Package quant implements the paper's stated future work (§V): reducing
+// the bit-width of the deployed network. It provides the two standard
+// steps: folding batch normalization into convolution weights, and
+// post-training symmetric INT8 quantization with per-output-channel weight
+// scales and per-layer activation scales calibrated on sample images.
+//
+// On the paper's platforms the benefit of INT8 is chiefly the 4× smaller
+// weight working set (cache residency in the roofline model) plus wider
+// integer SIMD; PredictFPS exposes the corresponding platform-model
+// estimate so the bit-width ablation of EXPERIMENTS.md can be regenerated.
+package quant
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/detect"
+	"repro/internal/layers"
+	"repro/internal/network"
+	"repro/internal/platform"
+	"repro/internal/tensor"
+)
+
+// FoldBatchNorm rewrites every batch-normalized convolution of net into an
+// equivalent plain convolution:
+//
+//	w' = γ·w/√(σ²+ε),  b' = β + γ·(b−μ)/√(σ²+ε)   (per output channel)
+//
+// using the rolling inference statistics. The returned network shares no
+// parameter storage with the input and produces identical inference
+// outputs (up to float rounding).
+func FoldBatchNorm(net *network.Network) (*network.Network, error) {
+	out := network.New(net.Name+"-folded", net.InputW, net.InputH, net.InputC)
+	rng := tensor.NewRNG(1)
+	for i, l := range net.Layers {
+		switch c := l.(type) {
+		case *layers.Conv2D:
+			nc, err := layers.NewConv2D(c.InShape(), c.Filters, c.Ksize, c.Stride, c.Pad, false, c.Act, rng)
+			if err != nil {
+				return nil, fmt.Errorf("quant: layer %d: %w", i, err)
+			}
+			fanIn := c.InShape().C * c.Ksize * c.Ksize
+			for f := 0; f < c.Filters; f++ {
+				scale, shift := float32(1), c.Biases.W.Data[f]
+				if c.BatchNorm {
+					inv := float32(1 / math.Sqrt(float64(c.RollingVar.Data[f])+1e-5))
+					gamma := c.Scales.W.Data[f]
+					scale = gamma * inv
+					shift = c.Biases.W.Data[f] - gamma*c.RollingMean.Data[f]*inv
+				}
+				for k := 0; k < fanIn; k++ {
+					nc.Weights.W.Data[f*fanIn+k] = c.Weights.W.Data[f*fanIn+k] * scale
+				}
+				nc.Biases.W.Data[f] = shift
+			}
+			if err := out.Add(nc); err != nil {
+				return nil, err
+			}
+		case *layers.MaxPool:
+			np, err := layers.NewMaxPool(c.InShape(), c.Size, c.Stride, c.Pad)
+			if err != nil {
+				return nil, err
+			}
+			if err := out.Add(np); err != nil {
+				return nil, err
+			}
+		case *layers.Region:
+			nr, err := layers.NewRegion(c.InShape(), c.Config())
+			if err != nil {
+				return nil, err
+			}
+			if err := out.Add(nr); err != nil {
+				return nil, err
+			}
+		default:
+			return nil, fmt.Errorf("quant: unsupported layer %T", l)
+		}
+	}
+	return out, nil
+}
+
+// QConv is an INT8-quantized convolution: int8 weights with one scale per
+// output channel, int8 activations with a calibrated per-layer scale, and
+// int32 accumulation. Bias addition and activation run in float32, as do
+// the values flowing between layers (the standard "fake-quant inference"
+// data path, which isolates the accuracy effect of the 8-bit storage).
+type QConv struct {
+	in, out Shape
+	Filters int
+	Ksize   int
+	Stride  int
+	Pad     int
+	Act     layers.Activation
+
+	W        []int8    // Filters × fanIn
+	WScale   []float32 // per output channel
+	Bias     []float32
+	ActScale float32 // input activation quantization scale
+
+	col  []int8
+	out_ *tensor.Tensor
+}
+
+// Shape mirrors layers.Shape to keep the package's public surface small.
+type Shape = layers.Shape
+
+// QNet is a quantized inference network: quantized convolutions plus the
+// original pooling and region layers.
+type QNet struct {
+	Name                   string
+	InputW, InputH, InputC int
+	Convs                  []*QConv       // in execution order, nil entries align with Others
+	Others                 []layers.Layer // pool/region layers
+	Order                  []bool         // true → next conv, false → next other
+	region                 *layers.Region
+}
+
+// Quantize converts a (BN-folded or BN-free) network to INT8 using the
+// calibration tensors to set activation scales (max-abs observed per conv
+// input). Networks with batch-normalized convolutions are folded first.
+func Quantize(net *network.Network, calibration []*tensor.Tensor) (*QNet, error) {
+	if len(calibration) == 0 {
+		return nil, fmt.Errorf("quant: need at least one calibration image")
+	}
+	for _, l := range net.Layers {
+		if c, ok := l.(*layers.Conv2D); ok && c.BatchNorm {
+			folded, err := FoldBatchNorm(net)
+			if err != nil {
+				return nil, err
+			}
+			net = folded
+			break
+		}
+	}
+	// Observe per-conv input ranges over the calibration set.
+	maxAbs := make([]float32, len(net.Layers))
+	for _, img := range calibration {
+		x := img
+		for i, l := range net.Layers {
+			if _, ok := l.(*layers.Conv2D); ok {
+				if m := x.MaxAbs(); m > maxAbs[i] {
+					maxAbs[i] = m
+				}
+			}
+			x = l.Forward(x, false)
+		}
+	}
+	q := &QNet{Name: net.Name + "-int8", InputW: net.InputW, InputH: net.InputH, InputC: net.InputC}
+	for i, l := range net.Layers {
+		switch c := l.(type) {
+		case *layers.Conv2D:
+			qc, err := quantizeConv(c, maxAbs[i])
+			if err != nil {
+				return nil, err
+			}
+			q.Convs = append(q.Convs, qc)
+			q.Order = append(q.Order, true)
+		case *layers.Region:
+			q.Others = append(q.Others, l)
+			q.Order = append(q.Order, false)
+			q.region = c
+		default:
+			q.Others = append(q.Others, l)
+			q.Order = append(q.Order, false)
+		}
+	}
+	if q.region == nil {
+		return nil, fmt.Errorf("quant: network has no region layer")
+	}
+	return q, nil
+}
+
+func quantizeConv(c *layers.Conv2D, inMaxAbs float32) (*QConv, error) {
+	if c.BatchNorm {
+		return nil, fmt.Errorf("quant: conv still batch-normalized; fold first")
+	}
+	if inMaxAbs == 0 {
+		inMaxAbs = 1
+	}
+	fanIn := c.InShape().C * c.Ksize * c.Ksize
+	qc := &QConv{
+		in: c.InShape(), out: c.OutShape(),
+		Filters: c.Filters, Ksize: c.Ksize, Stride: c.Stride, Pad: c.Pad, Act: c.Act,
+		W:        make([]int8, c.Filters*fanIn),
+		WScale:   make([]float32, c.Filters),
+		Bias:     make([]float32, c.Filters),
+		ActScale: inMaxAbs / 127,
+		col:      make([]int8, fanIn*c.OutShape().H*c.OutShape().W),
+	}
+	copy(qc.Bias, c.Biases.W.Data)
+	for f := 0; f < c.Filters; f++ {
+		row := c.Weights.W.Data[f*fanIn : (f+1)*fanIn]
+		var m float32
+		for _, v := range row {
+			if a := abs32(v); a > m {
+				m = a
+			}
+		}
+		if m == 0 {
+			m = 1
+		}
+		scale := m / 127
+		qc.WScale[f] = scale
+		for k, v := range row {
+			qv := int32(roundf(v / scale))
+			if qv > 127 {
+				qv = 127
+			}
+			if qv < -127 {
+				qv = -127
+			}
+			qc.W[f*fanIn+k] = int8(qv)
+		}
+	}
+	return qc, nil
+}
+
+func abs32(v float32) float32 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+func roundf(v float32) float32 {
+	if v >= 0 {
+		return float32(math.Floor(float64(v) + 0.5))
+	}
+	return float32(math.Ceil(float64(v) - 0.5))
+}
+
+// Forward runs INT8 inference on a single-image tensor.
+func (qc *QConv) Forward(x *tensor.Tensor) *tensor.Tensor {
+	if qc.out_ == nil || qc.out_.N != x.N {
+		qc.out_ = tensor.New(x.N, qc.out.C, qc.out.H, qc.out.W)
+	}
+	out := qc.out_
+	fanIn := qc.in.C * qc.Ksize * qc.Ksize
+	spatial := qc.out.H * qc.out.W
+	inv := 1 / qc.ActScale
+	qx := make([]int8, qc.in.Size())
+	for b := 0; b < x.N; b++ {
+		src := x.Batch(b).Data
+		// Quantize the input activations symmetrically.
+		for i, v := range src {
+			qv := int32(roundf(v * inv))
+			if qv > 127 {
+				qv = 127
+			}
+			if qv < -127 {
+				qv = -127
+			}
+			qx[i] = int8(qv)
+		}
+		col := qx
+		if !(qc.Ksize == 1 && qc.Stride == 1 && qc.Pad == 0) {
+			im2colInt8(qx, qc.in.C, qc.in.H, qc.in.W, qc.Ksize, qc.Stride, qc.Pad, qc.col)
+			col = qc.col
+		}
+		dst := out.Batch(b).Data
+		for f := 0; f < qc.Filters; f++ {
+			wrow := qc.W[f*fanIn : (f+1)*fanIn]
+			deq := qc.WScale[f] * qc.ActScale
+			bias := qc.Bias[f]
+			orow := dst[f*spatial : (f+1)*spatial]
+			for j := 0; j < spatial; j++ {
+				var acc int32
+				for k, wv := range wrow {
+					acc += int32(wv) * int32(col[k*spatial+j])
+				}
+				orow[j] = float32(acc)*deq + bias
+			}
+		}
+	}
+	if qc.Act == layers.ActLeaky {
+		tensor.Leaky(out.Data)
+	}
+	return out
+}
+
+// im2colInt8 mirrors tensor.Im2col for int8 data.
+func im2colInt8(img []int8, channels, height, width, ksize, stride, pad int, col []int8) {
+	outH := (height+2*pad-ksize)/stride + 1
+	outW := (width+2*pad-ksize)/stride + 1
+	colsPerRow := outH * outW
+	rows := channels * ksize * ksize
+	for r := 0; r < rows; r++ {
+		wOff := r % ksize
+		hOff := (r / ksize) % ksize
+		ch := r / (ksize * ksize)
+		src := img[ch*height*width:]
+		dst := col[r*colsPerRow:]
+		for oh := 0; oh < outH; oh++ {
+			ih := oh*stride - pad + hOff
+			base := oh * outW
+			if ih < 0 || ih >= height {
+				for ow := 0; ow < outW; ow++ {
+					dst[base+ow] = 0
+				}
+				continue
+			}
+			srow := src[ih*width:]
+			for ow := 0; ow < outW; ow++ {
+				iw := ow*stride - pad + wOff
+				if iw < 0 || iw >= width {
+					dst[base+ow] = 0
+				} else {
+					dst[base+ow] = srow[iw]
+				}
+			}
+		}
+	}
+}
+
+// Forward runs the whole quantized network on a batch tensor and returns
+// the region layer's activated output.
+func (q *QNet) Forward(x *tensor.Tensor) *tensor.Tensor {
+	ci, oi := 0, 0
+	cur := x
+	for _, isConv := range q.Order {
+		if isConv {
+			cur = q.Convs[ci].Forward(cur)
+			ci++
+		} else {
+			cur = q.Others[oi].Forward(cur, false)
+			oi++
+		}
+	}
+	return cur
+}
+
+// Detect runs quantized inference plus decode and NMS.
+func (q *QNet) Detect(x *tensor.Tensor, thresh, nms float64) []detect.Detection {
+	out := q.Forward(x)
+	var all []detect.Detection
+	for b := 0; b < x.N; b++ {
+		all = append(all, q.region.Decode(out, b, thresh)...)
+	}
+	return detect.NMS(all, nms)
+}
+
+// WeightBytes returns the INT8 parameter storage (scales and biases
+// included), roughly a quarter of the float32 network's.
+func (q *QNet) WeightBytes() int64 {
+	var total int64
+	for _, c := range q.Convs {
+		total += int64(len(c.W)) + 4*int64(len(c.WScale)+len(c.Bias))
+	}
+	return total
+}
+
+// PredictFPS estimates the quantized network's throughput on a platform:
+// FLOP counts are unchanged but the weight working set shrinks 4×, which
+// moves large layers back into cache in the roofline model, and integer
+// arithmetic gets the platform's INT8 throughput bonus (conservatively 2×
+// on these NEON/SSE-class CPUs).
+func PredictFPS(p platform.Platform, net *network.Network) float64 {
+	const int8Speedup = 2.0
+	var seconds float64
+	for _, l := range net.Layers {
+		var wBytes int64
+		for _, prm := range l.Params() {
+			wBytes += int64(prm.W.Len()) // 1 byte per weight
+		}
+		flops := l.FLOPs()
+		io := l.IOBytes() / 4 * 2 // int8 activations halve traffic vs float (conservative)
+		gf := p.CachedGFLOPS
+		if wBytes > p.CacheBytes {
+			gf = p.SpilledGFLOPS
+		}
+		compute := float64(flops) / (gf * 1e9 * int8Speedup)
+		traffic := float64(io) / (p.MemBWGBps * 1e9)
+		t := compute
+		if traffic > t {
+			t = traffic
+		}
+		seconds += t + p.LayerOverheadSec
+	}
+	if seconds <= 0 {
+		return 0
+	}
+	return 1 / seconds
+}

@@ -1,0 +1,184 @@
+package quant
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/cfg"
+	"repro/internal/models"
+	"repro/internal/network"
+	"repro/internal/platform"
+	"repro/internal/tensor"
+)
+
+func buildDroNet(t *testing.T, size int) *network.Network {
+	t.Helper()
+	net, _, err := models.Build(models.DroNet, size, tensor.NewRNG(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net
+}
+
+func randImages(n, c, h, w int, seed uint64) []*tensor.Tensor {
+	rng := tensor.NewRNG(seed)
+	imgs := make([]*tensor.Tensor, n)
+	for i := range imgs {
+		x := tensor.New(1, c, h, w)
+		rng.FillUniform(x.Data, 0, 1)
+		imgs[i] = x
+	}
+	return imgs
+}
+
+func TestFoldBatchNormParity(t *testing.T) {
+	net := buildDroNet(t, 96)
+	// Give the rolling statistics non-trivial values by running a few
+	// training-mode forwards.
+	rng := tensor.NewRNG(9)
+	x := tensor.New(2, 3, 96, 96)
+	rng.FillUniform(x.Data, 0, 1)
+	for i := 0; i < 5; i++ {
+		net.Forward(x, true)
+	}
+	folded, err := FoldBatchNorm(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	probe := tensor.New(1, 3, 96, 96)
+	rng.FillUniform(probe.Data, 0, 1)
+	a := net.Forward(probe, false).Clone()
+	b := folded.Forward(probe, false)
+	var maxDiff float64
+	for i := range a.Data {
+		if d := math.Abs(float64(a.Data[i] - b.Data[i])); d > maxDiff {
+			maxDiff = d
+		}
+	}
+	if maxDiff > 1e-3 {
+		t.Fatalf("BN folding changed outputs by %v", maxDiff)
+	}
+	// All convolutions in the folded network are BN-free.
+	for _, p := range folded.Params() {
+		if p.Name == "scales" {
+			t.Fatal("folded network still has BN scales")
+		}
+	}
+}
+
+func TestQuantizeNeedsCalibration(t *testing.T) {
+	net := buildDroNet(t, 96)
+	if _, err := Quantize(net, nil); err == nil {
+		t.Fatal("expected error without calibration images")
+	}
+}
+
+func TestQuantizedForwardCloseToFloat(t *testing.T) {
+	net := buildDroNet(t, 96)
+	calib := randImages(3, 3, 96, 96, 21)
+	q, err := Quantize(net, calib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	folded, err := FoldBatchNorm(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	probe := randImages(1, 3, 96, 96, 22)[0]
+	a := folded.Forward(probe, false).Clone()
+	b := q.Forward(probe)
+	if a.Len() != b.Len() {
+		t.Fatal("shape mismatch")
+	}
+	// Compare region-layer outputs: sigmoid-bounded entries should agree
+	// closely; measure the mean absolute difference.
+	var sum float64
+	for i := range a.Data {
+		sum += math.Abs(float64(a.Data[i] - b.Data[i]))
+	}
+	mean := sum / float64(a.Len())
+	if mean > 0.08 {
+		t.Fatalf("quantized output drifts too far: mean |Δ| = %v", mean)
+	}
+}
+
+func TestQuantizedDetectParity(t *testing.T) {
+	net := buildDroNet(t, 96)
+	calib := randImages(3, 3, 96, 96, 31)
+	q, err := Quantize(net, calib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	probe := randImages(1, 3, 96, 96, 32)[0]
+	fdets, err := net.Detect(probe, 0.01, 0.45)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qdets := q.Detect(probe, 0.01, 0.45)
+	// Untrained nets produce near-uniform confidences; the box counts
+	// should be in the same ballpark (within a factor of 3).
+	if len(fdets) > 0 && (len(qdets) > 3*len(fdets)+5 || 3*len(qdets)+5 < len(fdets)) {
+		t.Fatalf("detection count diverged: float %d vs int8 %d", len(fdets), len(qdets))
+	}
+}
+
+func TestWeightBytesQuartered(t *testing.T) {
+	net := buildDroNet(t, 96)
+	q, err := Quantize(net, randImages(1, 3, 96, 96, 41))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var floatBytes int64
+	for _, p := range net.Params() {
+		if p.Name == "weights" {
+			floatBytes += int64(p.W.Len()) * 4
+		}
+	}
+	if q.WeightBytes() >= floatBytes/2 {
+		t.Fatalf("INT8 weights not meaningfully smaller: %d vs float %d", q.WeightBytes(), floatBytes)
+	}
+}
+
+func TestPredictFPSFasterThanFloat(t *testing.T) {
+	// INT8 must never be slower in the platform model, and for the
+	// cache-spilled TinyYoloVoc it should be markedly faster.
+	for _, name := range models.Names() {
+		net, _, err := models.Build(name, 512, tensor.NewRNG(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range platform.All() {
+			f := p.Predict(net).FPS
+			qf := PredictFPS(p, net)
+			if qf < f {
+				t.Fatalf("%s on %s: INT8 %v FPS slower than float %v", name, p.Name, qf, f)
+			}
+		}
+	}
+	voc, _, err := models.Build(models.TinyYoloVoc, 512, tensor.NewRNG(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := platform.OdroidXU4.Predict(voc).FPS
+	qf := PredictFPS(platform.OdroidXU4, voc)
+	if qf < 2*f {
+		t.Fatalf("INT8 TinyYoloVoc on Odroid should gain >2x from cache residency: %v vs %v", qf, f)
+	}
+}
+
+func TestFoldRejectsUnknownLayer(t *testing.T) {
+	// A network with only a conv (no region) folds fine; Quantize then
+	// rejects it for the missing region layer.
+	text := "[net]\nwidth=16\nheight=16\nchannels=3\n[convolutional]\nbatch_normalize=1\nfilters=4\nsize=3\npad=1\nactivation=leaky\n"
+	d, err := cfg.ParseString(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, _, err := cfg.Build("x", d, tensor.NewRNG(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Quantize(net, randImages(1, 3, 16, 16, 5)); err == nil {
+		t.Fatal("expected error for missing region layer")
+	}
+}

@@ -1,0 +1,57 @@
+package tensor
+
+import (
+	"fmt"
+	"testing"
+)
+
+// BenchmarkGemm measures the framework's single numeric hot spot at the
+// shape of DroNet's heaviest layer (conv2: 12 filters × 72 fan-in over a
+// 256² feature map at input 512).
+func BenchmarkGemm(b *testing.B) {
+	for _, sz := range []struct{ m, n, k int }{
+		{12, 65536, 72},   // DroNet conv2 @512
+		{1024, 256, 4608}, // TinyYoloVoc conv7 @512
+		{64, 1024, 216},   // DroNet conv8 @512
+	} {
+		b.Run(fmt.Sprintf("m%d_n%d_k%d", sz.m, sz.n, sz.k), func(b *testing.B) {
+			rng := NewRNG(1)
+			a := make([]float32, sz.m*sz.k)
+			bm := make([]float32, sz.k*sz.n)
+			c := make([]float32, sz.m*sz.n)
+			rng.FillUniform(a, -1, 1)
+			rng.FillUniform(bm, -1, 1)
+			b.SetBytes(int64(4 * (sz.m*sz.k + sz.k*sz.n + sz.m*sz.n)))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				Gemm(false, false, sz.m, sz.n, sz.k, 1, a, sz.k, bm, sz.n, 0, c, sz.n)
+			}
+			flops := 2 * float64(sz.m) * float64(sz.n) * float64(sz.k)
+			b.ReportMetric(flops*float64(b.N)/b.Elapsed().Seconds()/1e9, "GFLOP/s")
+		})
+	}
+}
+
+// BenchmarkIm2col measures the convolution lowering step at DroNet's first
+// layer shape.
+func BenchmarkIm2col(b *testing.B) {
+	const c, h, w, k = 3, 512, 512, 3
+	img := make([]float32, c*h*w)
+	NewRNG(1).FillUniform(img, 0, 1)
+	col := make([]float32, c*k*k*h*w)
+	b.SetBytes(int64(4 * len(col)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Im2col(img, c, h, w, k, 1, 1, col)
+	}
+}
+
+// BenchmarkSoftmax measures the per-cell class activation.
+func BenchmarkSoftmax(b *testing.B) {
+	src := make([]float32, 20)
+	dst := make([]float32, 20)
+	NewRNG(1).FillUniform(src, -5, 5)
+	for i := 0; i < b.N; i++ {
+		Softmax(src, dst)
+	}
+}

@@ -1,0 +1,149 @@
+package tensor
+
+import (
+	"runtime"
+	"sync"
+)
+
+// blockK is the K-dimension tile used by the blocked GEMM kernels; it keeps
+// a panel of B resident in cache while a row strip of A streams through.
+const blockK = 128
+
+// Gemm computes C = alpha*op(A)*op(B) + beta*C for row-major matrices,
+// where op transposes its argument when ta/tb is true. A is M×K (or K×M if
+// transposed), B is K×N (or N×K), and C is M×N. This is the single numeric
+// hot spot of the framework: convolution forward and both backward passes
+// all lower to one Gemm call each.
+func Gemm(ta, tb bool, m, n, k int, alpha float32, a []float32, lda int, b []float32, ldb int, beta float32, c []float32, ldc int) {
+	if beta != 1 {
+		for i := 0; i < m; i++ {
+			row := c[i*ldc : i*ldc+n]
+			if beta == 0 {
+				for j := range row {
+					row[j] = 0
+				}
+			} else {
+				for j := range row {
+					row[j] *= beta
+				}
+			}
+		}
+	}
+	if alpha == 0 {
+		return
+	}
+	switch {
+	case !ta && !tb:
+		gemmNN(m, n, k, alpha, a, lda, b, ldb, c, ldc)
+	case ta && !tb:
+		gemmTN(m, n, k, alpha, a, lda, b, ldb, c, ldc)
+	case !ta && tb:
+		gemmNT(m, n, k, alpha, a, lda, b, ldb, c, ldc)
+	default:
+		gemmTT(m, n, k, alpha, a, lda, b, ldb, c, ldc)
+	}
+}
+
+// gemmRows runs fn(i0, i1) over row ranges of [0, m), in parallel when more
+// than one CPU is available and the work is large enough to amortize the
+// goroutine overhead.
+func gemmRows(m, work int, fn func(i0, i1 int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > m {
+		workers = m
+	}
+	if workers <= 1 || work < 1<<16 {
+		fn(0, m)
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (m + workers - 1) / workers
+	for i0 := 0; i0 < m; i0 += chunk {
+		i1 := i0 + chunk
+		if i1 > m {
+			i1 = m
+		}
+		wg.Add(1)
+		go func(i0, i1 int) {
+			defer wg.Done()
+			fn(i0, i1)
+		}(i0, i1)
+	}
+	wg.Wait()
+}
+
+func gemmNN(m, n, k int, alpha float32, a []float32, lda int, b []float32, ldb int, c []float32, ldc int) {
+	gemmRows(m, m*n*k, func(i0, i1 int) {
+		for kk := 0; kk < k; kk += blockK {
+			kEnd := kk + blockK
+			if kEnd > k {
+				kEnd = k
+			}
+			for i := i0; i < i1; i++ {
+				crow := c[i*ldc : i*ldc+n]
+				arow := a[i*lda:]
+				for p := kk; p < kEnd; p++ {
+					av := alpha * arow[p]
+					if av == 0 {
+						continue
+					}
+					brow := b[p*ldb : p*ldb+n]
+					for j, bv := range brow {
+						crow[j] += av * bv
+					}
+				}
+			}
+		}
+	})
+}
+
+func gemmTN(m, n, k int, alpha float32, a []float32, lda int, b []float32, ldb int, c []float32, ldc int) {
+	gemmRows(m, m*n*k, func(i0, i1 int) {
+		for p := 0; p < k; p++ {
+			brow := b[p*ldb : p*ldb+n]
+			arow := a[p*lda:]
+			for i := i0; i < i1; i++ {
+				av := alpha * arow[i]
+				if av == 0 {
+					continue
+				}
+				crow := c[i*ldc : i*ldc+n]
+				for j, bv := range brow {
+					crow[j] += av * bv
+				}
+			}
+		}
+	})
+}
+
+func gemmNT(m, n, k int, alpha float32, a []float32, lda int, b []float32, ldb int, c []float32, ldc int) {
+	gemmRows(m, m*n*k, func(i0, i1 int) {
+		for i := i0; i < i1; i++ {
+			arow := a[i*lda : i*lda+k]
+			crow := c[i*ldc : i*ldc+n]
+			for j := 0; j < n; j++ {
+				brow := b[j*ldb : j*ldb+k]
+				var sum float32
+				for p, av := range arow {
+					sum += av * brow[p]
+				}
+				crow[j] += alpha * sum
+			}
+		}
+	})
+}
+
+func gemmTT(m, n, k int, alpha float32, a []float32, lda int, b []float32, ldb int, c []float32, ldc int) {
+	gemmRows(m, m*n*k, func(i0, i1 int) {
+		for i := i0; i < i1; i++ {
+			crow := c[i*ldc : i*ldc+n]
+			for j := 0; j < n; j++ {
+				var sum float32
+				for p := 0; p < k; p++ {
+					sum += a[p*lda+i] * b[j*ldb+p]
+				}
+				crow[j] += alpha * sum
+			}
+		}
+	})
+}

@@ -1,0 +1,77 @@
+package tensor
+
+// Im2col unrolls a single-image CHW input into the column matrix used to
+// lower convolution onto GEMM. The output col has (channels*ksize*ksize)
+// rows and (outH*outW) columns, row-major. Input pixels outside the padded
+// image contribute zeros.
+func Im2col(img []float32, channels, height, width, ksize, stride, pad int, col []float32) {
+	outH := (height+2*pad-ksize)/stride + 1
+	outW := (width+2*pad-ksize)/stride + 1
+	colsPerRow := outH * outW
+	rows := channels * ksize * ksize
+	for r := 0; r < rows; r++ {
+		wOff := r % ksize
+		hOff := (r / ksize) % ksize
+		ch := r / (ksize * ksize)
+		src := img[ch*height*width:]
+		dst := col[r*colsPerRow:]
+		for oh := 0; oh < outH; oh++ {
+			ih := oh*stride - pad + hOff
+			base := oh * outW
+			if ih < 0 || ih >= height {
+				for ow := 0; ow < outW; ow++ {
+					dst[base+ow] = 0
+				}
+				continue
+			}
+			srow := src[ih*width:]
+			for ow := 0; ow < outW; ow++ {
+				iw := ow*stride - pad + wOff
+				if iw < 0 || iw >= width {
+					dst[base+ow] = 0
+				} else {
+					dst[base+ow] = srow[iw]
+				}
+			}
+		}
+	}
+}
+
+// Col2im scatters a column matrix back into a CHW image, accumulating
+// overlapping contributions. It is the adjoint of Im2col and is used by the
+// convolution backward pass to form input gradients. img must be
+// zero-initialized by the caller if a fresh gradient is wanted.
+func Col2im(col []float32, channels, height, width, ksize, stride, pad int, img []float32) {
+	outH := (height+2*pad-ksize)/stride + 1
+	outW := (width+2*pad-ksize)/stride + 1
+	colsPerRow := outH * outW
+	rows := channels * ksize * ksize
+	for r := 0; r < rows; r++ {
+		wOff := r % ksize
+		hOff := (r / ksize) % ksize
+		ch := r / (ksize * ksize)
+		dst := img[ch*height*width:]
+		src := col[r*colsPerRow:]
+		for oh := 0; oh < outH; oh++ {
+			ih := oh*stride - pad + hOff
+			if ih < 0 || ih >= height {
+				continue
+			}
+			drow := dst[ih*width:]
+			base := oh * outW
+			for ow := 0; ow < outW; ow++ {
+				iw := ow*stride - pad + wOff
+				if iw >= 0 && iw < width {
+					drow[iw] += src[base+ow]
+				}
+			}
+		}
+	}
+}
+
+// ConvOutSize returns the spatial output size of a convolution or pooling
+// window of size ksize with the given stride and padding applied to an input
+// of size in.
+func ConvOutSize(in, ksize, stride, pad int) int {
+	return (in+2*pad-ksize)/stride + 1
+}

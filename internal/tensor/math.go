@@ -1,0 +1,61 @@
+package tensor
+
+import "math"
+
+// LeakySlope is the negative-region slope used by all leaky-ReLU
+// activations in the framework, matching Darknet's 0.1.
+const LeakySlope = 0.1
+
+// Sigmoid returns the logistic function of x.
+func Sigmoid(x float32) float32 {
+	return float32(1 / (1 + math.Exp(-float64(x))))
+}
+
+// SigmoidGrad returns dσ/dx given y = σ(x).
+func SigmoidGrad(y float32) float32 { return y * (1 - y) }
+
+// Exp32 is a float32 convenience wrapper around math.Exp.
+func Exp32(x float32) float32 { return float32(math.Exp(float64(x))) }
+
+// Log32 is a float32 convenience wrapper around math.Log.
+func Log32(x float32) float32 { return float32(math.Log(float64(x))) }
+
+// Leaky applies the leaky-ReLU activation in place.
+func Leaky(x []float32) {
+	for i, v := range x {
+		if v < 0 {
+			x[i] = LeakySlope * v
+		}
+	}
+}
+
+// LeakyGrad multiplies grad by the leaky-ReLU derivative evaluated at the
+// pre-activation sign, which equals the sign of the activated output.
+func LeakyGrad(out, grad []float32) {
+	for i, v := range out {
+		if v < 0 {
+			grad[i] *= LeakySlope
+		}
+	}
+}
+
+// Softmax writes the softmax of src into dst using the max-subtraction
+// trick for numerical stability. len(dst) must equal len(src).
+func Softmax(src, dst []float32) {
+	maxv := src[0]
+	for _, v := range src[1:] {
+		if v > maxv {
+			maxv = v
+		}
+	}
+	var sum float64
+	for i, v := range src {
+		e := math.Exp(float64(v - maxv))
+		dst[i] = float32(e)
+		sum += e
+	}
+	inv := float32(1 / sum)
+	for i := range dst {
+		dst[i] *= inv
+	}
+}

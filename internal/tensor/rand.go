@@ -1,0 +1,87 @@
+package tensor
+
+import "math"
+
+// RNG is a small, deterministic xorshift64* pseudo-random generator used for
+// weight initialization and synthetic data. It is reproducible across
+// platforms, unlike math/rand's global source, and requires no locking.
+type RNG struct {
+	state uint64
+}
+
+// NewRNG returns a generator seeded with seed (0 is remapped to a fixed
+// non-zero constant, since the all-zero state is a fixed point of xorshift).
+func NewRNG(seed uint64) *RNG {
+	if seed == 0 {
+		seed = 0x9E3779B97F4A7C15
+	}
+	return &RNG{state: seed}
+}
+
+// Uint64 advances the generator and returns 64 random bits.
+func (r *RNG) Uint64() uint64 {
+	x := r.state
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	r.state = x
+	return x * 0x2545F4914F6CDD1D
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Float32 returns a uniform value in [0, 1).
+func (r *RNG) Float32() float32 { return float32(r.Float64()) }
+
+// Intn returns a uniform value in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("tensor: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Perm returns a uniformly random permutation of [0, n) via Fisher-Yates.
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// Range returns a uniform value in [lo, hi).
+func (r *RNG) Range(lo, hi float64) float64 {
+	return lo + (hi-lo)*r.Float64()
+}
+
+// Normal returns a standard-normal sample via Box-Muller.
+func (r *RNG) Normal() float64 {
+	u1 := r.Float64()
+	for u1 == 0 {
+		u1 = r.Float64()
+	}
+	u2 := r.Float64()
+	return math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+}
+
+// FillUniform fills data with uniform values in [lo, hi).
+func (r *RNG) FillUniform(data []float32, lo, hi float64) {
+	for i := range data {
+		data[i] = float32(r.Range(lo, hi))
+	}
+}
+
+// FillHe fills data with the scaled-uniform "He" initialization used by
+// Darknet for convolution weights: U(-s, s) with s = sqrt(2/fanIn).
+func (r *RNG) FillHe(data []float32, fanIn int) {
+	s := math.Sqrt(2 / float64(fanIn))
+	r.FillUniform(data, -s, s)
+}

@@ -1,0 +1,176 @@
+// Package train drives detector training the way Darknet does: shuffled
+// mini-batches with data augmentation, SGD with momentum and weight decay, a
+// burn-in learning-rate ramp followed by step decay, and periodic loss
+// reporting. It also provides the evaluation routine that scores a trained
+// network on a labelled dataset with the paper's metrics.
+package train
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/augment"
+	"repro/internal/cfg"
+	"repro/internal/dataset"
+	"repro/internal/detect"
+	"repro/internal/eval"
+	"repro/internal/layers"
+	"repro/internal/network"
+	"repro/internal/tensor"
+)
+
+// Config controls a training run. Zero values fall back to the
+// hyper-parameters from the model's [net] section.
+type Config struct {
+	// Batches is the number of mini-batch updates (Darknet's max_batches).
+	Batches int
+	// BatchSize is the mini-batch size.
+	BatchSize int
+	// LR, Momentum, Decay configure SGD.
+	LR, Momentum, Decay float64
+	// BurnIn ramps the learning rate from 0 over the first BurnIn batches.
+	BurnIn int
+	// Steps/Scales is the step decay schedule (batch number → LR multiplier).
+	Steps  []int
+	Scales []float64
+	// Aug selects training-time augmentation.
+	Aug augment.Config
+	// Seed drives shuffling and augmentation.
+	Seed uint64
+	// Log, when non-nil, receives progress lines.
+	Log io.Writer
+	// LogEvery batches between progress lines (default 50).
+	LogEvery int
+}
+
+// FromHyper seeds a Config from a parsed [net] section.
+func FromHyper(h *cfg.Hyper) Config {
+	return Config{
+		Batches:   h.MaxBatches,
+		BatchSize: h.Batch,
+		LR:        h.LearningRate,
+		Momentum:  h.Momentum,
+		Decay:     h.Decay,
+		BurnIn:    h.BurnIn,
+		Steps:     h.Steps,
+		Scales:    h.Scales,
+		Aug:       augment.Default(),
+	}
+}
+
+// Result summarizes a training run.
+type Result struct {
+	Batches   int
+	FinalLoss float64
+	// AvgLoss is the exponentially smoothed loss Darknet reports.
+	AvgLoss float64
+	// Curve records the smoothed loss every LogEvery batches.
+	Curve []float64
+}
+
+// Run trains net on ds. The dataset images are resized to the network's
+// input resolution; annotations are normalized so they survive resizing.
+func Run(net *network.Network, ds *dataset.Dataset, c Config) (*Result, error) {
+	if ds.Len() == 0 {
+		return nil, fmt.Errorf("train: empty dataset")
+	}
+	if c.Batches <= 0 {
+		return nil, fmt.Errorf("train: Batches must be positive, got %d", c.Batches)
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = 1
+	}
+	if c.LogEvery <= 0 {
+		c.LogEvery = 50
+	}
+	if len(c.Steps) != len(c.Scales) {
+		return nil, fmt.Errorf("train: %d steps but %d scales", len(c.Steps), len(c.Scales))
+	}
+	rng := tensor.NewRNG(c.Seed | 1)
+	res := &Result{}
+	avg := -1.0
+
+	x := tensor.New(c.BatchSize, 3, net.InputH, net.InputW)
+	perm := rng.Perm(ds.Len())
+	cursor := 0
+	for b := 0; b < c.Batches; b++ {
+		truths := make([][]layers.Truth, c.BatchSize)
+		for i := 0; i < c.BatchSize; i++ {
+			if cursor == ds.Len() {
+				perm = rng.Perm(ds.Len())
+				cursor = 0
+			}
+			item := ds.Items[perm[cursor]]
+			cursor++
+			item = augment.Apply(c.Aug, item, rng)
+			img := item.Image
+			if img.W != net.InputW || img.H != net.InputH {
+				img = img.Resize(net.InputW, net.InputH)
+			}
+			copy(x.Batch(i).Data, img.Pix)
+			truths[i] = augment.ToTruths(item.Truths)
+		}
+		loss, err := net.TrainStep(x, truths)
+		if err != nil {
+			return nil, err
+		}
+		lr := c.lrAt(b)
+		net.Update(network.SGD{LR: lr, Momentum: c.Momentum, Decay: c.Decay}, c.BatchSize)
+		if avg < 0 {
+			avg = loss
+		}
+		avg = 0.9*avg + 0.1*loss
+		res.FinalLoss = loss
+		res.AvgLoss = avg
+		res.Batches = b + 1
+		if (b+1)%c.LogEvery == 0 || b == c.Batches-1 {
+			res.Curve = append(res.Curve, avg)
+			if c.Log != nil {
+				r := net.Region()
+				fmt.Fprintf(c.Log, "batch %4d  lr %.5f  loss %8.4f  avg %8.4f  iou %.3f  recall %.3f\n",
+					b+1, lr, loss, avg, r.AvgIoU, r.Recall)
+			}
+		}
+	}
+	return res, nil
+}
+
+// lrAt applies burn-in ramp then step decay, Darknet's "steps" policy.
+func (c Config) lrAt(batch int) float64 {
+	lr := c.LR
+	if c.BurnIn > 0 && batch < c.BurnIn {
+		frac := float64(batch+1) / float64(c.BurnIn)
+		return lr * math.Pow(frac, 4)
+	}
+	for i, s := range c.Steps {
+		if batch >= s {
+			lr *= c.Scales[i]
+		}
+	}
+	return lr
+}
+
+// Evaluate runs the network over a dataset and returns the paper's accuracy
+// metrics (FPS is left for the caller to fill from a platform model or a
+// wall-clock measurement). thresh and nms are the detection and suppression
+// thresholds.
+func Evaluate(net *network.Network, ds *dataset.Dataset, thresh, nms float64) (eval.Metrics, error) {
+	var counter eval.Counter
+	for _, item := range ds.Items {
+		img := item.Image
+		if img.W != net.InputW || img.H != net.InputH {
+			img = img.Resize(net.InputW, net.InputH)
+		}
+		dets, err := net.Detect(img.ToTensor(), thresh, nms)
+		if err != nil {
+			return eval.Metrics{}, err
+		}
+		truthBoxes := make([]detect.Box, len(item.Truths))
+		for i, t := range item.Truths {
+			truthBoxes[i] = t.Box
+		}
+		counter.AddImage(dets, truthBoxes)
+	}
+	return counter.Metrics(0), nil
+}

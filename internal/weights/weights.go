@@ -1,0 +1,164 @@
+// Package weights serializes trained network parameters to a compact binary
+// format modeled on Darknet's .weights files: a small header followed by raw
+// little-endian float32 parameter data in layer order. Batch-normalized
+// convolutions store biases, scales, rolling means, rolling variances, then
+// weights — the same order Darknet uses — so the format is a faithful
+// substrate substitution.
+package weights
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/layers"
+	"repro/internal/network"
+)
+
+// Magic identifies the file format; the version triplet mirrors Darknet's
+// (major, minor, revision) header.
+const (
+	Magic        = 0x44524f4e // "DRON"
+	VersionMajor = 0
+	VersionMinor = 2
+	Revision     = 0
+)
+
+// Save writes the network's parameters to w.
+func Save(net *network.Network, w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	hdr := []uint32{Magic, VersionMajor, VersionMinor, Revision}
+	for _, v := range hdr {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return fmt.Errorf("weights: header: %w", err)
+		}
+	}
+	seen := uint64(0)
+	if r := net.Region(); r != nil {
+		seen = uint64(r.Seen())
+	}
+	if err := binary.Write(bw, binary.LittleEndian, seen); err != nil {
+		return fmt.Errorf("weights: header: %w", err)
+	}
+	for i, l := range net.Layers {
+		c, ok := l.(*layers.Conv2D)
+		if !ok {
+			continue
+		}
+		if err := writeConv(bw, c); err != nil {
+			return fmt.Errorf("weights: layer %d: %w", i, err)
+		}
+	}
+	return bw.Flush()
+}
+
+func writeConv(w io.Writer, c *layers.Conv2D) error {
+	if err := writeFloats(w, c.Biases.W.Data); err != nil {
+		return err
+	}
+	if c.BatchNorm {
+		if err := writeFloats(w, c.Scales.W.Data); err != nil {
+			return err
+		}
+		if err := writeFloats(w, c.RollingMean.Data); err != nil {
+			return err
+		}
+		if err := writeFloats(w, c.RollingVar.Data); err != nil {
+			return err
+		}
+	}
+	return writeFloats(w, c.Weights.W.Data)
+}
+
+func writeFloats(w io.Writer, data []float32) error {
+	return binary.Write(w, binary.LittleEndian, data)
+}
+
+// Load reads parameters from r into the network, which must have the same
+// architecture the file was saved from.
+func Load(net *network.Network, r io.Reader) error {
+	br := bufio.NewReader(r)
+	var hdr [4]uint32
+	for i := range hdr {
+		if err := binary.Read(br, binary.LittleEndian, &hdr[i]); err != nil {
+			return fmt.Errorf("weights: header: %w", err)
+		}
+	}
+	if hdr[0] != Magic {
+		return fmt.Errorf("weights: bad magic %#x", hdr[0])
+	}
+	if hdr[1] != VersionMajor {
+		return fmt.Errorf("weights: unsupported version %d.%d.%d", hdr[1], hdr[2], hdr[3])
+	}
+	var seen uint64
+	if err := binary.Read(br, binary.LittleEndian, &seen); err != nil {
+		return fmt.Errorf("weights: header: %w", err)
+	}
+	if reg := net.Region(); reg != nil {
+		reg.SetSeen(int(seen))
+	}
+	for i, l := range net.Layers {
+		c, ok := l.(*layers.Conv2D)
+		if !ok {
+			continue
+		}
+		if err := readConv(br, c); err != nil {
+			return fmt.Errorf("weights: layer %d: %w", i, err)
+		}
+	}
+	// A well-formed file is fully consumed.
+	if _, err := br.ReadByte(); err != io.EOF {
+		if err == nil {
+			return fmt.Errorf("weights: trailing data (architecture mismatch?)")
+		}
+		return fmt.Errorf("weights: trailing read: %w", err)
+	}
+	return nil
+}
+
+func readConv(r io.Reader, c *layers.Conv2D) error {
+	if err := readFloats(r, c.Biases.W.Data); err != nil {
+		return err
+	}
+	if c.BatchNorm {
+		if err := readFloats(r, c.Scales.W.Data); err != nil {
+			return err
+		}
+		if err := readFloats(r, c.RollingMean.Data); err != nil {
+			return err
+		}
+		if err := readFloats(r, c.RollingVar.Data); err != nil {
+			return err
+		}
+	}
+	return readFloats(r, c.Weights.W.Data)
+}
+
+func readFloats(r io.Reader, data []float32) error {
+	return binary.Read(r, binary.LittleEndian, data)
+}
+
+// SaveFile writes the network's parameters to path.
+func SaveFile(net *network.Network, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("weights: %w", err)
+	}
+	defer f.Close()
+	if err := Save(net, f); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// LoadFile reads parameters from path into the network.
+func LoadFile(net *network.Network, path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("weights: %w", err)
+	}
+	defer f.Close()
+	return Load(net, f)
+}

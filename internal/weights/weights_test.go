@@ -1,0 +1,138 @@
+package weights
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/cfg"
+	"repro/internal/network"
+	"repro/internal/tensor"
+)
+
+const testCfg = `
+[net]
+width=16
+height=16
+channels=3
+
+[convolutional]
+batch_normalize=1
+filters=4
+size=3
+stride=1
+pad=1
+activation=leaky
+
+[maxpool]
+size=2
+stride=2
+
+[convolutional]
+filters=12
+size=1
+stride=1
+activation=linear
+
+[region]
+anchors=1,1, 2,2
+classes=1
+num=2
+`
+
+func buildNet(t *testing.T, seed uint64) *network.Network {
+	t.Helper()
+	d, err := cfg.ParseString(testCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, _, err := cfg.Build("t", d, tensor.NewRNG(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	src := buildNet(t, 1)
+	src.Region().SetSeen(777)
+	var buf bytes.Buffer
+	if err := Save(src, &buf); err != nil {
+		t.Fatal(err)
+	}
+	dst := buildNet(t, 2) // different init; must be fully overwritten
+	if err := Load(dst, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if dst.Region().Seen() != 777 {
+		t.Fatalf("seen = %d, want 777", dst.Region().Seen())
+	}
+	sp, dp := src.Params(), dst.Params()
+	if len(sp) != len(dp) {
+		t.Fatal("param count mismatch")
+	}
+	for i := range sp {
+		for j := range sp[i].W.Data {
+			if sp[i].W.Data[j] != dp[i].W.Data[j] {
+				t.Fatalf("param %d[%d] differs after round trip", i, j)
+			}
+		}
+	}
+	// Inference must agree exactly.
+	x := tensor.New(1, 3, 16, 16)
+	tensor.NewRNG(9).FillUniform(x.Data, 0, 1)
+	a := src.Forward(x, false).Clone()
+	b := dst.Forward(x, false)
+	for i := range a.Data {
+		if a.Data[i] != b.Data[i] {
+			t.Fatal("forward outputs differ after weight round trip")
+		}
+	}
+}
+
+func TestLoadRejectsBadMagic(t *testing.T) {
+	net := buildNet(t, 1)
+	if err := Load(net, bytes.NewReader(make([]byte, 64))); err == nil {
+		t.Fatal("expected bad-magic error")
+	}
+}
+
+func TestLoadRejectsTruncated(t *testing.T) {
+	src := buildNet(t, 1)
+	var buf bytes.Buffer
+	if err := Save(src, &buf); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()/2]
+	if err := Load(buildNet(t, 2), bytes.NewReader(trunc)); err == nil {
+		t.Fatal("expected truncation error")
+	}
+}
+
+func TestLoadRejectsTrailingData(t *testing.T) {
+	src := buildNet(t, 1)
+	var buf bytes.Buffer
+	if err := Save(src, &buf); err != nil {
+		t.Fatal(err)
+	}
+	buf.Write([]byte{1, 2, 3, 4})
+	if err := Load(buildNet(t, 2), &buf); err == nil {
+		t.Fatal("expected trailing-data error")
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "model.weights")
+	src := buildNet(t, 3)
+	if err := SaveFile(src, path); err != nil {
+		t.Fatal(err)
+	}
+	dst := buildNet(t, 4)
+	if err := LoadFile(dst, path); err != nil {
+		t.Fatal(err)
+	}
+	if LoadFile(dst, filepath.Join(dir, "missing.weights")) == nil {
+		t.Fatal("expected error for missing file")
+	}
+}
