@@ -1,0 +1,32 @@
+GO ?= go
+
+.PHONY: ci vet build test race bench fuzz fleet
+
+## ci: the full tier-1 + hygiene gate (what .github/workflows/ci.yml runs)
+ci: vet build race bench
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+## bench: one-iteration smoke pass over every benchmark (catches bit-rot,
+## not performance; use `go test -bench . -benchtime 1s` for real numbers)
+bench:
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+
+## fuzz: short bounded fuzz pass over the detect invariants
+fuzz:
+	$(GO) test -run '^$$' -fuzz FuzzIoU -fuzztime 30s ./internal/detect
+	$(GO) test -run '^$$' -fuzz FuzzNMS -fuzztime 30s ./internal/detect
+
+## fleet: demo the multi-stream engine with a serial-vs-parallel comparison
+fleet:
+	$(GO) run ./cmd/dronet-fleet -streams 4 -workers 4 -frames 50 -compare

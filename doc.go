@@ -5,4 +5,11 @@
 // evaluation metrics, and calibrated platform models for the paper's three
 // deployment targets. See README.md for the layout and EXPERIMENTS.md for
 // the paper-vs-measured results.
+//
+// Beyond the paper's single-camera loop, internal/engine scales one trained
+// detector to many concurrent camera streams: layers separate shared
+// read-only weights from per-instance workspace, Network.CloneForInference
+// produces weight-sharing replicas, and a worker pool fans streams across
+// replicas with per-stream and fleet-wide statistics (cmd/dronet-fleet,
+// examples/multicamera).
 package repro

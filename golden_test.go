@@ -1,0 +1,56 @@
+package repro_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/models"
+	"repro/internal/tensor"
+)
+
+// goldenFingerprint is the checked-in detection fingerprint of a fixed-seed
+// DroNet on a fixed-seed input (see TestGoldenDetections). On mismatch the
+// test prints the fingerprint it computed; paste that in as the new golden
+// ONLY when an intentional numeric change (new initialization, different
+// architecture) is being made — buffer-management and GEMM refactors must
+// reproduce this value exactly at 1e-4 granularity.
+const goldenFingerprint = "" +
+	"det class=0 score=0.5038 box=0.2490,0.6877,0.3451,0.6246\n" +
+	"det class=0 score=0.5034 box=0.6997,0.6981,0.6005,0.6037\n" +
+	"det class=0 score=0.5026 box=0.6861,0.2505,0.6277,0.3523\n" +
+	"det class=0 score=0.5024 box=0.3120,0.7499,0.6240,0.3572\n" +
+	"det class=0 score=0.5023 box=0.2495,0.3129,0.3423,0.6258\n" +
+	"det class=0 score=0.5020 box=0.3116,0.2503,0.6233,0.3520\n" +
+	"det class=0 score=0.5010 box=0.7495,0.3138,0.3425,0.6275\n" +
+	"det class=0 score=0.4981 box=0.7506,0.2513,0.2735,0.2759\n" +
+	"det class=0 score=0.4974 box=0.7507,0.7514,0.2751,0.2752\n" +
+	"det class=0 score=0.4972 box=0.2508,0.2511,0.2752,0.2760\n" +
+	"det class=0 score=0.4964 box=0.2508,0.7517,0.2757,0.2759\n"
+
+// TestGoldenDetections pins the end-to-end numeric path — He-init RNG,
+// im2col+GEMM convolutions, inference batch norm, region decode, NMS — to a
+// golden fingerprint, so perf refactors of any of those stages are
+// regression-guarded. Values are rounded to 1e-4: tighter than any real
+// regression, looser than benign last-ulp drift.
+func TestGoldenDetections(t *testing.T) {
+	net, _, err := models.Build(models.DroNet, 64, tensor.NewRNG(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := tensor.New(1, 3, net.InputH, net.InputW)
+	tensor.NewRNG(7).FillUniform(x.Data, 0, 1)
+	dets, err := net.Detect(x, 0.2, 0.45)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	for _, d := range dets {
+		fmt.Fprintf(&b, "det class=%d score=%.4f box=%.4f,%.4f,%.4f,%.4f\n",
+			d.Class, d.Score, d.Box.X, d.Box.Y, d.Box.W, d.Box.H)
+	}
+	got := b.String()
+	if got != goldenFingerprint {
+		t.Errorf("detection fingerprint drifted from golden.\ngot:\n%swant:\n%s", got, goldenFingerprint)
+	}
+}

@@ -43,13 +43,20 @@ func Union(a, b Box) float64 {
 }
 
 // IoU returns the intersection-over-union similarity of a and b in [0,1].
-// Two degenerate boxes have IoU 0.
+// Two degenerate boxes have IoU 0. The result is clamped: Intersection is
+// computed from the box edges while Area is w·h, so for boxes centered far
+// from the origin the two can differ by an ulp and push the raw ratio just
+// past 1 (found by FuzzIoU).
 func IoU(a, b Box) float64 {
 	u := Union(a, b)
 	if u <= 0 {
 		return 0
 	}
-	return Intersection(a, b) / u
+	iou := Intersection(a, b) / u
+	if iou > 1 {
+		return 1
+	}
+	return iou
 }
 
 // ShapeIoU returns the IoU of two boxes compared purely by shape, i.e. both

@@ -1,0 +1,215 @@
+// Package engine is the multi-stream concurrent inference engine: it fans
+// many camera streams (pipeline.Source) across a pool of workers, each
+// owning a weight-sharing network replica (network.CloneForInference) and,
+// optionally, a per-stream IoU tracker. One set of trained weights thus
+// serves an entire camera fleet — the "heavy traffic, many scenarios"
+// scaling direction on top of the paper's single-camera §IV.B loop.
+//
+// Streams are dispatched whole: a worker drains one stream before taking the
+// next, so frames within a stream stay in order (tracker state remains
+// per-stream) and per-stream detections are identical to a serial run of the
+// same sources.
+package engine
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/detect"
+	"repro/internal/network"
+	"repro/internal/pipeline"
+	"repro/internal/tracking"
+)
+
+// Config tunes a fleet run.
+type Config struct {
+	// Workers is the worker-pool size; each worker owns one network replica.
+	// Values < 1 default to 1; the pool is clamped to the stream count.
+	Workers int
+	// Thresh and NMSThresh are the decode and suppression thresholds
+	// (pipeline.Runner defaults apply when zero).
+	Thresh, NMSThresh float64
+	// AltitudeFilter, when non-nil, applies the §III.D size gating with each
+	// frame's altitude on every stream.
+	AltitudeFilter *detect.AltitudeFilter
+	// Track enables a per-stream IoU tracker, counting unique vehicles per
+	// stream; TrackerConfig tunes it (zero value = tracking defaults).
+	Track         bool
+	TrackerConfig tracking.Config
+	// OnFrame, when non-nil, observes every processed frame. Frames of one
+	// stream arrive in order from a single worker, but different streams
+	// call concurrently — the callback must be safe for cross-stream
+	// concurrent use.
+	OnFrame func(stream int, f pipeline.Frame, dets []detect.Detection)
+}
+
+// StreamStats reports one stream's run.
+type StreamStats struct {
+	// Stream is the index into the sources slice; Worker the pool worker
+	// that processed it.
+	Stream, Worker int
+	pipeline.Stats
+	// UniqueVehicles is the tracker's confirmed-track total for this stream
+	// (0 when tracking is disabled).
+	UniqueVehicles int
+}
+
+// FleetStats aggregates a whole fleet run.
+type FleetStats struct {
+	Streams []StreamStats
+	// Workers is the number of pool workers that actually ran.
+	Workers int
+	// Frames, Detections and UniqueVehicles sum over all streams.
+	Frames, Detections, UniqueVehicles int
+	// WallSeconds is the end-to-end wall-clock time of the run;
+	// AggregateFPS = Frames / WallSeconds, the fleet-wide throughput.
+	WallSeconds  float64
+	AggregateFPS float64
+	// MeanLatency and MaxLatency are per-frame processing times in seconds
+	// across every stream.
+	MeanLatency, MaxLatency float64
+}
+
+// Engine runs a detector over many streams concurrently. An Engine is
+// reusable but not reentrant: successive Run calls reuse the worker
+// replicas (and their warmed activation buffers), so only one Run may be in
+// flight at a time.
+type Engine struct {
+	base    *network.Network
+	cfg     Config
+	runners []*pipeline.Runner // pooled worker replicas, grown lazily
+}
+
+// New creates an engine around a base network. The base is never mutated by
+// Run; workers clone it for inference, so training it while a fleet run is
+// in flight is not safe.
+func New(net *network.Network, cfg Config) (*Engine, error) {
+	if net == nil {
+		return nil, fmt.Errorf("engine: nil network")
+	}
+	if net.Region() == nil {
+		return nil, fmt.Errorf("engine: network must end in a region layer")
+	}
+	if cfg.Workers < 1 {
+		cfg.Workers = 1
+	}
+	return &Engine{base: net, cfg: cfg}, nil
+}
+
+// Run drains every source through the worker pool and returns the aggregated
+// fleet statistics. On a stream error the remaining streams still complete;
+// the first error is returned alongside the stats gathered so far.
+func (e *Engine) Run(sources []pipeline.Source) (FleetStats, error) {
+	fleet := FleetStats{Streams: make([]StreamStats, len(sources))}
+	if len(sources) == 0 {
+		return fleet, nil
+	}
+	workers := e.cfg.Workers
+	if workers > len(sources) {
+		workers = len(sources)
+	}
+	fleet.Workers = workers
+
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var firstErr error
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(id int, runner *pipeline.Runner) {
+			defer wg.Done()
+			for i := range jobs {
+				st, err := e.runStream(runner, i, sources[i])
+				st.Worker = id
+				mu.Lock()
+				fleet.Streams[i] = st
+				if err != nil && firstErr == nil {
+					firstErr = fmt.Errorf("engine: stream %d: %w", i, err)
+				}
+				mu.Unlock()
+			}
+		}(w, e.runner(w))
+	}
+	for i := range sources {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	fleet.WallSeconds = time.Since(start).Seconds()
+
+	var latSum float64
+	for _, s := range fleet.Streams {
+		fleet.Frames += s.Frames
+		fleet.Detections += s.Detections
+		fleet.UniqueVehicles += s.UniqueVehicles
+		latSum += s.Stats.WallSeconds
+		if s.MaxLatency > fleet.MaxLatency {
+			fleet.MaxLatency = s.MaxLatency
+		}
+	}
+	if fleet.Frames > 0 {
+		fleet.MeanLatency = latSum / float64(fleet.Frames)
+	}
+	if fleet.WallSeconds > 0 {
+		fleet.AggregateFPS = float64(fleet.Frames) / fleet.WallSeconds
+	}
+	return fleet, firstErr
+}
+
+// runner returns the id-th pooled worker runner, cloning the base network on
+// first use; later Runs reuse it, keeping its activation buffers warm. Only
+// called before the worker goroutines start, so the pool needs no locking.
+func (e *Engine) runner(id int) *pipeline.Runner {
+	for len(e.runners) <= id {
+		e.runners = append(e.runners, &pipeline.Runner{
+			Net:            e.base.CloneForInference(),
+			Thresh:         e.cfg.Thresh,
+			NMSThresh:      e.cfg.NMSThresh,
+			AltitudeFilter: e.cfg.AltitudeFilter,
+		})
+	}
+	return e.runners[id]
+}
+
+// runStream processes one whole stream on the worker's runner, attaching a
+// fresh tracker when tracking is enabled.
+func (e *Engine) runStream(runner *pipeline.Runner, idx int, src pipeline.Source) (StreamStats, error) {
+	st := StreamStats{Stream: idx}
+	var tracker *tracking.Tracker
+	if e.cfg.Track {
+		tracker = tracking.New(e.cfg.TrackerConfig)
+	}
+	runner.OnFrame = func(f pipeline.Frame, dets []detect.Detection) {
+		if tracker != nil {
+			tracker.Update(dets)
+		}
+		if e.cfg.OnFrame != nil {
+			e.cfg.OnFrame(idx, f, dets)
+		}
+	}
+	stats, err := runner.Run(src)
+	runner.OnFrame = nil // don't retain the stream's tracker via the closure
+	st.Stats = stats
+	if tracker != nil {
+		st.UniqueVehicles = tracker.TotalConfirmed
+	}
+	return st, err
+}
+
+// String formats the fleet stats for logs: the aggregate line followed by
+// one line per stream.
+func (f FleetStats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "fleet: %d streams on %d workers, %d frames, %d detections, %.2f FPS aggregate (wall %.2f s, mean latency %.1f ms, max %.1f ms)",
+		len(f.Streams), f.Workers, f.Frames, f.Detections, f.AggregateFPS, f.WallSeconds, f.MeanLatency*1e3, f.MaxLatency*1e3)
+	for _, s := range f.Streams {
+		fmt.Fprintf(&b, "\n  stream %d (worker %d): %s", s.Stream, s.Worker, s.Stats)
+		if s.UniqueVehicles > 0 {
+			fmt.Fprintf(&b, ", %d unique vehicles", s.UniqueVehicles)
+		}
+	}
+	return b.String()
+}

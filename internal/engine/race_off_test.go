@@ -1,0 +1,7 @@
+//go:build !race
+
+package engine_test
+
+// raceEnabled reports whether the race detector instruments this test
+// binary; timing-sensitive tests skip under it.
+const raceEnabled = false

@@ -45,9 +45,16 @@ type Conv2D struct {
 	// Rolling statistics for inference-time batch norm.
 	RollingMean, RollingVar *tensor.Tensor
 
-	// Forward/backward caches.
+	st convState
+}
+
+// convState is the per-instance workspace of a Conv2D: everything Forward
+// and Backward mutate, as opposed to the shared read-only parameters above.
+// CloneForInference resets it to the zero value so replicas never alias
+// scratch memory; buffers are (re)allocated lazily on first use.
+type convState struct {
 	x        *tensor.Tensor // input reference
-	out_     *tensor.Tensor // post-activation output
+	out      *tensor.Tensor // post-activation output
 	preAct   *tensor.Tensor // pre-activation (post-BN) values
 	preBN    *tensor.Tensor // pre-BN conv outputs (BatchNorm only)
 	xhat     *tensor.Tensor // normalized values (BatchNorm only)
@@ -91,11 +98,27 @@ func NewConv2D(in Shape, filters, ksize, stride, pad int, batchNorm bool, act Ac
 		c.RollingMean = tensor.NewVec(filters)
 		c.RollingVar = tensor.NewVec(filters)
 		c.RollingVar.Fill(1)
-		c.batchMu = make([]float32, filters)
-		c.batchVar = make([]float32, filters)
 	}
-	c.col = make([]float32, fanIn*outH*outW)
 	return c, nil
+}
+
+// CloneForInference implements Layer: the clone shares Weights, Biases,
+// Scales and the rolling batch-norm statistics with the receiver but starts
+// with an empty workspace, so it can run Forward concurrently with the
+// original as long as no instance is training.
+func (c *Conv2D) CloneForInference() Layer {
+	cp := *c
+	cp.st = convState{}
+	return &cp
+}
+
+// ensureCol returns the im2col scratch buffer, allocating it on first use.
+func (c *Conv2D) ensureCol() []float32 {
+	need := c.in.C * c.Ksize * c.Ksize * c.out.H * c.out.W
+	if len(c.st.col) != need {
+		c.st.col = make([]float32, need)
+	}
+	return c.st.col
 }
 
 // Name implements Layer.
@@ -136,8 +159,8 @@ func (c *Conv2D) IOBytes() int64 {
 
 // Forward implements Layer.
 func (c *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
-	c.x = x
-	out := ensure(&c.out_, x.N, c.out)
+	c.st.x = x
+	out := ensure(&c.st.out, x.N, c.out)
 	m := c.Filters
 	k := c.in.C * c.Ksize * c.Ksize
 	n := c.out.H * c.out.W
@@ -145,16 +168,16 @@ func (c *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 		src := x.Batch(b).Data
 		col := src
 		if !(c.Ksize == 1 && c.Stride == 1 && c.Pad == 0) {
-			tensor.Im2col(src, c.in.C, c.in.H, c.in.W, c.Ksize, c.Stride, c.Pad, c.col)
-			col = c.col
+			col = c.ensureCol()
+			tensor.Im2col(src, c.in.C, c.in.H, c.in.W, c.Ksize, c.Stride, c.Pad, col)
 		}
 		dst := out.Batch(b).Data
 		tensor.Gemm(false, false, m, n, k, 1, c.Weights.W.Data, k, col, n, 0, dst, n)
 	}
 	if c.BatchNorm {
 		if train {
-			c.preBN = ensureLike(c.preBN, out)
-			c.preBN.Copy(out)
+			c.st.preBN = ensureLike(c.st.preBN, out)
+			c.st.preBN.Copy(out)
 			c.forwardBatchNormTrain(out)
 		} else {
 			c.forwardBatchNormInfer(out)
@@ -173,8 +196,8 @@ func (c *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 		}
 	}
 	if train {
-		c.preAct = ensureLike(c.preAct, out)
-		c.preAct.Copy(out)
+		c.st.preAct = ensureLike(c.st.preAct, out)
+		c.st.preAct.Copy(out)
 	}
 	if c.Act == ActLeaky {
 		tensor.Leaky(out.Data)
@@ -194,7 +217,11 @@ func ensureLike(t, like *tensor.Tensor) *tensor.Tensor {
 func (c *Conv2D) forwardBatchNormTrain(out *tensor.Tensor) {
 	spatial := c.out.H * c.out.W
 	mTotal := float32(out.N * spatial)
-	c.xhat = ensureLike(c.xhat, out)
+	c.st.xhat = ensureLike(c.st.xhat, out)
+	if len(c.st.batchMu) != c.Filters {
+		c.st.batchMu = make([]float32, c.Filters)
+		c.st.batchVar = make([]float32, c.Filters)
+	}
 	for f := 0; f < c.Filters; f++ {
 		var sum float64
 		for b := 0; b < out.N; b++ {
@@ -213,15 +240,15 @@ func (c *Conv2D) forwardBatchNormTrain(out *tensor.Tensor) {
 			}
 		}
 		variance := float32(vsum / float64(mTotal))
-		c.batchMu[f] = mu
-		c.batchVar[f] = variance
+		c.st.batchMu[f] = mu
+		c.st.batchVar[f] = variance
 		c.RollingMean.Data[f] = 0.99*c.RollingMean.Data[f] + 0.01*mu
 		c.RollingVar.Data[f] = 0.99*c.RollingVar.Data[f] + 0.01*variance
 		inv := 1 / sqrt32(variance+bnEps)
 		gamma := c.Scales.W.Data[f]
 		for b := 0; b < out.N; b++ {
 			seg := out.Batch(b).Data[f*spatial : (f+1)*spatial]
-			xh := c.xhat.Batch(b).Data[f*spatial : (f+1)*spatial]
+			xh := c.st.xhat.Batch(b).Data[f*spatial : (f+1)*spatial]
 			for i, v := range seg {
 				h := (v - mu) * inv
 				xh[i] = h
@@ -256,7 +283,7 @@ func sqrt32(x float32) float32 {
 
 // Backward implements Layer.
 func (c *Conv2D) Backward(dout *tensor.Tensor) *tensor.Tensor {
-	out := c.out_
+	out := c.st.out
 	delta := dout.Clone() // gradient w.r.t. pre-activation, refined in stages
 	if c.Act == ActLeaky {
 		tensor.LeakyGrad(out.Data, delta.Data)
@@ -281,15 +308,15 @@ func (c *Conv2D) Backward(dout *tensor.Tensor) *tensor.Tensor {
 	m := c.Filters
 	k := c.in.C * c.Ksize * c.Ksize
 	n := spatial
-	dx := ensureDX(&c.dx, c.x)
+	dx := ensureDX(&c.st.dx, c.st.x)
 	dx.Zero()
 	pointwise := c.Ksize == 1 && c.Stride == 1 && c.Pad == 0
 	for b := 0; b < delta.N; b++ {
-		src := c.x.Batch(b).Data
+		src := c.st.x.Batch(b).Data
 		col := src
 		if !pointwise {
-			tensor.Im2col(src, c.in.C, c.in.H, c.in.W, c.Ksize, c.Stride, c.Pad, c.col)
-			col = c.col
+			col = c.ensureCol()
+			tensor.Im2col(src, c.in.C, c.in.H, c.in.W, c.Ksize, c.Stride, c.Pad, col)
 		}
 		d := delta.Batch(b).Data
 		// dW += d · colᵀ
@@ -299,7 +326,7 @@ func (c *Conv2D) Backward(dout *tensor.Tensor) *tensor.Tensor {
 		if pointwise {
 			tensor.Gemm(true, false, k, n, m, 1, c.Weights.W.Data, k, d, n, 1, dxb, n)
 		} else {
-			dcol := c.col // reuse scratch: col contents no longer needed
+			dcol := c.ensureCol() // reuse scratch: col contents no longer needed
 			for i := range dcol {
 				dcol[i] = 0
 			}
@@ -326,11 +353,11 @@ func (c *Conv2D) backwardBatchNorm(delta *tensor.Tensor) {
 	mTotal := float32(delta.N * spatial)
 	for f := 0; f < c.Filters; f++ {
 		gamma := c.Scales.W.Data[f]
-		inv := 1 / sqrt32(c.batchVar[f]+bnEps)
+		inv := 1 / sqrt32(c.st.batchVar[f]+bnEps)
 		var sumD, sumDX float64
 		for b := 0; b < delta.N; b++ {
 			d := delta.Batch(b).Data[f*spatial : (f+1)*spatial]
-			xh := c.xhat.Batch(b).Data[f*spatial : (f+1)*spatial]
+			xh := c.st.xhat.Batch(b).Data[f*spatial : (f+1)*spatial]
 			for i, v := range d {
 				sumD += float64(v)
 				sumDX += float64(v) * float64(xh[i])
@@ -341,7 +368,7 @@ func (c *Conv2D) backwardBatchNorm(delta *tensor.Tensor) {
 		meanDX := float32(sumDX) / mTotal
 		for b := 0; b < delta.N; b++ {
 			d := delta.Batch(b).Data[f*spatial : (f+1)*spatial]
-			xh := c.xhat.Batch(b).Data[f*spatial : (f+1)*spatial]
+			xh := c.st.xhat.Batch(b).Data[f*spatial : (f+1)*spatial]
 			for i := range d {
 				d[i] = gamma * inv * (d[i] - meanD - xh[i]*meanDX)
 			}

@@ -4,8 +4,12 @@
 // predictions and produces the YOLO training loss.
 //
 // Layers are created with their input shape fixed; batch size is flexible.
-// Forward caches whatever the corresponding Backward needs, so a layer
-// instance must not be shared between concurrently-trained networks.
+// Each layer separates its shared, read-only learnable parameters from a
+// per-instance workspace (forward/backward caches and scratch buffers), so a
+// single instance must not be shared between concurrently-running networks —
+// instead, CloneForInference produces weight-sharing replicas whose
+// workspaces are independent, which is what the multi-stream inference
+// engine (internal/engine) builds on.
 package layers
 
 import (
@@ -66,6 +70,13 @@ type Layer interface {
 	// output activations + weights, 4 bytes each) used by the roofline
 	// platform model.
 	IOBytes() int64
+	// CloneForInference returns a replica that shares the layer's learnable
+	// parameters (Param tensors and, for batch norm, the rolling statistics)
+	// but owns fresh scratch/activation workspace. Replicas may run Forward
+	// with train=false concurrently with each other and with the original;
+	// training any instance while replicas run is not safe, since training
+	// mutates the shared parameters.
+	CloneForInference() Layer
 }
 
 // ensure allocates (or reuses) an output tensor for the given batch size.

@@ -18,10 +18,16 @@ type MaxPool struct {
 	Stride  int
 	Pad     int // total padding, darknet default size-1
 
-	x    *tensor.Tensor
-	out_ *tensor.Tensor
-	idx  []int32 // argmax flat input index per output element, -1 for all-pad windows
-	dx   *tensor.Tensor
+	st poolState
+}
+
+// poolState is the per-instance workspace of a MaxPool; CloneForInference
+// resets it so replicas never share buffers.
+type poolState struct {
+	x   *tensor.Tensor
+	out *tensor.Tensor
+	idx []int32 // argmax flat input index per output element, -1 for all-pad windows
+	dx  *tensor.Tensor
 }
 
 // NewMaxPool creates a max-pool layer. pad < 0 selects the Darknet default
@@ -45,6 +51,14 @@ func NewMaxPool(in Shape, size, stride, pad int) (*MaxPool, error) {
 		Stride: stride,
 		Pad:    pad,
 	}, nil
+}
+
+// CloneForInference implements Layer: max-pooling has no parameters, so the
+// clone is an independent instance with the same geometry and fresh buffers.
+func (p *MaxPool) CloneForInference() Layer {
+	cp := *p
+	cp.st = poolState{}
+	return &cp
 }
 
 // Name implements Layer.
@@ -71,12 +85,12 @@ func (p *MaxPool) IOBytes() int64 {
 
 // Forward implements Layer.
 func (p *MaxPool) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
-	p.x = x
-	out := ensure(&p.out_, x.N, p.out)
+	p.st.x = x
+	out := ensure(&p.st.out, x.N, p.out)
 	if train {
 		need := out.Len()
-		if len(p.idx) != need {
-			p.idx = make([]int32, need)
+		if len(p.st.idx) != need {
+			p.st.idx = make([]int32, need)
 		}
 	}
 	off := p.Pad / 2
@@ -112,7 +126,7 @@ func (p *MaxPool) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 					oi := ch*p.out.H*p.out.W + oh*p.out.W + ow
 					dst[oi] = best
 					if train {
-						p.idx[b*p.out.Size()+oi] = bestIdx
+						p.st.idx[b*p.out.Size()+oi] = bestIdx
 					}
 				}
 			}
@@ -123,14 +137,14 @@ func (p *MaxPool) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 
 // Backward implements Layer: routes each output gradient to its argmax.
 func (p *MaxPool) Backward(dout *tensor.Tensor) *tensor.Tensor {
-	dx := ensureDX(&p.dx, p.x)
+	dx := ensureDX(&p.st.dx, p.st.x)
 	dx.Zero()
 	outSize := p.out.Size()
 	for b := 0; b < dout.N; b++ {
 		d := dout.Batch(b).Data
 		g := dx.Batch(b).Data
 		for i, v := range d {
-			if src := p.idx[b*outSize+i]; src >= 0 {
+			if src := p.st.idx[b*outSize+i]; src >= 0 {
 				g[src] += v
 			}
 		}

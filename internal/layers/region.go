@@ -60,11 +60,9 @@ type Region struct {
 	in  Shape
 	cfg RegionConfig
 
-	truths [][]Truth // per batch image, set before a training Forward
-	seen   int       // images seen, drives burn-in
+	seen int // images seen, drives burn-in
 
-	out_  *tensor.Tensor
-	delta *tensor.Tensor // gradient w.r.t. the (pre-activation) input
+	st regionState
 
 	// Stats from the most recent training forward.
 	Loss     float64
@@ -73,6 +71,14 @@ type Region struct {
 	AvgNoObj float64
 	Recall   float64
 	Count    int
+}
+
+// regionState is the per-instance workspace of a Region; CloneForInference
+// resets it so replicas decode into private buffers.
+type regionState struct {
+	truths [][]Truth // per batch image, set before a training Forward
+	out    *tensor.Tensor
+	delta  *tensor.Tensor // gradient w.r.t. the (pre-activation) input
 }
 
 // NewRegion validates the configuration against the input shape.
@@ -88,6 +94,16 @@ func NewRegion(in Shape, cfg RegionConfig) (*Region, error) {
 		return nil, fmt.Errorf("layers: region input channels %d != anchors*(5+classes) = %d", in.C, want)
 	}
 	return &Region{in: in, cfg: cfg}, nil
+}
+
+// CloneForInference implements Layer: the clone carries the same
+// configuration but decodes into a private output buffer and starts with no
+// installed truths or training statistics.
+func (r *Region) CloneForInference() Layer {
+	cp := *r
+	cp.st = regionState{}
+	cp.Loss, cp.AvgIoU, cp.AvgObj, cp.AvgNoObj, cp.Recall, cp.Count = 0, 0, 0, 0, 0, 0
+	return &cp
 }
 
 // Name implements Layer.
@@ -115,7 +131,7 @@ func (r *Region) Config() RegionConfig { return r.cfg }
 
 // SetTruths installs the ground truth for the next training Forward; the
 // slice is indexed by batch position.
-func (r *Region) SetTruths(t [][]Truth) { r.truths = t }
+func (r *Region) SetTruths(t [][]Truth) { r.st.truths = t }
 
 // Seen returns the number of training images processed so far.
 func (r *Region) Seen() int { return r.seen }
@@ -132,7 +148,7 @@ func (r *Region) entry(a, e, row, col int) int {
 
 // Forward implements Layer.
 func (r *Region) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
-	out := ensure(&r.out_, x.N, r.in)
+	out := ensure(&r.st.out, x.N, r.in)
 	out.Copy(x)
 	nAnchors := len(r.cfg.Anchors)
 	classes := r.cfg.Classes
@@ -184,16 +200,16 @@ func (r *Region) boxAt(d []float32, a, row, col int) detect.Box {
 	}
 }
 
-// computeLoss fills r.delta with the input gradient of the YOLO loss and
+// computeLoss fills r.st.delta with the input gradient of the YOLO loss and
 // records the training statistics. The loss convention is
 // L = Σ 0.5·scale·(pred−target)², so delta = scale·(pred−target)·∂pred/∂in.
 func (r *Region) computeLoss(x, out *tensor.Tensor) {
 	cfg := r.cfg
 	nAnchors := len(cfg.Anchors)
-	if r.delta == nil || r.delta.Len() != x.Len() {
-		r.delta = tensor.New(x.N, x.C, x.H, x.W)
+	if r.st.delta == nil || r.st.delta.Len() != x.Len() {
+		r.st.delta = tensor.New(x.N, x.C, x.H, x.W)
 	}
-	r.delta.Zero()
+	r.st.delta.Zero()
 	r.Loss, r.AvgIoU, r.AvgObj, r.AvgNoObj, r.Recall, r.Count = 0, 0, 0, 0, 0, 0
 	var noObjN int
 	gw := float64(r.in.W)
@@ -201,11 +217,11 @@ func (r *Region) computeLoss(x, out *tensor.Tensor) {
 
 	for b := 0; b < x.N; b++ {
 		var truths []Truth
-		if b < len(r.truths) {
-			truths = r.truths[b]
+		if b < len(r.st.truths) {
+			truths = r.st.truths[b]
 		}
 		d := out.Batch(b).Data
-		del := r.delta.Batch(b).Data
+		del := r.st.delta.Batch(b).Data
 
 		// No-object confidence loss for every prediction, skipped when the
 		// prediction already overlaps some truth well.
@@ -363,10 +379,10 @@ func (r *Region) coordDeltaWeighted(d, del []float32, a, row, col int, tx, ty, t
 // (the region layer terminates the network, so dout is ignored, matching
 // Darknet's cost-layer convention).
 func (r *Region) Backward(dout *tensor.Tensor) *tensor.Tensor {
-	if r.delta == nil {
+	if r.st.delta == nil {
 		panic("layers: Region.Backward before a training Forward")
 	}
-	return r.delta
+	return r.st.delta
 }
 
 // Decode converts the activated output for batch image b into detections

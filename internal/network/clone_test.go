@@ -1,0 +1,114 @@
+package network_test
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/detect"
+	"repro/internal/models"
+	"repro/internal/network"
+	"repro/internal/tensor"
+)
+
+func buildSmallDroNet(t *testing.T) *network.Network {
+	t.Helper()
+	net, _, err := models.Build(models.DroNet, 64, tensor.NewRNG(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net
+}
+
+// TestCloneSharesParamsNotWorkspace pins the clone contract: parameter and
+// rolling-statistic tensors are the very same objects, while forward passes
+// write into distinct output buffers.
+func TestCloneSharesParamsNotWorkspace(t *testing.T) {
+	net := buildSmallDroNet(t)
+	clone := net.CloneForInference()
+
+	op, cp := net.Params(), clone.Params()
+	if len(op) != len(cp) {
+		t.Fatalf("param count mismatch: %d vs %d", len(op), len(cp))
+	}
+	for i := range op {
+		if op[i].W != cp[i].W {
+			t.Fatalf("param %d (%s): clone does not share the weight tensor", i, op[i].Name)
+		}
+	}
+
+	x := tensor.New(1, 3, net.InputH, net.InputW)
+	tensor.NewRNG(2).FillUniform(x.Data, 0, 1)
+	a := net.Forward(x, false)
+	b := clone.Forward(x, false)
+	if a == b {
+		t.Fatal("original and clone share a forward output buffer")
+	}
+	if !reflect.DeepEqual(a.Data, b.Data) {
+		t.Fatal("original and clone disagree on identical input")
+	}
+}
+
+// TestCloneConcurrentDetectIdentical is the concurrency-correctness check:
+// two inference replicas run on separate goroutines over the same frames and
+// must produce byte-identical detections (run under -race to also prove the
+// replicas share no mutable state).
+func TestCloneConcurrentDetectIdentical(t *testing.T) {
+	net := buildSmallDroNet(t)
+
+	const frames = 6
+	inputs := make([]*tensor.Tensor, frames)
+	rng := tensor.NewRNG(3)
+	for i := range inputs {
+		inputs[i] = tensor.New(1, 3, net.InputH, net.InputW)
+		rng.FillUniform(inputs[i].Data, 0, 1)
+	}
+
+	// Reference: serial detections from the original network.
+	want := make([][]detect.Detection, frames)
+	for i, x := range inputs {
+		dets, err := net.Detect(x, 0.1, 0.45)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = dets
+	}
+
+	const replicas = 2
+	got := make([][][]detect.Detection, replicas)
+	errs := make([]error, replicas)
+	var wg sync.WaitGroup
+	for r := 0; r < replicas; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			rep := net.CloneForInference()
+			got[r] = make([][]detect.Detection, frames)
+			for i, x := range inputs {
+				dets, err := rep.Detect(x, 0.1, 0.45)
+				if err != nil {
+					errs[r] = err
+					return
+				}
+				got[r][i] = dets
+			}
+		}(r)
+	}
+	wg.Wait()
+
+	detected := 0
+	for r := 0; r < replicas; r++ {
+		if errs[r] != nil {
+			t.Fatalf("replica %d: %v", r, errs[r])
+		}
+		for i := range want {
+			if !reflect.DeepEqual(want[i], got[r][i]) {
+				t.Errorf("replica %d frame %d: detections differ from serial reference", r, i)
+			}
+			detected += len(got[r][i])
+		}
+	}
+	if detected == 0 {
+		t.Fatal("test degenerated: no detections on any frame")
+	}
+}

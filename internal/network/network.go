@@ -51,6 +51,22 @@ func (n *Network) nextShape() layers.Shape {
 // OutShape returns the per-sample output shape of the final layer.
 func (n *Network) OutShape() layers.Shape { return n.nextShape() }
 
+// CloneForInference returns a replica network whose layers share the
+// receiver's learnable parameters (weights, biases, batch-norm scales and
+// rolling statistics) but own fresh activation/scratch workspace. Replicas
+// may run Forward/Detect concurrently with each other and with the original;
+// they see weight updates made through any copy, so none of them may train
+// while others are running. This is the seam the multi-stream engine uses to
+// serve many camera streams from one set of weights.
+func (n *Network) CloneForInference() *Network {
+	c := &Network{Name: n.Name, InputW: n.InputW, InputH: n.InputH, InputC: n.InputC}
+	c.Layers = make([]layers.Layer, len(n.Layers))
+	for i, l := range n.Layers {
+		c.Layers[i] = l.CloneForInference()
+	}
+	return c
+}
+
 // Region returns the terminal region layer, or nil if the network does not
 // end in one.
 func (n *Network) Region() *layers.Region {

@@ -41,9 +41,11 @@ type SimCamera struct {
 	next int
 }
 
-// NewSimCamera creates a deterministic simulated camera.
+// NewSimCamera creates a deterministic simulated camera. Distinct seeds
+// yield distinct frame sequences (tensor.NewRNG remaps the one degenerate
+// zero seed itself), so fleets can derive per-camera seeds as base+i.
 func NewSimCamera(cfg dataset.SceneConfig, frames int, seed uint64) *SimCamera {
-	return &SimCamera{Config: cfg, Frames: frames, rng: tensor.NewRNG(seed | 1)}
+	return &SimCamera{Config: cfg, Frames: frames, rng: tensor.NewRNG(seed)}
 }
 
 // Next implements Source.

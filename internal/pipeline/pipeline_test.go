@@ -160,3 +160,22 @@ func TestRunnerAltitudeFilterReducesDetections(t *testing.T) {
 		t.Fatalf("altitude filter added detections: %d > %d", st2.Detections, st1.Detections)
 	}
 }
+
+// TestSimCameraSeedsDistinct guards the per-camera seeding: consecutive
+// seeds must yield different frame sequences (a former `seed | 1` in the
+// camera's RNG seeding made even seed N collide with N+1, silently
+// duplicating fleet streams derived as base+i).
+func TestSimCameraSeedsDistinct(t *testing.T) {
+	cfg := camConfig()
+	a, ok := NewSimCamera(cfg, 1, 8).Next()
+	b, ok2 := NewSimCamera(cfg, 1, 9).Next()
+	if !ok || !ok2 {
+		t.Fatal("cameras produced no frames")
+	}
+	for i := range a.Image.Pix {
+		if a.Image.Pix[i] != b.Image.Pix[i] {
+			return
+		}
+	}
+	t.Fatal("seeds 8 and 9 produced identical frames")
+}
