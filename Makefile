@@ -1,9 +1,9 @@
 GO ?= go
 
-.PHONY: ci vet build test race bench fuzz fleet
+.PHONY: ci vet build test race bench serve-bench serve-smoke fuzz fleet serve
 
 ## ci: the full tier-1 + hygiene gate (what .github/workflows/ci.yml runs)
-ci: vet build race bench
+ci: vet build race bench serve-smoke
 
 vet:
 	$(GO) vet ./...
@@ -18,9 +18,24 @@ race:
 	$(GO) test -race ./...
 
 ## bench: one-iteration smoke pass over every benchmark (catches bit-rot,
-## not performance; use `go test -bench . -benchtime 1s` for real numbers)
-bench:
+## not performance; use `go test -bench . -benchtime 1s` for real numbers),
+## then the serving throughput run that emits machine-readable BENCH_serve.json
+bench: serve-bench
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+
+## serve-bench: drive the micro-batching service with concurrent synthetic
+## clients and write BENCH_serve.json (agg FPS, p50/p99 latency, batch-size
+## histogram) so the serving perf trajectory is tracked per-commit
+serve-bench:
+	$(GO) run ./cmd/dronet-serve -selfbench -size 96 -scale 0.25 -workers 2 \
+	    -bench-clients 8 -bench-requests 25 -bench-out BENCH_serve.json
+
+## serve-smoke: boot the real dronet-serve binary on a random port, POST a
+## synthetic frame to every endpoint, assert 200s with well-formed detection
+## JSON, then SIGTERM-drain it (examples/serveclient is the driver)
+serve-smoke:
+	$(GO) build -o bin/dronet-serve ./cmd/dronet-serve
+	$(GO) run ./examples/serveclient -server bin/dronet-serve
 
 ## fuzz: short bounded fuzz pass over the detect invariants
 fuzz:
@@ -30,3 +45,7 @@ fuzz:
 ## fleet: demo the multi-stream engine with a serial-vs-parallel comparison
 fleet:
 	$(GO) run ./cmd/dronet-fleet -streams 4 -workers 4 -frames 50 -compare
+
+## serve: run the detection service locally with the default knobs
+serve:
+	$(GO) run ./cmd/dronet-serve -addr :8080 -size 128 -scale 0.5

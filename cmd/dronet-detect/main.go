@@ -38,7 +38,7 @@ func main() {
 	if *in == "" {
 		log.Fatal("provide -in IMAGE_OR_DIR")
 	}
-	det, err := buildDetector(*model, *size, *scale, 1)
+	det, err := core.NewScaledDetector(*model, *size, *scale, 1)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -111,19 +111,4 @@ func collectPNGs(in string) ([]string, error) {
 		return nil, fmt.Errorf("no PNG files in %s", in)
 	}
 	return paths, nil
-}
-
-func buildDetector(model string, size int, scale float64, seed uint64) (*core.Detector, error) {
-	if scale == 1.0 {
-		return core.NewDetector(model, size, seed)
-	}
-	text, err := models.Cfg(model, size)
-	if err != nil {
-		return nil, err
-	}
-	scaled, err := models.Scale(text, scale)
-	if err != nil {
-		return nil, err
-	}
-	return core.NewDetectorFromCfg(fmt.Sprintf("%s-x%.2f", model, scale), scaled, seed)
 }

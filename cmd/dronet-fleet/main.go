@@ -44,7 +44,7 @@ func main() {
 	if *streams < 1 || *frames < 1 {
 		log.Fatal("need -streams >= 1 and -frames >= 1")
 	}
-	det, err := buildDetector(*model, *size, *scale, 1)
+	det, err := core.NewScaledDetector(*model, *size, *scale, 1)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -106,19 +106,4 @@ func main() {
 	if *compare && serialFPS > 0 {
 		fmt.Printf("\nspeedup: %.2fx aggregate FPS (%d workers vs 1)\n", stats.AggregateFPS/serialFPS, stats.Workers)
 	}
-}
-
-func buildDetector(model string, size int, scale float64, seed uint64) (*core.Detector, error) {
-	if scale == 1.0 {
-		return core.NewDetector(model, size, seed)
-	}
-	text, err := models.Cfg(model, size)
-	if err != nil {
-		return nil, err
-	}
-	scaled, err := models.Scale(text, scale)
-	if err != nil {
-		return nil, err
-	}
-	return core.NewDetectorFromCfg(fmt.Sprintf("%s-x%.2f", model, scale), scaled, seed)
 }

@@ -1,0 +1,231 @@
+// Command dronet-serve exposes a detector as the HTTP micro-batching
+// service (internal/serve): concurrent requests are admitted through a
+// bounded queue (429 on overload) and coalesced into dynamic micro-batches
+// executed on the multi-stream engine's replica pool.
+//
+// Usage:
+//
+//	dronet-serve -addr :8080 -model dronet -size 128 -scale 0.5 \
+//	    -weights dronet.weights -workers 4 -max-batch 8 -max-wait 2ms
+//
+// The server prints "listening on HOST:PORT" once the socket is bound (so
+// -addr 127.0.0.1:0 picks a free port scripts can parse) and drains
+// in-flight requests on SIGINT/SIGTERM.
+//
+// With -selfbench the command instead boots the server in-process, drives
+// it with concurrent synthetic clients, and writes the machine-readable
+// throughput report (serve.Stats plus the run parameters) to -bench-out —
+// this is what `make bench` uses to emit BENCH_serve.json.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"sync"
+	"syscall"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/detect"
+	"repro/internal/engine"
+	"repro/internal/imgproc"
+	"repro/internal/models"
+	"repro/internal/pipeline"
+	"repro/internal/serve"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("dronet-serve: ")
+	addr := flag.String("addr", ":8080", "listen address (host:0 picks a free port)")
+	model := flag.String("model", models.DroNet, "model name")
+	size := flag.Int("size", 128, "network input resolution")
+	scale := flag.Float64("scale", 0.5, "filter-count scale (1.0 = paper-size model)")
+	weightsPath := flag.String("weights", "", "trained weights file (random init when empty)")
+	workers := flag.Int("workers", runtime.NumCPU(), "batch worker pool size (network replicas)")
+	maxBatch := flag.Int("max-batch", 8, "maximum images per micro-batch")
+	maxWait := flag.Duration("max-wait", 2*time.Millisecond, "maximum wait for a batch to fill")
+	queueDepth := flag.Int("queue", 0, "admission queue depth (0 = 8*max-batch); full queue returns 429")
+	thresh := flag.Float64("thresh", 0.24, "detection confidence threshold")
+	altFilter := flag.Bool("altfilter", false, "apply the altitude size gate when requests carry an altitude")
+	selfbench := flag.Bool("selfbench", false, "run the serving throughput benchmark instead of serving")
+	benchOut := flag.String("bench-out", "BENCH_serve.json", "selfbench: output path for the JSON report")
+	benchClients := flag.Int("bench-clients", 8, "selfbench: concurrent synthetic clients")
+	benchRequests := flag.Int("bench-requests", 40, "selfbench: requests per client")
+	flag.Parse()
+
+	det, err := core.NewScaledDetector(*model, *size, *scale, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *weightsPath != "" {
+		if err := det.LoadWeights(*weightsPath); err != nil {
+			log.Fatal(err)
+		}
+	} else {
+		log.Print("warning: no -weights given, using random initialization")
+	}
+
+	cfg := engine.Config{Workers: *workers, Thresh: *thresh, NMSThresh: det.NMSThresh}
+	if *altFilter {
+		gate := detect.NewVehicleAltitudeFilter()
+		cfg.AltitudeFilter = &gate
+	}
+	eng, err := engine.New(det.Net, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv, err := serve.New(eng, serve.Config{
+		MaxBatch:   *maxBatch,
+		MaxWait:    *maxWait,
+		QueueDepth: *queueDepth,
+		Warm:       true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if *selfbench {
+		if err := runSelfBench(srv, *size, *benchClients, *benchRequests, *benchOut, *model, *scale); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("listening on %s\n", ln.Addr())
+	log.Printf("model %s size %d scale %.2f, %d workers, max-batch %d, max-wait %s, queue %d",
+		*model, *size, *scale, eng.Workers(), *maxBatch, *maxWait, srv.Stats().QueueCap)
+
+	httpSrv := &http.Server{Handler: srv}
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.Serve(ln) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		log.Fatal(err)
+	case s := <-sig:
+		log.Printf("%s: draining", s)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		log.Printf("http shutdown: %v", err)
+	}
+	if err := srv.Shutdown(ctx); err != nil {
+		log.Printf("drain: %v", err)
+	}
+	log.Printf("final stats: %+v", srv.Stats())
+}
+
+// benchReport is the schema of BENCH_serve.json: the run parameters plus
+// the serving metrics snapshot after the run.
+type benchReport struct {
+	Model    string      `json:"model"`
+	Scale    float64     `json:"scale"`
+	Size     int         `json:"size"`
+	Clients  int         `json:"clients"`
+	Requests int         `json:"requests_per_client"`
+	Stats    serve.Stats `json:"stats"`
+}
+
+// runSelfBench boots the server on a loopback port, drives it with
+// concurrent synthetic clients over real HTTP (the same path production
+// traffic takes), and writes the report.
+func runSelfBench(srv *serve.Server, size, clients, requests int, outPath, model string, scale float64) error {
+	if clients < 1 || requests < 1 {
+		return fmt.Errorf("selfbench: need clients >= 1 and requests >= 1")
+	}
+	// Pre-render each client's frames so generation cost stays off the clock.
+	frames := make([][]*imgproc.Image, clients)
+	for c := range frames {
+		cam := pipeline.NewSimCamera(dataset.DefaultConfig(size), requests, uint64(100+c))
+		for {
+			f, ok := cam.Next()
+			if !ok {
+				break
+			}
+			frames[c] = append(frames[c], f.Image)
+		}
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Handler: srv}
+	go func() { _ = httpSrv.Serve(ln) }()
+	url := fmt.Sprintf("http://%s/detect", ln.Addr())
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for _, img := range frames[c] {
+				if err := postFrame(url, img); err != nil {
+					log.Printf("client %d: %v", c, err)
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	_ = httpSrv.Shutdown(shutCtx)
+	if err := srv.Close(); err != nil {
+		return err
+	}
+	rep := benchReport{Model: model, Scale: scale, Size: size, Clients: clients, Requests: requests, Stats: srv.Stats()}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(outPath, data, 0o644); err != nil {
+		return err
+	}
+	log.Printf("selfbench: %.1f images/s aggregate, mean batch %.2f, p50 %.1f ms, p99 %.1f ms -> %s",
+		rep.Stats.AggregateFPS, rep.Stats.MeanBatchSize, rep.Stats.LatencyP50Ms, rep.Stats.LatencyP99Ms, outPath)
+	return nil
+}
+
+// postFrame sends one image as a JSON detect request, retrying briefly on
+// 429 so the benchmark exercises backpressure without losing samples.
+func postFrame(url string, img *imgproc.Image) error {
+	req := serve.DetectRequest{Width: img.W, Height: img.H, Pixels: img.Pix}
+	body, err := json.Marshal(req)
+	if err != nil {
+		return err
+	}
+	for attempt := 0; ; attempt++ {
+		resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+		if err != nil {
+			return err
+		}
+		_, _ = io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		switch {
+		case resp.StatusCode == http.StatusOK:
+			return nil
+		case resp.StatusCode == http.StatusTooManyRequests && attempt < 50:
+			time.Sleep(2 * time.Millisecond)
+		default:
+			return fmt.Errorf("POST %s: %s", url, resp.Status)
+		}
+	}
+}

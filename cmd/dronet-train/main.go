@@ -34,7 +34,7 @@ func main() {
 	out := flag.String("out", "model.weights", "output weights path")
 	flag.Parse()
 
-	det, err := buildDetector(*model, *size, *scale, *seed)
+	det, err := core.NewScaledDetector(*model, *size, *scale, *seed)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -80,20 +80,4 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Println("weights written to", *out)
-}
-
-// buildDetector constructs a (possibly filter-scaled) model.
-func buildDetector(model string, size int, scale float64, seed uint64) (*core.Detector, error) {
-	if scale == 1.0 {
-		return core.NewDetector(model, size, seed)
-	}
-	text, err := models.Cfg(model, size)
-	if err != nil {
-		return nil, err
-	}
-	scaled, err := models.Scale(text, scale)
-	if err != nil {
-		return nil, err
-	}
-	return core.NewDetectorFromCfg(fmt.Sprintf("%s-x%.2f", model, scale), scaled, seed)
 }

@@ -12,4 +12,13 @@
 // produces weight-sharing replicas, and a worker pool fans streams across
 // replicas with per-stream and fleet-wide statistics (cmd/dronet-fleet,
 // examples/multicamera).
+//
+// On top of the engine, internal/serve exposes the detector as an HTTP
+// service (cmd/dronet-serve, examples/serveclient): concurrent requests
+// pass a bounded admission queue (429 on overload) and are coalesced into
+// dynamic micro-batches — one N-image batched Forward per batch, with
+// per-image detections byte-identical to single-image inference — with
+// /metrics reporting latency percentiles, batch-size histogram and
+// aggregate FPS, and context-based cancellation draining in-flight work on
+// shutdown.
 package repro

@@ -1,0 +1,199 @@
+// Command serveclient is the walkthrough client for the detection service
+// (internal/serve, cmd/dronet-serve) and the driver behind `make
+// serve-smoke`: it boots a dronet-serve binary on a random loopback port
+// (or talks to an existing server via -url), exercises every endpoint —
+// JSON detect, raw PNG detect, /healthz, /metrics — validates the
+// responses, and asks the server to drain and exit.
+//
+// Usage:
+//
+//	go build -o bin/dronet-serve ./cmd/dronet-serve
+//	go run ./examples/serveclient -server bin/dronet-serve
+//
+// or against a running server:
+//
+//	go run ./examples/serveclient -url http://localhost:8080
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"image/png"
+	"log"
+	"net/http"
+	"os"
+	"os/exec"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/imgproc"
+	"repro/internal/pipeline"
+	"repro/internal/serve"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("serveclient: ")
+	url := flag.String("url", "", "base URL of a running dronet-serve (skips spawning)")
+	server := flag.String("server", "", "path to a dronet-serve binary to spawn on a random port")
+	size := flag.Int("size", 96, "frame size to send (and model input when spawning)")
+	frames := flag.Int("frames", 4, "number of JSON frames to send")
+	flag.Parse()
+
+	var cmd *exec.Cmd
+	if *url == "" {
+		if *server == "" {
+			log.Fatal("need -url or -server")
+		}
+		var err error
+		cmd, *url, err = spawn(*server, *size)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer func() { _ = cmd.Process.Kill() }()
+	}
+
+	cam := pipeline.NewSimCamera(dataset.DefaultConfig(*size), *frames, 42)
+
+	// 1. JSON endpoint: planar float pixels.
+	total := 0
+	for i := 0; i < *frames; i++ {
+		f, ok := cam.Next()
+		if !ok {
+			break
+		}
+		resp := postJSON(*url, f.Image, f.Altitude)
+		total += len(resp.Detections)
+		fmt.Printf("frame %d: %d detections (batch %d, %.1f ms)\n",
+			i, len(resp.Detections), resp.BatchSize, resp.LatencyMs)
+	}
+	fmt.Printf("JSON endpoint: %d detections over %d frames\n", total, *frames)
+
+	// 2. Raw endpoint: the same scene as a PNG body.
+	pngCam := pipeline.NewSimCamera(dataset.DefaultConfig(*size), 1, 43)
+	f, _ := pngCam.Next()
+	var buf bytes.Buffer
+	if err := png.Encode(&buf, f.Image.ToNRGBA()); err != nil {
+		log.Fatal(err)
+	}
+	raw := post(*url+fmt.Sprintf("/detect/raw?altitude=%.1f", f.Altitude), "image/png", buf.Bytes())
+	fmt.Printf("raw PNG endpoint: %d detections (batch %d)\n", len(raw.Detections), raw.BatchSize)
+
+	// 3. Health and metrics.
+	var health map[string]any
+	getJSON(*url+"/healthz", &health)
+	if health["status"] != "ok" {
+		log.Fatalf("healthz: %v", health)
+	}
+	var stats serve.Stats
+	getJSON(*url+"/metrics", &stats)
+	fmt.Printf("metrics: %d completed, mean batch %.2f, p50 %.2f ms, p99 %.2f ms, %.1f FPS aggregate\n",
+		stats.Completed, stats.MeanBatchSize, stats.LatencyP50Ms, stats.LatencyP99Ms, stats.AggregateFPS)
+	if stats.Completed == 0 {
+		log.Fatal("metrics report zero completed requests")
+	}
+
+	// 4. Graceful drain when we own the server process.
+	if cmd != nil {
+		if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+			log.Fatal(err)
+		}
+		if err := cmd.Wait(); err != nil {
+			log.Fatalf("server exit: %v", err)
+		}
+		fmt.Println("server drained and exited cleanly")
+	}
+	fmt.Println("OK")
+}
+
+// spawn boots the server binary on a random loopback port and returns the
+// process plus the base URL parsed from its "listening on" line.
+func spawn(bin string, size int) (*exec.Cmd, string, error) {
+	cmd := exec.Command(bin,
+		"-addr", "127.0.0.1:0",
+		"-size", fmt.Sprint(size),
+		"-scale", "0.25",
+		"-workers", "2",
+		"-max-batch", "4",
+		"-max-wait", "5ms",
+	)
+	cmd.Stderr = os.Stderr
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, "", err
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, "", err
+	}
+	sc := bufio.NewScanner(stdout)
+	deadline := time.After(30 * time.Second)
+	lineCh := make(chan string, 1)
+	go func() {
+		for sc.Scan() {
+			if strings.HasPrefix(sc.Text(), "listening on ") {
+				lineCh <- strings.TrimPrefix(sc.Text(), "listening on ")
+				break
+			}
+		}
+		close(lineCh)
+	}()
+	select {
+	case addr, ok := <-lineCh:
+		if !ok || addr == "" {
+			_ = cmd.Process.Kill()
+			return nil, "", fmt.Errorf("server exited before announcing its port")
+		}
+		return cmd, "http://" + addr, nil
+	case <-deadline:
+		_ = cmd.Process.Kill()
+		return nil, "", fmt.Errorf("timed out waiting for the server to listen")
+	}
+}
+
+func postJSON(url string, img *imgproc.Image, altitude float64) serve.DetectResponse {
+	body, err := json.Marshal(serve.DetectRequest{
+		Width: img.W, Height: img.H, Pixels: img.Pix, Altitude: altitude,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return post(url+"/detect", "application/json", body)
+}
+
+func post(url, contentType string, body []byte) serve.DetectResponse {
+	resp, err := http.Post(url, contentType, bytes.NewReader(body))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		log.Fatalf("POST %s: %s", url, resp.Status)
+	}
+	var out serve.DetectResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		log.Fatalf("POST %s: bad response JSON: %v", url, err)
+	}
+	if out.Detections == nil {
+		log.Fatalf("POST %s: response missing detections array", url)
+	}
+	return out
+}
+
+func getJSON(url string, v any) {
+	resp, err := http.Get(url)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		log.Fatalf("GET %s: %s", url, resp.Status)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+		log.Fatalf("GET %s: bad JSON: %v", url, err)
+	}
+}

@@ -65,6 +65,24 @@ func NewDetectorFromCfg(name, cfgText string, seed uint64) (*Detector, error) {
 	return &Detector{Net: net, Hyper: hyper, Thresh: 0.24, NMSThresh: 0.45}, nil
 }
 
+// NewScaledDetector builds a registered model at the given input size with
+// its filter counts scaled by scale (1.0 = the paper-size model) — the
+// shared construction path of every cmd that exposes -model/-size/-scale.
+func NewScaledDetector(model string, size int, scale float64, seed uint64) (*Detector, error) {
+	if scale == 1.0 {
+		return NewDetector(model, size, seed)
+	}
+	text, err := models.Cfg(model, size)
+	if err != nil {
+		return nil, err
+	}
+	scaled, err := models.Scale(text, scale)
+	if err != nil {
+		return nil, err
+	}
+	return NewDetectorFromCfg(fmt.Sprintf("%s-x%.2f", model, scale), scaled, seed)
+}
+
 // TrainOn trains the detector on a dataset.
 func (d *Detector) TrainOn(ds *dataset.Dataset, c train.Config) (*train.Result, error) {
 	return train.Run(d.Net, ds, c)

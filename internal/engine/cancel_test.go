@@ -1,0 +1,98 @@
+package engine_test
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/detect"
+	"repro/internal/engine"
+	"repro/internal/imgproc"
+	"repro/internal/pipeline"
+)
+
+// TestRunContextCancel: cancelling mid-run stops the fleet promptly —
+// workers finish only their in-flight frame — returns context.Canceled,
+// and still reports the frames processed so far.
+func TestRunContextCancel(t *testing.T) {
+	net := buildNet(t)
+	const streams, frames = 2, 200 // far more work than we let finish
+	ctx, cancel := context.WithCancel(context.Background())
+	var seen atomic.Int64
+	eng, err := engine.New(net, engine.Config{
+		Workers: 1,
+		Thresh:  0.1,
+		OnFrame: func(stream int, f pipeline.Frame, dets []detect.Detection) {
+			if seen.Add(1) == 3 {
+				cancel()
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := eng.RunContext(ctx, newSources(streams, frames))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("RunContext after cancel: err = %v, want context.Canceled", err)
+	}
+	if stats.Frames == 0 {
+		t.Error("cancelled run reported zero processed frames")
+	}
+	if stats.Frames >= streams*frames {
+		t.Errorf("cancelled run processed all %d frames — cancellation did not interrupt", stats.Frames)
+	}
+	// A fresh context must be able to reuse the engine and run to completion.
+	full, err := eng.Run(newSources(1, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Frames != 3 {
+		t.Errorf("post-cancel run processed %d frames, want 3", full.Frames)
+	}
+}
+
+// TestExecuteBatchMatchesRunner: the engine's batch executor must produce,
+// image for image, the detections of the single-frame stream path on the
+// same worker pool.
+func TestExecuteBatchMatchesRunner(t *testing.T) {
+	net := buildNet(t)
+	eng, err := engine.New(net, engine.Config{Workers: 2, Thresh: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, history := collectRun(t, net, 1, 1, 4) // serial reference over 4 frames
+
+	// Re-render the same frames and batch them through worker 1.
+	srcs := newSources(1, 4)
+	var imgs []*imgproc.Image
+	for {
+		f, ok := srcs[0].Next()
+		if !ok {
+			break
+		}
+		imgs = append(imgs, f.Image)
+	}
+	per, err := eng.ExecuteBatch(1, imgs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(per) != len(imgs) {
+		t.Fatalf("ExecuteBatch returned %d results for %d images", len(per), len(imgs))
+	}
+	for i := range per {
+		want := history[0][i]
+		if len(per[i]) != len(want) {
+			t.Fatalf("frame %d: batch executor found %d detections, stream path %d", i, len(per[i]), len(want))
+		}
+		for j := range per[i] {
+			if per[i][j] != want[j] {
+				t.Errorf("frame %d det %d: %+v != %+v", i, j, per[i][j], want[j])
+			}
+		}
+	}
+
+	if _, err := eng.ExecuteBatch(5, imgs, nil); err == nil {
+		t.Error("ExecuteBatch accepted a worker id outside the pool")
+	}
+}

@@ -9,15 +9,22 @@
 // next, so frames within a stream stay in order (tracker state remains
 // per-stream) and per-stream detections are identical to a serial run of the
 // same sources.
+//
+// The same replica pool doubles as the batch executor behind the serving
+// subsystem (internal/serve): ExecuteBatch runs a dynamic micro-batch of
+// images as one batched Forward on a pooled worker, and RunContext threads
+// cancellation through the fleet loop for graceful shutdown.
 package engine
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"sync"
 	"time"
 
 	"repro/internal/detect"
+	"repro/internal/imgproc"
 	"repro/internal/network"
 	"repro/internal/pipeline"
 	"repro/internal/tracking"
@@ -72,14 +79,22 @@ type FleetStats struct {
 	MeanLatency, MaxLatency float64
 }
 
-// Engine runs a detector over many streams concurrently. An Engine is
-// reusable but not reentrant: successive Run calls reuse the worker
-// replicas (and their warmed activation buffers), so only one Run may be in
-// flight at a time.
+// Engine runs a detector over many streams concurrently, and doubles as the
+// batch executor behind the serving subsystem (internal/serve): each pooled
+// worker replica can execute whole-stream jobs (Run) or micro-batch jobs
+// (ExecuteBatch). An Engine is reusable but not reentrant per worker:
+// successive Run calls reuse the worker replicas (and their warmed
+// activation buffers), so only one Run may be in flight at a time, and
+// ExecuteBatch calls for the same worker id must not overlap Run or each
+// other. Distinct worker ids may execute batches concurrently — that is the
+// whole point of the pool.
 type Engine struct {
-	base    *network.Network
-	cfg     Config
-	runners []*pipeline.Runner // pooled worker replicas, grown lazily
+	base *network.Network
+	cfg  Config
+
+	mu       sync.Mutex         // guards lazy pool growth only
+	runners  []*pipeline.Runner // pooled worker replicas, grown lazily
+	batchers []*pipeline.BatchRunner
 }
 
 // New creates an engine around a base network. The base is never mutated by
@@ -102,6 +117,14 @@ func New(net *network.Network, cfg Config) (*Engine, error) {
 // fleet statistics. On a stream error the remaining streams still complete;
 // the first error is returned alongside the stats gathered so far.
 func (e *Engine) Run(sources []pipeline.Source) (FleetStats, error) {
+	return e.RunContext(context.Background(), sources)
+}
+
+// RunContext is Run with cancellation: when ctx is cancelled, no further
+// streams are dispatched, every worker finishes its in-flight frame and
+// stops, and the stats gathered so far are returned together with the
+// context error (wrapped in the first stream it interrupted).
+func (e *Engine) RunContext(ctx context.Context, sources []pipeline.Source) (FleetStats, error) {
 	fleet := FleetStats{Streams: make([]StreamStats, len(sources))}
 	if len(sources) == 0 {
 		return fleet, nil
@@ -122,7 +145,7 @@ func (e *Engine) Run(sources []pipeline.Source) (FleetStats, error) {
 		go func(id int, runner *pipeline.Runner) {
 			defer wg.Done()
 			for i := range jobs {
-				st, err := e.runStream(runner, i, sources[i])
+				st, err := e.runStream(ctx, runner, i, sources[i])
 				st.Worker = id
 				mu.Lock()
 				fleet.Streams[i] = st
@@ -133,11 +156,24 @@ func (e *Engine) Run(sources []pipeline.Source) (FleetStats, error) {
 			}
 		}(w, e.runner(w))
 	}
+	dispatched := 0
+feed:
 	for i := range sources {
-		jobs <- i
+		select {
+		case jobs <- i:
+			dispatched++
+		case <-ctx.Done():
+			break feed
+		}
 	}
 	close(jobs)
 	wg.Wait()
+	if firstErr == nil && dispatched < len(sources) {
+		// Cancellation landed between streams: no runStream was interrupted,
+		// but undispatched sources were skipped — report it, or a partial
+		// run would be indistinguishable from a complete one.
+		firstErr = ctx.Err()
+	}
 	fleet.WallSeconds = time.Since(start).Seconds()
 
 	var latSum float64
@@ -160,9 +196,10 @@ func (e *Engine) Run(sources []pipeline.Source) (FleetStats, error) {
 }
 
 // runner returns the id-th pooled worker runner, cloning the base network on
-// first use; later Runs reuse it, keeping its activation buffers warm. Only
-// called before the worker goroutines start, so the pool needs no locking.
+// first use; later Runs reuse it, keeping its activation buffers warm.
 func (e *Engine) runner(id int) *pipeline.Runner {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	for len(e.runners) <= id {
 		e.runners = append(e.runners, &pipeline.Runner{
 			Net:            e.base.CloneForInference(),
@@ -174,9 +211,56 @@ func (e *Engine) runner(id int) *pipeline.Runner {
 	return e.runners[id]
 }
 
+// Workers returns the configured worker-pool size.
+func (e *Engine) Workers() int { return e.cfg.Workers }
+
+// batcher returns the id-th pooled batch runner. It shares the same network
+// replica as runner(id): a worker executes either a stream job or a batch
+// job at any moment, never both, so the replica's layer workspaces are safe
+// to share between the two views.
+func (e *Engine) batcher(id int) *pipeline.BatchRunner {
+	r := e.runner(id)
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for len(e.batchers) <= id {
+		e.batchers = append(e.batchers, nil)
+	}
+	if e.batchers[id] == nil {
+		e.batchers[id] = &pipeline.BatchRunner{
+			Net:            r.Net,
+			Thresh:         e.cfg.Thresh,
+			NMSThresh:      e.cfg.NMSThresh,
+			AltitudeFilter: e.cfg.AltitudeFilter,
+		}
+	}
+	return e.batchers[id]
+}
+
+// WarmBatch pre-runs one throwaway forward at the given batch size on every
+// pooled worker replica, so serving starts with all workspaces sized for the
+// maximum micro-batch instead of growing them on the first live requests.
+func (e *Engine) WarmBatch(batch int) {
+	for id := 0; id < e.cfg.Workers; id++ {
+		e.batcher(id).Warm(batch)
+	}
+}
+
+// ExecuteBatch runs one micro-batch of images on worker id's pooled replica
+// and returns each image's detections separately (see
+// pipeline.BatchRunner.Detect). Calls with distinct worker ids may run
+// concurrently; calls sharing a worker id must be serialized by the caller,
+// as must ExecuteBatch against a concurrent Run. This is the executor the
+// serving subsystem's batch workers drive.
+func (e *Engine) ExecuteBatch(id int, imgs []*imgproc.Image, altitudes []float64) ([][]detect.Detection, error) {
+	if id < 0 || id >= e.cfg.Workers {
+		return nil, fmt.Errorf("engine: worker id %d outside pool of %d", id, e.cfg.Workers)
+	}
+	return e.batcher(id).Detect(imgs, altitudes)
+}
+
 // runStream processes one whole stream on the worker's runner, attaching a
 // fresh tracker when tracking is enabled.
-func (e *Engine) runStream(runner *pipeline.Runner, idx int, src pipeline.Source) (StreamStats, error) {
+func (e *Engine) runStream(ctx context.Context, runner *pipeline.Runner, idx int, src pipeline.Source) (StreamStats, error) {
 	st := StreamStats{Stream: idx}
 	var tracker *tracking.Tracker
 	if e.cfg.Track {
@@ -190,7 +274,7 @@ func (e *Engine) runStream(runner *pipeline.Runner, idx int, src pipeline.Source
 			e.cfg.OnFrame(idx, f, dets)
 		}
 	}
-	stats, err := runner.Run(src)
+	stats, err := runner.RunContext(ctx, src)
 	runner.OnFrame = nil // don't retain the stream's tracker via the closure
 	st.Stats = stats
 	if tracker != nil {

@@ -206,10 +206,7 @@ func (c *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 }
 
 func ensureLike(t, like *tensor.Tensor) *tensor.Tensor {
-	if t == nil || t.Len() != like.Len() {
-		return tensor.New(like.N, like.C, like.H, like.W)
-	}
-	return t
+	return tensor.Reslice(t, like.N, like.C, like.H, like.W)
 }
 
 // forwardBatchNormTrain normalizes out in place using batch statistics and
@@ -338,9 +335,7 @@ func (c *Conv2D) Backward(dout *tensor.Tensor) *tensor.Tensor {
 }
 
 func ensureDX(t **tensor.Tensor, like *tensor.Tensor) *tensor.Tensor {
-	if *t == nil || (*t).Len() != like.Len() {
-		*t = tensor.New(like.N, like.C, like.H, like.W)
-	}
+	*t = tensor.Reslice(*t, like.N, like.C, like.H, like.W)
 	return *t
 }
 

@@ -79,10 +79,11 @@ type Layer interface {
 	CloneForInference() Layer
 }
 
-// ensure allocates (or reuses) an output tensor for the given batch size.
+// ensure allocates (or reuses) an output tensor for the given batch size;
+// tensor.Reslice keeps the backing storage when capacity suffices, so
+// workspaces converge to max-batch capacity under varying batch sizes.
+// Reused contents are unspecified: every layer Forward fully overwrites.
 func ensure(t **tensor.Tensor, n int, s Shape) *tensor.Tensor {
-	if *t == nil || (*t).N != n {
-		*t = tensor.New(n, s.C, s.H, s.W)
-	}
+	*t = tensor.Reslice(*t, n, s.C, s.H, s.W)
 	return *t
 }

@@ -186,19 +186,43 @@ func (n *Network) IOBytes() int64 {
 	return total
 }
 
-// Detect runs inference on a single-image tensor and returns thresholded,
-// NMS-filtered detections.
+// Detect runs inference on a tensor and returns thresholded, NMS-filtered
+// detections, concatenated over the batch (suppression is per image; for
+// per-image results use DetectBatch).
 func (n *Network) Detect(x *tensor.Tensor, thresh, nmsThresh float64) ([]detect.Detection, error) {
+	per, err := n.DetectBatch(x, thresh, nmsThresh)
+	if err != nil {
+		return nil, err
+	}
+	if len(per) == 1 {
+		return per[0], nil
+	}
+	var all []detect.Detection
+	for _, dets := range per {
+		all = append(all, dets...)
+	}
+	return all, nil
+}
+
+// DetectBatch runs one batched forward pass and returns the detections of
+// each batch image separately, each independently thresholded and
+// NMS-suppressed. A single N-image DetectBatch produces exactly the same
+// per-image detections as N serial single-image Detect calls — the
+// invariant the serving micro-batcher is built on (every layer loops over
+// the batch dimension with per-image im2col/decode, and inference-mode
+// batch norm uses rolling statistics, so images never influence each
+// other).
+func (n *Network) DetectBatch(x *tensor.Tensor, thresh, nmsThresh float64) ([][]detect.Detection, error) {
 	r := n.Region()
 	if r == nil {
-		return nil, fmt.Errorf("network: Detect requires a region layer")
+		return nil, fmt.Errorf("network: DetectBatch requires a region layer")
 	}
 	out := n.Forward(x, false)
-	var all []detect.Detection
+	per := make([][]detect.Detection, x.N)
 	for b := 0; b < x.N; b++ {
-		all = append(all, r.Decode(out, b, thresh)...)
+		per[b] = detect.NMS(r.Decode(out, b, thresh), nmsThresh)
 	}
-	return detect.NMS(all, nmsThresh), nil
+	return per, nil
 }
 
 // Summary renders the Fig. 1/Fig. 2-style layer table: index, type, filter

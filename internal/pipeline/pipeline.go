@@ -7,6 +7,7 @@
 package pipeline
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -102,6 +103,14 @@ type Stats struct {
 // Run drains the source through the detector, resizing frames to the
 // network input as the Darknet capture loop does.
 func (r *Runner) Run(src Source) (Stats, error) {
+	return r.RunContext(context.Background(), src)
+}
+
+// RunContext is Run with cancellation: the loop checks ctx between frames,
+// finishing the in-flight frame before returning ctx.Err() alongside the
+// stats gathered so far. This is the seam the engine and the serving layer
+// use for graceful shutdown.
+func (r *Runner) RunContext(ctx context.Context, src Source) (Stats, error) {
 	if r.Net == nil {
 		return Stats{}, fmt.Errorf("pipeline: Runner requires a network")
 	}
@@ -116,6 +125,10 @@ func (r *Runner) Run(src Source) (Stats, error) {
 	var st Stats
 	var totalLatency float64
 	for {
+		if err := ctx.Err(); err != nil {
+			st.finish(totalLatency)
+			return st, err
+		}
 		f, ok := src.Next()
 		if !ok {
 			break
@@ -146,6 +159,12 @@ func (r *Runner) Run(src Source) (Stats, error) {
 			r.OnFrame(f, dets)
 		}
 	}
+	st.finish(totalLatency)
+	return st, nil
+}
+
+// finish derives the rate statistics from the accumulated latency total.
+func (st *Stats) finish(totalLatency float64) {
 	st.WallSeconds = totalLatency
 	if st.Frames > 0 {
 		st.MeanLatency = totalLatency / float64(st.Frames)
@@ -153,7 +172,6 @@ func (r *Runner) Run(src Source) (Stats, error) {
 	if st.WallSeconds > 0 {
 		st.FPS = float64(st.Frames) / st.WallSeconds
 	}
-	return st, nil
 }
 
 // String formats the stats for logs.

@@ -1,0 +1,53 @@
+// Package serve is the network-facing detection service: an HTTP server
+// that accepts concurrent single-image detection requests and executes them
+// on the multi-stream engine's replica pool as dynamic cross-stream
+// micro-batches.
+//
+// # Request path
+//
+// Every request is admitted through a bounded queue (Config.QueueDepth).
+// When the queue is full the request is rejected immediately with HTTP 429
+// — backpressure instead of unbounded buffering, so overload degrades
+// callers' throughput, never the server's memory. The bound covers request
+// decoding too: image sides are capped at 2048px, bodies at 64MB, and at
+// most 2×QueueDepth requests may hold decoded images at once — beyond
+// that, requests are shed with 429 before their body is even read. A single batcher
+// goroutine drains the queue and coalesces waiting requests into
+// micro-batches: a batch closes when it reaches Config.MaxBatch images or
+// when the oldest request in it has waited Config.MaxWait, whichever comes
+// first. Each batch becomes one N-image Network.Forward on a pooled worker
+// replica (engine.ExecuteBatch); the per-image detections are then fanned
+// back to the waiting callers.
+//
+// Batching is invisible to correctness: a batched forward produces
+// byte-identical per-image detections to single-image inference
+// (network.DetectBatch documents why), so the only observable effects are
+// higher aggregate throughput — im2col cost and cache-warm weight panels
+// amortize across the batch — and up to MaxWait of added latency under
+// light load.
+//
+// # Endpoints
+//
+//	POST /detect      JSON {"width","height","pixels":[...],"altitude"}
+//	                  where pixels is the planar CHW float RGB image
+//	                  (length 3*width*height, values in [0,1])
+//	POST /detect/raw  a PNG (or JPEG) image body; ?altitude=metres optional
+//	GET  /healthz     liveness plus the serving configuration
+//	GET  /metrics     JSON serving statistics: queue depth, p50/p99/mean/max
+//	                  latency, batch-size histogram, aggregate FPS
+//
+// Both detect endpoints respond with
+//
+//	{"detections":[{"x","y","w","h","class","score"},...],
+//	 "batch_size":N,"latency_ms":L}
+//
+// where boxes are center-format in normalized image coordinates, batch_size
+// is the micro-batch the request rode in (an observability aid for tuning
+// MaxWait), and latency_ms is queue+inference time.
+//
+// # Shutdown
+//
+// Close (or Shutdown with a context) stops admission — late requests get
+// HTTP 503 — then drains every queued request through the workers before
+// returning, so no accepted request is ever dropped.
+package serve

@@ -1,0 +1,220 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"image"
+	_ "image/jpeg" // register decoders for /detect/raw
+	_ "image/png"
+	"io"
+	"net/http"
+	"strconv"
+
+	"repro/internal/detect"
+	"repro/internal/imgproc"
+)
+
+// maxBodyBytes bounds request bodies: a 608x608 planar float image is ~13MB
+// as JSON, so 64MB leaves headroom without letting one caller exhaust RAM.
+const maxBodyBytes = 64 << 20
+
+// maxImageDim bounds each image side — generous against the ≤608px network
+// inputs, but small enough that one decoded image is ~50MB at worst.
+// Besides rejecting absurd inputs it keeps 3*Width*Height far from integer
+// overflow, which would otherwise let a crafted width/height pair slip past
+// the pixel-length check (e.g. 3*2^32*2^32 wraps to 0, "matching" an empty
+// pixels array).
+const maxImageDim = 2048
+
+// DetectRequest is the body of POST /detect: a planar CHW float RGB image
+// (Pixels has length 3*Width*Height, channel-major, values in [0,1] — the
+// same layout imgproc.Image uses) plus an optional UAV altitude in metres
+// for the §III.D size gate.
+type DetectRequest struct {
+	Width    int       `json:"width"`
+	Height   int       `json:"height"`
+	Pixels   []float32 `json:"pixels"`
+	Altitude float64   `json:"altitude,omitempty"`
+}
+
+// DetectionJSON is one detection on the wire: a center-format box in
+// normalized image coordinates.
+type DetectionJSON struct {
+	X     float64 `json:"x"`
+	Y     float64 `json:"y"`
+	W     float64 `json:"w"`
+	H     float64 `json:"h"`
+	Class int     `json:"class"`
+	Score float64 `json:"score"`
+}
+
+// DetectResponse is the body of a successful detection response. BatchSize
+// reports the micro-batch this request was executed in and LatencyMs the
+// end-to-end queue+inference time — both observability aids for tuning the
+// batching knobs.
+type DetectResponse struct {
+	Detections []DetectionJSON `json:"detections"`
+	BatchSize  int             `json:"batch_size"`
+	LatencyMs  float64         `json:"latency_ms"`
+}
+
+// errorJSON is the uniform error body.
+type errorJSON struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, errorJSON{Error: fmt.Sprintf(format, args...)})
+}
+
+// acquire reserves an in-flight slot before a request body is read,
+// writing a 429 and returning false when the server already holds its
+// maximum number of request images. Callers must release() when done.
+func (s *Server) acquire(w http.ResponseWriter) bool {
+	select {
+	case s.inflight <- struct{}{}:
+		return true
+	default:
+		s.met.admit()
+		s.met.reject()
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, "server overloaded: too many requests in flight")
+		return false
+	}
+}
+
+func (s *Server) release() { <-s.inflight }
+
+// handleDetectJSON serves POST /detect.
+func (s *Server) handleDetectJSON(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	if !s.acquire(w) {
+		return
+	}
+	defer s.release()
+	var req DetectRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	if req.Width < 1 || req.Height < 1 || req.Width > maxImageDim || req.Height > maxImageDim {
+		writeError(w, http.StatusBadRequest, "width and height must be in [1,%d], got %dx%d", maxImageDim, req.Width, req.Height)
+		return
+	}
+	if len(req.Pixels) != 3*req.Width*req.Height {
+		writeError(w, http.StatusBadRequest, "pixels length %d != 3*%d*%d", len(req.Pixels), req.Width, req.Height)
+		return
+	}
+	// req.Pixels is a private, just-decoded slice of exactly 3*W*H floats in
+	// the Image's own planar layout — adopt it rather than copying ~50MB at
+	// max dimensions on the hot path.
+	img := &imgproc.Image{W: req.Width, H: req.Height, Pix: req.Pixels}
+	s.respond(w, img, req.Altitude)
+}
+
+// handleDetectRaw serves POST /detect/raw: the body is a PNG or JPEG image,
+// with the altitude (metres) in the ?altitude query parameter.
+func (s *Server) handleDetectRaw(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	if !s.acquire(w) {
+		return
+	}
+	defer s.release()
+	var altitude float64
+	if q := r.URL.Query().Get("altitude"); q != "" {
+		v, err := strconv.ParseFloat(q, 64)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "bad altitude %q: %v", q, err)
+			return
+		}
+		altitude = v
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "read body: %v", err)
+		return
+	}
+	// Check the declared geometry before decoding pixels, so a small body
+	// cannot expand into a gigapixel allocation (PNG bombs compress well).
+	cfg, _, err := image.DecodeConfig(bytes.NewReader(body))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "decode image: %v", err)
+		return
+	}
+	if cfg.Width < 1 || cfg.Height < 1 || cfg.Width > maxImageDim || cfg.Height > maxImageDim {
+		writeError(w, http.StatusBadRequest, "image dimensions must be in [1,%d], got %dx%d", maxImageDim, cfg.Width, cfg.Height)
+		return
+	}
+	src, _, err := image.Decode(bytes.NewReader(body))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "decode image: %v", err)
+		return
+	}
+	s.respond(w, imgproc.FromGoImage(src), altitude)
+}
+
+// respond pushes the image through the micro-batcher and writes the result.
+func (s *Server) respond(w http.ResponseWriter, img *imgproc.Image, altitude float64) {
+	resp, lat, err := s.detect(img, altitude)
+	switch {
+	case errors.Is(err, ErrOverloaded):
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, "server overloaded: admission queue full")
+		return
+	case errors.Is(err, ErrClosed):
+		writeError(w, http.StatusServiceUnavailable, "server shutting down")
+		return
+	case err != nil:
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	case resp.err != nil:
+		writeError(w, http.StatusInternalServerError, "inference: %v", resp.err)
+		return
+	}
+	writeJSON(w, http.StatusOK, DetectResponse{
+		Detections: toJSON(resp.dets),
+		BatchSize:  resp.batch,
+		LatencyMs:  lat.Seconds() * 1e3,
+	})
+}
+
+// toJSON converts detections to the wire format (never nil, so the JSON is
+// always an array).
+func toJSON(dets []detect.Detection) []DetectionJSON {
+	out := make([]DetectionJSON, len(dets))
+	for i, d := range dets {
+		out[i] = DetectionJSON{X: d.Box.X, Y: d.Box.Y, W: d.Box.W, H: d.Box.H, Class: d.Class, Score: d.Score}
+	}
+	return out
+}
+
+// handleHealthz serves GET /healthz.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":      "ok",
+		"workers":     s.eng.Workers(),
+		"max_batch":   s.cfg.MaxBatch,
+		"max_wait_ms": s.cfg.MaxWait.Seconds() * 1e3,
+		"queue_cap":   s.cfg.QueueDepth,
+	})
+}
+
+// handleMetrics serves GET /metrics.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Stats())
+}

@@ -1,0 +1,207 @@
+package serve
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// latWindow is the sliding window of request latencies kept for percentile
+// estimation. 4096 completed requests of history is enough to make p99
+// meaningful while bounding memory.
+const latWindow = 4096
+
+// Stats is the machine-readable snapshot served by /metrics and embedded in
+// BENCH_serve.json by the benchmark emitter.
+type Stats struct {
+	UptimeSeconds float64 `json:"uptime_s"`
+
+	// Request counters: Received counts every admission attempt, Rejected
+	// the 429/503 turnaways, Completed successful responses, Failed
+	// responses that errored during inference.
+	Received  uint64 `json:"received"`
+	Rejected  uint64 `json:"rejected"`
+	Completed uint64 `json:"completed"`
+	Failed    uint64 `json:"failed"`
+
+	// QueueDepth is the number of requests waiting at snapshot time;
+	// QueueCap the bounded queue's capacity (the 429 threshold).
+	QueueDepth int `json:"queue_depth"`
+	QueueCap   int `json:"queue_cap"`
+	Workers    int `json:"workers"`
+	MaxBatch   int `json:"max_batch"`
+
+	// Batches counts executed micro-batches; MeanBatchSize is images per
+	// batch averaged over all of them, and BatchHist maps batch size to
+	// occurrence count.
+	Batches       int         `json:"batches"`
+	MeanBatchSize float64     `json:"mean_batch_size"`
+	BatchHist     map[int]int `json:"batch_hist"`
+
+	// End-to-end request latencies (queue wait + inference) in
+	// milliseconds. Percentiles are over the last latWindow requests; Max
+	// is all-time.
+	LatencyP50Ms  float64 `json:"latency_p50_ms"`
+	LatencyP99Ms  float64 `json:"latency_p99_ms"`
+	LatencyMeanMs float64 `json:"latency_mean_ms"`
+	LatencyMaxMs  float64 `json:"latency_max_ms"`
+
+	// BusySeconds is the wall-clock time at least one batch was executing
+	// (overlapping worker spans merged), and AggregateFPS the images pushed
+	// through inference per busy second — the serving counterpart of the
+	// fleet engine's aggregate throughput. Measuring against busy time
+	// rather than uptime keeps the rate meaningful for a long-lived server
+	// with idle gaps between traffic bursts.
+	BusySeconds  float64 `json:"busy_s"`
+	AggregateFPS float64 `json:"aggregate_fps"`
+}
+
+// metrics accumulates serving statistics. All methods are safe for
+// concurrent use.
+type metrics struct {
+	mu sync.Mutex
+
+	start     time.Time
+	received  uint64
+	rejected  uint64
+	completed uint64
+	failed    uint64
+
+	batches     int
+	batchImages int
+	batchHist   map[int]int
+	busySeconds float64   // closed portion of the batch-execution span union
+	active      int       // batches executing right now
+	activeSince time.Time // when active last rose from zero
+
+	lat      [latWindow]float64 // seconds, ring buffer
+	latNext  int
+	latCount int
+	latSum   float64 // all-time, for the mean
+	latMax   float64
+}
+
+func newMetrics() *metrics {
+	return &metrics{start: time.Now(), batchHist: make(map[int]int)}
+}
+
+func (m *metrics) admit() {
+	m.mu.Lock()
+	m.received++
+	m.mu.Unlock()
+}
+
+func (m *metrics) reject() {
+	m.mu.Lock()
+	m.rejected++
+	m.mu.Unlock()
+}
+
+func (m *metrics) done(lat time.Duration, ok bool) {
+	sec := lat.Seconds()
+	m.mu.Lock()
+	if ok {
+		m.completed++
+	} else {
+		m.failed++
+	}
+	m.lat[m.latNext] = sec
+	m.latNext = (m.latNext + 1) % latWindow
+	if m.latCount < latWindow {
+		m.latCount++
+	}
+	m.latSum += sec
+	if sec > m.latMax {
+		m.latMax = sec
+	}
+	m.mu.Unlock()
+}
+
+// batchStart marks a batch execution beginning. Together with batch (the
+// end mark) it maintains busySeconds as the exact union of overlapping
+// worker spans — time with at least one batch in flight — via a simple
+// active counter, so neither double-counting nor out-of-order completion
+// can skew the aggregate-FPS denominator.
+func (m *metrics) batchStart() {
+	m.mu.Lock()
+	if m.active == 0 {
+		m.activeSince = time.Now()
+	}
+	m.active++
+	m.mu.Unlock()
+}
+
+// batch records one executed micro-batch ending now.
+func (m *metrics) batch(size int) {
+	m.mu.Lock()
+	m.batches++
+	m.batchImages += size
+	m.batchHist[size]++
+	m.active--
+	if m.active == 0 {
+		m.busySeconds += time.Since(m.activeSince).Seconds()
+	}
+	m.mu.Unlock()
+}
+
+// snapshot assembles a Stats; queueDepth/queueCap/workers/maxBatch come from
+// the server since the queue is not the metrics' to inspect.
+func (m *metrics) snapshot(queueDepth, queueCap, workers, maxBatch int) Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s := Stats{
+		UptimeSeconds: time.Since(m.start).Seconds(),
+		Received:      m.received,
+		Rejected:      m.rejected,
+		Completed:     m.completed,
+		Failed:        m.failed,
+		QueueDepth:    queueDepth,
+		QueueCap:      queueCap,
+		Workers:       workers,
+		MaxBatch:      maxBatch,
+		Batches:       m.batches,
+		BatchHist:     make(map[int]int, len(m.batchHist)),
+		LatencyMaxMs:  m.latMax * 1e3,
+	}
+	for k, v := range m.batchHist {
+		s.BatchHist[k] = v
+	}
+	if m.batches > 0 {
+		s.MeanBatchSize = float64(m.batchImages) / float64(m.batches)
+	}
+	finished := m.completed + m.failed
+	if finished > 0 {
+		s.LatencyMeanMs = m.latSum / float64(finished) * 1e3
+	}
+	if m.latCount > 0 {
+		window := make([]float64, m.latCount)
+		copy(window, m.lat[:m.latCount])
+		sort.Float64s(window)
+		s.LatencyP50Ms = percentile(window, 0.50) * 1e3
+		s.LatencyP99Ms = percentile(window, 0.99) * 1e3
+	}
+	s.BusySeconds = m.busySeconds
+	if m.active > 0 {
+		s.BusySeconds += time.Since(m.activeSince).Seconds() // open span
+	}
+	if s.BusySeconds > 0 {
+		s.AggregateFPS = float64(m.batchImages) / s.BusySeconds
+	}
+	return s
+}
+
+// percentile returns the p-quantile of an ascending-sorted slice using the
+// nearest-rank method.
+func percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(p*float64(len(sorted))+0.5) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}

@@ -1,0 +1,42 @@
+package serve
+
+import (
+	"testing"
+	"time"
+)
+
+// TestBusyUnionOverlappingSpans: overlapping batch executions reported out
+// of order must contribute their wall-clock union to busySeconds, not the
+// clamped or double-counted sum — the denominator of aggregate FPS.
+func TestBusyUnionOverlappingSpans(t *testing.T) {
+	m := newMetrics()
+	// Long span A starts, short span B starts and ends inside it, then A
+	// ends: the union is A's full duration.
+	m.batchStart() // A
+	time.Sleep(10 * time.Millisecond)
+	m.batchStart() // B
+	time.Sleep(10 * time.Millisecond)
+	m.batch(1) // B ends first
+	time.Sleep(10 * time.Millisecond)
+	m.batch(4) // A ends
+
+	s := m.snapshot(0, 1, 1, 4)
+	if s.BusySeconds < 0.025 {
+		t.Errorf("busy %.4fs, want the ~30ms union of the overlapping spans", s.BusySeconds)
+	}
+	if s.BusySeconds > 0.2 {
+		t.Errorf("busy %.4fs, want ~30ms — spans double-counted?", s.BusySeconds)
+	}
+	if s.AggregateFPS <= 0 {
+		t.Error("aggregate FPS not derived from busy time")
+	}
+	if s.MeanBatchSize != 2.5 {
+		t.Errorf("mean batch %.2f, want 2.5", s.MeanBatchSize)
+	}
+
+	// An idle gap must not count: sleep with no active batch, then snapshot.
+	time.Sleep(20 * time.Millisecond)
+	if s2 := m.snapshot(0, 1, 1, 4); s2.BusySeconds > s.BusySeconds+0.001 {
+		t.Errorf("idle time leaked into busySeconds: %.4fs -> %.4fs", s.BusySeconds, s2.BusySeconds)
+	}
+}

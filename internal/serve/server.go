@@ -1,0 +1,267 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/detect"
+	"repro/internal/engine"
+	"repro/internal/imgproc"
+)
+
+// Config tunes the micro-batching service. The zero value of every knob
+// selects a sensible default (see the field comments); Workers comes from
+// the engine's pool.
+type Config struct {
+	// MaxBatch is the largest micro-batch one worker executes in a single
+	// batched Forward. Default 8.
+	MaxBatch int
+	// MaxWait bounds how long the oldest request in a forming batch waits
+	// for batch-mates before the batch is dispatched anyway. It is the
+	// latency the service is willing to spend buying throughput; under
+	// saturation batches fill instantly and the knob never bites.
+	// Default 2ms.
+	MaxWait time.Duration
+	// QueueDepth is the admission queue bound; a request arriving to a full
+	// queue is rejected with HTTP 429 immediately. Default 8*MaxBatch.
+	QueueDepth int
+	// Warm, when true, runs one throwaway MaxBatch-sized forward per worker
+	// replica at startup so first-request latency excludes workspace
+	// allocation.
+	Warm bool
+}
+
+// ErrOverloaded is returned by submit when the admission queue is full; the
+// HTTP layer maps it to 429 Too Many Requests.
+var ErrOverloaded = errors.New("serve: admission queue full")
+
+// ErrClosed is returned after Close/Shutdown has begun; the HTTP layer maps
+// it to 503 Service Unavailable.
+var ErrClosed = errors.New("serve: server is shutting down")
+
+// request is one admitted detection job awaiting a micro-batch slot.
+type request struct {
+	img      *imgproc.Image
+	altitude float64
+	enqueued time.Time
+	resp     chan response
+}
+
+// response carries one request's result back from the batch worker.
+type response struct {
+	dets  []detect.Detection
+	batch int // micro-batch size this request rode in
+	err   error
+}
+
+// Server coalesces concurrent detection requests into micro-batches and
+// executes them on an engine's worker pool. Create with New, serve with
+// ServeHTTP (it implements http.Handler), stop with Close or Shutdown.
+type Server struct {
+	eng *engine.Engine
+	cfg Config
+	mux *http.ServeMux
+	met *metrics
+
+	queue   chan *request
+	batches chan []*request
+	// inflight caps concurrently-held request bodies/images at twice the
+	// queue depth. Decoding happens in the HTTP handler before admission,
+	// so without this cap N connections could each materialize a decoded
+	// image and exhaust memory before ever seeing the queue's 429; with it,
+	// excess requests are shed before their body is read.
+	inflight chan struct{}
+
+	admitMu sync.RWMutex // write-held once by Close to fence late submitters
+	closed  bool
+
+	workerWG  sync.WaitGroup
+	batcherWG sync.WaitGroup
+	closeOnce sync.Once
+}
+
+// New starts the batcher and one batch worker per engine pool worker, and
+// returns a ready http.Handler. The engine must not be running a fleet
+// Run while the server is live — both sides share the replica pool.
+func New(eng *engine.Engine, cfg Config) (*Server, error) {
+	if eng == nil {
+		return nil, fmt.Errorf("serve: nil engine")
+	}
+	if eng.Workers() < 1 {
+		return nil, fmt.Errorf("serve: engine has no workers")
+	}
+	if cfg.MaxBatch < 1 {
+		cfg.MaxBatch = 8
+	}
+	if cfg.MaxWait <= 0 {
+		cfg.MaxWait = 2 * time.Millisecond
+	}
+	if cfg.QueueDepth < 1 {
+		cfg.QueueDepth = 8 * cfg.MaxBatch
+	}
+	s := &Server{
+		eng:      eng,
+		cfg:      cfg,
+		met:      newMetrics(),
+		queue:    make(chan *request, cfg.QueueDepth),
+		batches:  make(chan []*request),
+		inflight: make(chan struct{}, 2*cfg.QueueDepth),
+	}
+	if cfg.Warm {
+		eng.WarmBatch(cfg.MaxBatch)
+	}
+	s.batcherWG.Add(1)
+	go s.batchLoop()
+	for id := 0; id < eng.Workers(); id++ {
+		s.workerWG.Add(1)
+		go s.workerLoop(id)
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("/detect", s.handleDetectJSON)
+	s.mux.HandleFunc("/detect/raw", s.handleDetectRaw)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	return s, nil
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Stats returns a point-in-time snapshot of the serving metrics.
+func (s *Server) Stats() Stats {
+	return s.met.snapshot(len(s.queue), cap(s.queue), s.eng.Workers(), s.cfg.MaxBatch)
+}
+
+// submit admits a request or rejects it without blocking. The read lock
+// spans the channel send so Close's write lock can guarantee no sender is
+// mid-flight when it closes the queue.
+func (s *Server) submit(r *request) error {
+	s.admitMu.RLock()
+	defer s.admitMu.RUnlock()
+	if s.closed {
+		return ErrClosed
+	}
+	select {
+	case s.queue <- r:
+		return nil
+	default:
+		return ErrOverloaded
+	}
+}
+
+// detect runs one image through the micro-batching path end to end,
+// blocking until its batch executes.
+func (s *Server) detect(img *imgproc.Image, altitude float64) (response, time.Duration, error) {
+	s.met.admit()
+	req := &request{img: img, altitude: altitude, enqueued: time.Now(), resp: make(chan response, 1)}
+	if err := s.submit(req); err != nil {
+		s.met.reject()
+		return response{}, 0, err
+	}
+	resp := <-req.resp
+	lat := time.Since(req.enqueued)
+	s.met.done(lat, resp.err == nil)
+	return resp, lat, nil
+}
+
+// batchLoop drains the admission queue, coalescing requests into batches of
+// up to MaxBatch images; a partial batch is dispatched once its oldest
+// request has waited MaxWait. Exits (closing the workers' feed) when the
+// queue is closed and drained.
+func (s *Server) batchLoop() {
+	defer s.batcherWG.Done()
+	defer close(s.batches)
+	for first := range s.queue {
+		batch := append(make([]*request, 0, s.cfg.MaxBatch), first)
+		deadline := time.NewTimer(s.cfg.MaxWait)
+	collect:
+		for len(batch) < s.cfg.MaxBatch {
+			select {
+			case r, ok := <-s.queue:
+				if !ok {
+					break collect // queue closed: flush what we have
+				}
+				batch = append(batch, r)
+			case <-deadline.C:
+				break collect
+			}
+		}
+		deadline.Stop()
+		s.batches <- batch
+	}
+}
+
+// workerLoop executes batches on this worker's pooled replica and fans the
+// per-image detections back to the waiting requests.
+func (s *Server) workerLoop(id int) {
+	defer s.workerWG.Done()
+	imgs := make([]*imgproc.Image, 0, s.cfg.MaxBatch)
+	alts := make([]float64, 0, s.cfg.MaxBatch)
+	for batch := range s.batches {
+		imgs, alts = imgs[:0], alts[:0]
+		for _, r := range batch {
+			imgs = append(imgs, r.img)
+			alts = append(alts, r.altitude)
+		}
+		s.met.batchStart()
+		per, err := s.executeBatch(id, imgs, alts)
+		s.met.batch(len(batch))
+		for i, r := range batch {
+			if err != nil {
+				r.resp <- response{err: err}
+			} else {
+				r.resp <- response{dets: per[i], batch: len(batch)}
+			}
+		}
+	}
+}
+
+// executeBatch wraps the engine call with panic recovery: the batch workers
+// run outside net/http's per-request recovery, so without this a panic on
+// one poisoned input would kill the whole process and strand every
+// co-batched caller on its response channel. The panicking batch's callers
+// all get a 500; the worker keeps serving (layer workspaces are fully
+// overwritten by the next forward, so no corrupt state survives).
+func (s *Server) executeBatch(id int, imgs []*imgproc.Image, alts []float64) (per [][]detect.Detection, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			per, err = nil, fmt.Errorf("batch execution panicked: %v", r)
+		}
+	}()
+	return s.eng.ExecuteBatch(id, imgs, alts)
+}
+
+// Close stops admission (late requests get ErrClosed/503), drains every
+// already-admitted request through the batch workers, and returns once all
+// of them have been answered. Safe to call more than once.
+func (s *Server) Close() error {
+	s.closeOnce.Do(func() {
+		s.admitMu.Lock()
+		s.closed = true
+		close(s.queue)
+		s.admitMu.Unlock()
+		s.batcherWG.Wait()
+		s.workerWG.Wait()
+	})
+	return nil
+}
+
+// Shutdown is Close bounded by a context: it returns ctx.Err() if the drain
+// outlives the context, leaving the drain to finish in the background.
+func (s *Server) Shutdown(ctx context.Context) error {
+	done := make(chan struct{})
+	go func() {
+		s.Close()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

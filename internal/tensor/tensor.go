@@ -83,6 +83,23 @@ func (t *Tensor) Reshape(n, c, h, w int) (*Tensor, error) {
 	return &Tensor{N: n, C: c, H: h, W: w, Data: t.Data}, nil
 }
 
+// Reslice returns a tensor of the requested shape, reusing t's backing
+// storage whenever its capacity suffices and allocating fresh storage only
+// when it does not. It is the workspace-reuse primitive behind the layers'
+// activation buffers and the serving batch runner: when the batch size
+// varies call to call, buffers converge to max-batch capacity and stay
+// there instead of reallocating. Reused contents are unspecified — callers
+// must fully overwrite.
+func Reslice(t *Tensor, n, c, h, w int) *Tensor {
+	if t != nil && t.N == n && t.C == c && t.H == h && t.W == w {
+		return t
+	}
+	if need := n * c * h * w; t != nil && cap(t.Data) >= need {
+		return &Tensor{N: n, C: c, H: h, W: w, Data: t.Data[:need]}
+	}
+	return New(n, c, h, w)
+}
+
 // Zero sets all elements to zero.
 func (t *Tensor) Zero() {
 	for i := range t.Data {
