@@ -19,28 +19,36 @@ race:
 
 ## bench: one-iteration smoke pass over every benchmark (catches bit-rot,
 ## not performance; use `go test -bench . -benchtime 1s` for real numbers),
-## then the serving throughput run that emits machine-readable BENCH_serve.json
+## then the serving throughput run that regenerates the extended fp32+int8
+## BENCH_serve.json
 bench: serve-bench
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
 
 ## serve-bench: drive the micro-batching service with concurrent synthetic
-## clients and write BENCH_serve.json (agg FPS, p50/p99 latency, batch-size
-## histogram) so the serving perf trajectory is tracked per-commit
+## clients — once at fp32, once at int8 — and write BENCH_serve.json (agg
+## FPS per precision, p50/p99 latency, batch-size histogram, and the
+## fp32-vs-int8 detection-agreement score) so the serving perf trajectory is
+## tracked per-commit
 serve-bench:
 	$(GO) run ./cmd/dronet-serve -selfbench -size 96 -scale 0.25 -workers 2 \
 	    -bench-clients 8 -bench-requests 25 -bench-out BENCH_serve.json
 
-## serve-smoke: boot the real dronet-serve binary on a random port, POST a
+## serve-smoke: boot the real dronet-serve binary on a random port — once per
+## precision (fp32, then -precision int8 with startup calibration) — POST a
 ## synthetic frame to every endpoint, assert 200s with well-formed detection
-## JSON, then SIGTERM-drain it (examples/serveclient is the driver)
+## JSON and the right precision label, then SIGTERM-drain it
+## (examples/serveclient is the driver)
 serve-smoke:
 	$(GO) build -o bin/dronet-serve ./cmd/dronet-serve
 	$(GO) run ./examples/serveclient -server bin/dronet-serve
+	$(GO) run ./examples/serveclient -server bin/dronet-serve -precision int8
 
-## fuzz: short bounded fuzz pass over the detect invariants
+## fuzz: short bounded fuzz pass over the detect and quantization invariants
 fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzIoU -fuzztime 30s ./internal/detect
 	$(GO) test -run '^$$' -fuzz FuzzNMS -fuzztime 30s ./internal/detect
+	$(GO) test -run '^$$' -fuzz FuzzIm2colInt8 -fuzztime 30s ./internal/tensor
+	$(GO) test -run '^$$' -fuzz FuzzQuantDequant -fuzztime 30s ./internal/quant
 
 ## fleet: demo the multi-stream engine with a serial-vs-parallel comparison
 fleet:

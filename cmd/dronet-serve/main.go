@@ -8,14 +8,22 @@
 //	dronet-serve -addr :8080 -model dronet -size 128 -scale 0.5 \
 //	    -weights dronet.weights -workers 4 -max-batch 8 -max-wait 2ms
 //
+// The engine is precision-agnostic (core.Model): -precision int8 serves the
+// INT8-quantized model (batch-norm folding, per-channel weight scales,
+// activation scales calibrated at startup on synthetic sample frames)
+// through exactly the same admission queue and batcher as fp32, and
+// /healthz, /metrics label the active precision.
+//
 // The server prints "listening on HOST:PORT" once the socket is bound (so
 // -addr 127.0.0.1:0 picks a free port scripts can parse) and drains
 // in-flight requests on SIGINT/SIGTERM.
 //
-// With -selfbench the command instead boots the server in-process, drives
-// it with concurrent synthetic clients, and writes the machine-readable
-// throughput report (serve.Stats plus the run parameters) to -bench-out —
-// this is what `make bench` uses to emit BENCH_serve.json.
+// With -selfbench the command instead boots the server in-process — once
+// per precision — drives each with the same concurrent synthetic clients,
+// and writes the machine-readable throughput report (serve.Stats for fp32
+// and int8 side by side, plus their detection-agreement score on the same
+// inputs) to -bench-out — this is what `make bench` uses to emit
+// BENCH_serve.json.
 package main
 
 import (
@@ -43,7 +51,12 @@ import (
 	"repro/internal/models"
 	"repro/internal/pipeline"
 	"repro/internal/serve"
+	"repro/internal/tensor"
 )
+
+// agreementIoU is the overlap bar for counting an fp32 and an int8 detection
+// as the same object in the selfbench agreement score.
+const agreementIoU = 0.9
 
 func main() {
 	log.SetFlags(0)
@@ -53,18 +66,23 @@ func main() {
 	size := flag.Int("size", 128, "network input resolution")
 	scale := flag.Float64("scale", 0.5, "filter-count scale (1.0 = paper-size model)")
 	weightsPath := flag.String("weights", "", "trained weights file (random init when empty)")
-	workers := flag.Int("workers", runtime.NumCPU(), "batch worker pool size (network replicas)")
+	precision := flag.String("precision", "fp32", "inference precision: fp32 or int8 (post-training quantized)")
+	calibFrames := flag.Int("calib-frames", 8, "int8: synthetic sample frames for activation-scale calibration")
+	workers := flag.Int("workers", runtime.NumCPU(), "batch worker pool size (model replicas)")
 	maxBatch := flag.Int("max-batch", 8, "maximum images per micro-batch")
 	maxWait := flag.Duration("max-wait", 2*time.Millisecond, "maximum wait for a batch to fill")
 	queueDepth := flag.Int("queue", 0, "admission queue depth (0 = 8*max-batch); full queue returns 429")
 	thresh := flag.Float64("thresh", 0.24, "detection confidence threshold")
 	altFilter := flag.Bool("altfilter", false, "apply the altitude size gate when requests carry an altitude")
-	selfbench := flag.Bool("selfbench", false, "run the serving throughput benchmark instead of serving")
+	selfbench := flag.Bool("selfbench", false, "run the fp32-vs-int8 serving benchmark instead of serving")
 	benchOut := flag.String("bench-out", "BENCH_serve.json", "selfbench: output path for the JSON report")
 	benchClients := flag.Int("bench-clients", 8, "selfbench: concurrent synthetic clients")
 	benchRequests := flag.Int("bench-requests", 40, "selfbench: requests per client")
 	flag.Parse()
 
+	if *precision != "fp32" && *precision != "int8" {
+		log.Fatalf("unknown -precision %q (want fp32 or int8)", *precision)
+	}
 	det, err := core.NewScaledDetector(*model, *size, *scale, 1)
 	if err != nil {
 		log.Fatal(err)
@@ -82,25 +100,32 @@ func main() {
 		gate := detect.NewVehicleAltitudeFilter()
 		cfg.AltitudeFilter = &gate
 	}
-	eng, err := engine.New(det.Net, cfg)
-	if err != nil {
-		log.Fatal(err)
-	}
-	srv, err := serve.New(eng, serve.Config{
+	scfg := serve.Config{
 		MaxBatch:   *maxBatch,
 		MaxWait:    *maxWait,
 		QueueDepth: *queueDepth,
 		Warm:       true,
-	})
-	if err != nil {
-		log.Fatal(err)
 	}
 
 	if *selfbench {
-		if err := runSelfBench(srv, *size, *benchClients, *benchRequests, *benchOut, *model, *scale); err != nil {
+		if err := runSelfBench(det, cfg, scfg, *size, *calibFrames, *benchClients, *benchRequests, *benchOut, *model, *scale); err != nil {
 			log.Fatal(err)
 		}
 		return
+	}
+
+	mdl, err := buildModel(det, *precision, *size, *calibFrames)
+	if err != nil {
+		log.Fatal(err)
+	}
+	eng, err := engine.New(mdl, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	scfg.Precision = *precision
+	srv, err := serve.New(eng, scfg)
+	if err != nil {
+		log.Fatal(err)
 	}
 
 	ln, err := net.Listen("tcp", *addr)
@@ -108,8 +133,8 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("listening on %s\n", ln.Addr())
-	log.Printf("model %s size %d scale %.2f, %d workers, max-batch %d, max-wait %s, queue %d",
-		*model, *size, *scale, eng.Workers(), *maxBatch, *maxWait, srv.Stats().QueueCap)
+	log.Printf("model %s size %d scale %.2f precision %s, %d workers, max-batch %d, max-wait %s, queue %d",
+		*model, *size, *scale, *precision, eng.Workers(), *maxBatch, *maxWait, srv.Stats().QueueCap)
 
 	httpSrv := &http.Server{Handler: srv}
 	errCh := make(chan error, 1)
@@ -134,21 +159,60 @@ func main() {
 	log.Printf("final stats: %+v", srv.Stats())
 }
 
-// benchReport is the schema of BENCH_serve.json: the run parameters plus
-// the serving metrics snapshot after the run.
+// buildModel returns the inference model for the requested precision. For
+// int8 it quantizes the detector post-training, calibrating the per-layer
+// activation scales on synthetic sample frames rendered at the network's
+// input size — the startup-time stand-in for a deployment's recorded sample
+// traffic.
+func buildModel(det *core.Detector, precision string, size, calibFrames int) (core.Model, error) {
+	if precision != "int8" {
+		return det.Model(), nil
+	}
+	if calibFrames < 1 {
+		calibFrames = 1
+	}
+	cam := pipeline.NewSimCamera(dataset.DefaultConfig(size), calibFrames, 7)
+	var calib []*tensor.Tensor
+	for {
+		f, ok := cam.Next()
+		if !ok {
+			break
+		}
+		calib = append(calib, f.Image.ToTensor())
+	}
+	start := time.Now()
+	mdl, err := det.QuantizeINT8(calib)
+	if err != nil {
+		return nil, err
+	}
+	log.Printf("int8: calibrated on %d frames in %s, weights %d bytes (fp32 %d)",
+		len(calib), time.Since(start).Round(time.Millisecond), mdl.WeightBytes(), det.Model().WeightBytes())
+	return mdl, nil
+}
+
+// benchReport is the schema of BENCH_serve.json: the run parameters plus the
+// serving metrics snapshots of the fp32 and int8 runs and their
+// detection-agreement score on the identical request stream.
 type benchReport struct {
 	Model    string      `json:"model"`
 	Scale    float64     `json:"scale"`
 	Size     int         `json:"size"`
 	Clients  int         `json:"clients"`
 	Requests int         `json:"requests_per_client"`
-	Stats    serve.Stats `json:"stats"`
+	FP32     serve.Stats `json:"fp32"`
+	Int8     serve.Stats `json:"int8"`
+	// DetectionAgreement is 2*matches/(fp32_dets+int8_dets) over every
+	// benchmark image, where a match is a same-class pair with
+	// IoU >= AgreementIoU — 1.0 means the quantized path reproduced every
+	// fp32 detection.
+	DetectionAgreement float64 `json:"detection_agreement"`
+	AgreementIoU       float64 `json:"agreement_iou"`
 }
 
-// runSelfBench boots the server on a loopback port, drives it with
-// concurrent synthetic clients over real HTTP (the same path production
-// traffic takes), and writes the report.
-func runSelfBench(srv *serve.Server, size, clients, requests int, outPath, model string, scale float64) error {
+// runSelfBench boots the server on a loopback port once per precision,
+// drives both with the same pre-rendered frames over real HTTP (the path
+// production traffic takes), and writes the side-by-side report.
+func runSelfBench(det *core.Detector, cfg engine.Config, scfg serve.Config, size, calibFrames, clients, requests int, outPath, model string, scale float64) error {
 	if clients < 1 || requests < 1 {
 		return fmt.Errorf("selfbench: need clients >= 1 and requests >= 1")
 	}
@@ -164,33 +228,27 @@ func runSelfBench(srv *serve.Server, size, clients, requests int, outPath, model
 			frames[c] = append(frames[c], f.Image)
 		}
 	}
-	ln, err := net.Listen("tcp", "127.0.0.1:0")
-	if err != nil {
-		return err
+	rep := benchReport{Model: model, Scale: scale, Size: size, Clients: clients, Requests: requests, AgreementIoU: agreementIoU}
+	dets := make(map[string][][]detect.Detection, 2)
+	for _, precision := range []string{"fp32", "int8"} {
+		mdl, err := buildModel(det, precision, size, calibFrames)
+		if err != nil {
+			return err
+		}
+		stats, collected, err := benchOnePrecision(mdl, cfg, scfg, precision, frames)
+		if err != nil {
+			return fmt.Errorf("selfbench %s: %w", precision, err)
+		}
+		dets[precision] = collected
+		if precision == "fp32" {
+			rep.FP32 = stats
+		} else {
+			rep.Int8 = stats
+		}
+		log.Printf("selfbench %s: %.1f images/s aggregate, mean batch %.2f, p50 %.1f ms, p99 %.1f ms",
+			precision, stats.AggregateFPS, stats.MeanBatchSize, stats.LatencyP50Ms, stats.LatencyP99Ms)
 	}
-	httpSrv := &http.Server{Handler: srv}
-	go func() { _ = httpSrv.Serve(ln) }()
-	url := fmt.Sprintf("http://%s/detect", ln.Addr())
-	var wg sync.WaitGroup
-	for c := 0; c < clients; c++ {
-		wg.Add(1)
-		go func(c int) {
-			defer wg.Done()
-			for _, img := range frames[c] {
-				if err := postFrame(url, img); err != nil {
-					log.Printf("client %d: %v", c, err)
-				}
-			}
-		}(c)
-	}
-	wg.Wait()
-	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
-	defer cancel()
-	_ = httpSrv.Shutdown(shutCtx)
-	if err := srv.Close(); err != nil {
-		return err
-	}
-	rep := benchReport{Model: model, Scale: scale, Size: size, Clients: clients, Requests: requests, Stats: srv.Stats()}
+	rep.DetectionAgreement = detect.Agreement(dets["fp32"], dets["int8"], agreementIoU)
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		return err
@@ -199,33 +257,99 @@ func runSelfBench(srv *serve.Server, size, clients, requests int, outPath, model
 	if err := os.WriteFile(outPath, data, 0o644); err != nil {
 		return err
 	}
-	log.Printf("selfbench: %.1f images/s aggregate, mean batch %.2f, p50 %.1f ms, p99 %.1f ms -> %s",
-		rep.Stats.AggregateFPS, rep.Stats.MeanBatchSize, rep.Stats.LatencyP50Ms, rep.Stats.LatencyP99Ms, outPath)
+	log.Printf("selfbench: fp32 %.1f images/s vs int8 %.1f images/s, detection agreement %.3f (IoU >= %.2f) -> %s",
+		rep.FP32.AggregateFPS, rep.Int8.AggregateFPS, rep.DetectionAgreement, agreementIoU, outPath)
 	return nil
 }
 
-// postFrame sends one image as a JSON detect request, retrying briefly on
-// 429 so the benchmark exercises backpressure without losing samples.
-func postFrame(url string, img *imgproc.Image) error {
+// benchOnePrecision runs the client fleet against a fresh server wrapping
+// the given model and returns the final stats plus every response's
+// detections, indexed client-major ([c*requests+r]) so the two precision
+// runs line up image for image.
+func benchOnePrecision(mdl core.Model, cfg engine.Config, scfg serve.Config, precision string, frames [][]*imgproc.Image) (serve.Stats, [][]detect.Detection, error) {
+	eng, err := engine.New(mdl, cfg)
+	if err != nil {
+		return serve.Stats{}, nil, err
+	}
+	scfg.Precision = precision
+	srv, err := serve.New(eng, scfg)
+	if err != nil {
+		return serve.Stats{}, nil, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return serve.Stats{}, nil, err
+	}
+	httpSrv := &http.Server{Handler: srv}
+	go func() { _ = httpSrv.Serve(ln) }()
+	url := fmt.Sprintf("http://%s/detect", ln.Addr())
+
+	clients := len(frames)
+	requests := len(frames[0])
+	collected := make([][]detect.Detection, clients*requests)
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for r, img := range frames[c] {
+				dets, err := postFrame(url, img)
+				if err != nil {
+					log.Printf("client %d: %v", c, err)
+					continue
+				}
+				collected[c*requests+r] = dets
+			}
+		}(c)
+	}
+	wg.Wait()
+	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	_ = httpSrv.Shutdown(shutCtx)
+	if err := srv.Close(); err != nil {
+		return serve.Stats{}, nil, err
+	}
+	return srv.Stats(), collected, nil
+}
+
+// postFrame sends one image as a JSON detect request and returns the
+// detections, retrying briefly on 429 so the benchmark exercises
+// backpressure without losing samples.
+func postFrame(url string, img *imgproc.Image) ([]detect.Detection, error) {
 	req := serve.DetectRequest{Width: img.W, Height: img.H, Pixels: img.Pix}
 	body, err := json.Marshal(req)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	for attempt := 0; ; attempt++ {
 		resp, err := http.Post(url, "application/json", bytes.NewReader(body))
 		if err != nil {
-			return err
+			return nil, err
 		}
-		_, _ = io.Copy(io.Discard, resp.Body)
-		resp.Body.Close()
 		switch {
 		case resp.StatusCode == http.StatusOK:
-			return nil
+			var out serve.DetectResponse
+			err := json.NewDecoder(resp.Body).Decode(&out)
+			resp.Body.Close()
+			if err != nil {
+				return nil, err
+			}
+			dets := make([]detect.Detection, len(out.Detections))
+			for i, d := range out.Detections {
+				dets[i] = detect.Detection{
+					Box:   detect.Box{X: d.X, Y: d.Y, W: d.W, H: d.H},
+					Class: d.Class, Score: d.Score,
+				}
+			}
+			return dets, nil
 		case resp.StatusCode == http.StatusTooManyRequests && attempt < 50:
+			_, _ = io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
 			time.Sleep(2 * time.Millisecond)
 		default:
-			return fmt.Errorf("POST %s: %s", url, resp.Status)
+			_, _ = io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			return nil, fmt.Errorf("POST %s: %s", url, resp.Status)
 		}
 	}
 }

@@ -21,4 +21,17 @@
 // /metrics reporting latency percentiles, batch-size histogram and
 // aggregate FPS, and context-based cancellation draining in-flight work on
 // shutdown.
+//
+// The stack is precision-agnostic: engine, pipeline and serve all operate
+// on the core.Model interface (ForwardBatch, DetectBatch, CloneForInference,
+// InShape/OutShape, WeightBytes), implemented by the float32
+// network.Network and the INT8 quant.QNet alike. dronet-serve's -precision
+// knob selects the deployed bit-width (the paper's §V future work): int8
+// serving quantizes post-training at startup — batch-norm folding,
+// per-channel weight scales, activation scales calibrated on sample frames
+// — and runs batched int8 inference (int8 im2col + tensor.GemmInt8 with
+// exact int32 accumulation) through the identical micro-batching path,
+// labelling /metrics with the active precision; BENCH_serve.json reports
+// fp32 and int8 aggregate FPS plus their detection-agreement score side by
+// side.
 package repro

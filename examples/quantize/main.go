@@ -1,9 +1,11 @@
 // Quantize: the paper's §V future work — "applying finer-level
 // optimizations to reduce bitwidth precisions". The example trains the demo
-// DroNet, folds its batch normalization into the convolution weights,
-// quantizes it to INT8 with per-channel weight scales, and compares the
-// float32 and INT8 paths on accuracy (held-out scenes) and on the platform
-// model's predicted throughput for the paper's three boards.
+// DroNet, quantizes it to INT8 through the core.Model API (batch-norm
+// folding + per-channel weight scales + activation calibration), and
+// compares the float32 and INT8 models — both driven through the same
+// precision-agnostic interface — on accuracy (held-out scenes), weight
+// footprint, and the platform model's predicted throughput for the paper's
+// three boards.
 //
 // Run with:
 //
@@ -37,42 +39,50 @@ func main() {
 	}
 	fmt.Println("float32 detector trained")
 
-	// Calibrate activation scales on a few fresh scenes.
+	// Calibrate activation scales on a few fresh scenes, then build the two
+	// models behind the one core.Model interface.
 	calibScenes := dataset.Generate(demo.SceneConfig(size), 4, 1234)
 	calib := make([]*tensor.Tensor, 0, len(calibScenes.Items))
 	for _, it := range calibScenes.Items {
 		calib = append(calib, it.Image.ToTensor())
 	}
-	qnet, err := quant.Quantize(det.Net, calib)
+	qnet, err := det.QuantizeINT8(calib)
 	if err != nil {
 		log.Fatal(err)
 	}
-	var floatBytes int64
-	for _, p := range det.Net.Params() {
-		floatBytes += int64(p.W.Len()) * 4
+	precisions := []struct {
+		name  string
+		model core.Model
+	}{
+		{"float32", det.Model()},
+		{"int8", qnet},
 	}
 	fmt.Printf("weights: float32 %d bytes -> INT8 %d bytes (%.1fx smaller)\n",
-		floatBytes, qnet.WeightBytes(), float64(floatBytes)/float64(qnet.WeightBytes()))
+		det.Model().WeightBytes(), qnet.WeightBytes(),
+		float64(det.Model().WeightBytes())/float64(qnet.WeightBytes()))
 
-	// Accuracy comparison on held-out scenes.
+	// Accuracy comparison on held-out scenes, both models driven through the
+	// same Model.DetectBatch serving entry point.
 	val := dataset.Generate(demo.SceneConfig(size), 12, 4321)
-	var fc, qc eval.Counter
+	counters := make([]eval.Counter, len(precisions))
 	for _, item := range val.Items {
 		truthBoxes := make([]detect.Box, len(item.Truths))
 		for i, t := range item.Truths {
 			truthBoxes[i] = t.Box
 		}
 		x := item.Image.ToTensor()
-		fdets, err := det.Net.Detect(x, det.Thresh, det.NMSThresh)
-		if err != nil {
-			log.Fatal(err)
+		for i, p := range precisions {
+			per, err := p.model.DetectBatch(x, det.Thresh, det.NMSThresh)
+			if err != nil {
+				log.Fatal(err)
+			}
+			counters[i].AddImage(per[0], truthBoxes)
 		}
-		fc.AddImage(fdets, truthBoxes)
-		qc.AddImage(qnet.Detect(x, det.Thresh, det.NMSThresh), truthBoxes)
 	}
 	fmt.Println("\nheld-out accuracy:")
-	fmt.Println("  float32:", fc.Metrics(0))
-	fmt.Println("  int8:   ", qc.Metrics(0))
+	for i, p := range precisions {
+		fmt.Printf("  %-8s %v\n", p.name+":", counters[i].Metrics(0))
+	}
 
 	// Platform-model throughput for the full-size DroNet, float vs INT8.
 	full, err := core.NewDetector(models.DroNet, 512, 1)

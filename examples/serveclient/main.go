@@ -3,7 +3,9 @@
 // serve-smoke`: it boots a dronet-serve binary on a random loopback port
 // (or talks to an existing server via -url), exercises every endpoint —
 // JSON detect, raw PNG detect, /healthz, /metrics — validates the
-// responses, and asks the server to drain and exit.
+// responses, and asks the server to drain and exit. With -precision int8
+// the spawned server quantizes at startup and the client asserts the
+// precision label on /healthz, smoke-testing the whole quantized path.
 //
 // Usage:
 //
@@ -43,6 +45,7 @@ func main() {
 	server := flag.String("server", "", "path to a dronet-serve binary to spawn on a random port")
 	size := flag.Int("size", 96, "frame size to send (and model input when spawning)")
 	frames := flag.Int("frames", 4, "number of JSON frames to send")
+	precision := flag.String("precision", "fp32", "server precision to spawn (fp32 or int8)")
 	flag.Parse()
 
 	var cmd *exec.Cmd
@@ -51,7 +54,7 @@ func main() {
 			log.Fatal("need -url or -server")
 		}
 		var err error
-		cmd, *url, err = spawn(*server, *size)
+		cmd, *url, err = spawn(*server, *size, *precision)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -84,11 +87,14 @@ func main() {
 	raw := post(*url+fmt.Sprintf("/detect/raw?altitude=%.1f", f.Altitude), "image/png", buf.Bytes())
 	fmt.Printf("raw PNG endpoint: %d detections (batch %d)\n", len(raw.Detections), raw.BatchSize)
 
-	// 3. Health and metrics.
+	// 3. Health and metrics (both label the active precision).
 	var health map[string]any
 	getJSON(*url+"/healthz", &health)
 	if health["status"] != "ok" {
 		log.Fatalf("healthz: %v", health)
+	}
+	if cmd != nil && health["precision"] != *precision {
+		log.Fatalf("healthz precision = %v, want %v", health["precision"], *precision)
 	}
 	var stats serve.Stats
 	getJSON(*url+"/metrics", &stats)
@@ -111,9 +117,10 @@ func main() {
 	fmt.Println("OK")
 }
 
-// spawn boots the server binary on a random loopback port and returns the
-// process plus the base URL parsed from its "listening on" line.
-func spawn(bin string, size int) (*exec.Cmd, string, error) {
+// spawn boots the server binary on a random loopback port at the given
+// precision and returns the process plus the base URL parsed from its
+// "listening on" line.
+func spawn(bin string, size int, precision string) (*exec.Cmd, string, error) {
 	cmd := exec.Command(bin,
 		"-addr", "127.0.0.1:0",
 		"-size", fmt.Sprint(size),
@@ -121,6 +128,7 @@ func spawn(bin string, size int) (*exec.Cmd, string, error) {
 		"-workers", "2",
 		"-max-batch", "4",
 		"-max-wait", "5ms",
+		"-precision", precision,
 	)
 	cmd.Stderr = os.Stderr
 	stdout, err := cmd.StdoutPipe()

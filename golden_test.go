@@ -2,10 +2,13 @@ package repro_test
 
 import (
 	"fmt"
+	"reflect"
 	"strings"
 	"testing"
 
+	"repro/internal/detect"
 	"repro/internal/models"
+	"repro/internal/quant"
 	"repro/internal/tensor"
 )
 
@@ -52,5 +55,77 @@ func TestGoldenDetections(t *testing.T) {
 	got := b.String()
 	if got != goldenFingerprint {
 		t.Errorf("detection fingerprint drifted from golden.\ngot:\n%swant:\n%s", got, goldenFingerprint)
+	}
+}
+
+// TestGoldenInt8Agreement extends the golden anchor to the INT8 path on the
+// same fixed-seed network and inputs (seed-7 golden image plus three more):
+//
+//   - int8 DetectBatch must agree with fp32 on at least 95% of detections,
+//     where agreement means a same-class pair with IoU >= 0.9 — the
+//     quantization accuracy bar the serving -precision knob relies on;
+//   - batched int8 must equal serial int8 byte-for-byte, mirroring
+//     TestDetectBatchMatchesSerial: int32 accumulation is exact, so no
+//     batching effect may exist at all.
+func TestGoldenInt8Agreement(t *testing.T) {
+	net, _, err := models.Build(models.DroNet, 64, tensor.NewRNG(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 4
+	imgs := make([]*tensor.Tensor, n)
+	for i := range imgs {
+		imgs[i] = tensor.New(1, 3, net.InputH, net.InputW)
+		tensor.NewRNG(uint64(7 + i)).FillUniform(imgs[i].Data, 0, 1)
+	}
+	batch := tensor.New(n, 3, net.InputH, net.InputW)
+	sample := 3 * net.InputH * net.InputW
+	for i, img := range imgs {
+		copy(batch.Data[i*sample:(i+1)*sample], img.Data)
+	}
+	const thresh, nms = 0.2, 0.45
+
+	fper, err := net.DetectBatch(batch, thresh, nms)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	q, err := quant.Quantize(net, imgs) // calibrated on the golden inputs
+	if err != nil {
+		t.Fatal(err)
+	}
+	qper, err := q.DetectBatch(batch, thresh, nms)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Serial int8 must be byte-identical to batched int8.
+	serial := q.CloneForInference()
+	for i, img := range imgs {
+		sper, err := serial.DetectBatch(img, thresh, nms)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(sper[0], qper[i]) {
+			t.Errorf("image %d: batched int8 detections differ from serial int8\nbatched: %v\nserial:  %v",
+				i, qper[i], sper[0])
+		}
+	}
+
+	var fp32Total int
+	for _, dets := range fper {
+		fp32Total += len(dets)
+	}
+	if fp32Total == 0 {
+		t.Fatal("test degenerated: fp32 produced no detections")
+	}
+	agreement := detect.Agreement(fper, qper, 0.9)
+	t.Logf("fp32 %d detections, int8 agreement %.3f at IoU >= 0.9", fp32Total, agreement)
+	if agreement < 0.95 {
+		for i := range fper {
+			t.Logf("image %d: fp32 %d dets, int8 %d dets, matches %d",
+				i, len(fper[i]), len(qper[i]), detect.MatchCount(fper[i], qper[i], 0.9))
+		}
+		t.Errorf("int8 detection agreement %.3f below the 0.95 golden bar", agreement)
 	}
 }

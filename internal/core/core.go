@@ -22,10 +22,19 @@ import (
 	"repro/internal/models"
 	"repro/internal/network"
 	"repro/internal/platform"
+	"repro/internal/quant"
 	"repro/internal/tensor"
 	"repro/internal/train"
 	"repro/internal/weights"
 )
+
+// Model is the precision-agnostic inference interface consumed by the
+// multi-stream engine and the serving micro-batcher: ForwardBatch,
+// DetectBatch, CloneForInference, InShape/OutShape and WeightBytes. The
+// float32 *network.Network and the INT8 *quant.QNet both implement it, so
+// deployed bit-width is chosen where the model is built (see
+// Detector.QuantizeINT8), not in the serving layers.
+type Model = network.Model
 
 // Detector is a ready-to-use single-shot vehicle detector.
 type Detector struct {
@@ -140,6 +149,20 @@ func (d *Detector) PredictFPS(platformName string) (float64, error) {
 		return 0, err
 	}
 	return p.Predict(d.Net).FPS, nil
+}
+
+// Model returns the detector's float32 network as the precision-agnostic
+// Model the engine and serving stack consume.
+func (d *Detector) Model() Model { return d.Net }
+
+// QuantizeINT8 builds the INT8 inference model of this detector (§V future
+// work: reduced deployed bit-width): batch norm is folded, weights get
+// per-output-channel scales, and activation scales are calibrated on the
+// given sample images. The result implements Model, so it drops into the
+// engine replica pool and the serving micro-batcher in place of the float32
+// network.
+func (d *Detector) QuantizeINT8(calibration []*tensor.Tensor) (Model, error) {
+	return quant.Quantize(d.Net, calibration)
 }
 
 // SaveWeights persists the trained parameters.

@@ -1,0 +1,47 @@
+package detect
+
+// MatchCount returns how many detections of a are matched by a detection of
+// b with the same class and IoU >= iouThresh. Matching is greedy in a's
+// order (a and b arrive score-sorted from NMS) and each b detection is
+// consumed by at most one match, so the count is symmetric-bounded:
+// MatchCount <= min(len(a), len(b)).
+//
+// It is the primitive behind the fp32-vs-int8 detection-agreement score the
+// quantized serving path reports: two precision paths "agree" on a
+// detection when they localize the same object tightly enough to overlap at
+// the given IoU.
+func MatchCount(a, b []Detection, iouThresh float64) int {
+	used := make([]bool, len(b))
+	matches := 0
+	for _, da := range a {
+		for j, db := range b {
+			if used[j] || db.Class != da.Class {
+				continue
+			}
+			if IoU(da.Box, db.Box) >= iouThresh {
+				used[j] = true
+				matches++
+				break
+			}
+		}
+	}
+	return matches
+}
+
+// Agreement scores how well two per-image detection sets agree: the F1-style
+// ratio 2*matches/(total_a+total_b) over all image pairs, in [0,1]. Images
+// where both sides are empty contribute nothing (vacuous agreement), and 1.0
+// means every detection on either side found a same-class partner with
+// IoU >= iouThresh. The slices must be parallel: a[i] and b[i] describe the
+// same image.
+func Agreement(a, b [][]Detection, iouThresh float64) float64 {
+	matches, total := 0, 0
+	for i := range a {
+		matches += MatchCount(a[i], b[i], iouThresh)
+		total += len(a[i]) + len(b[i])
+	}
+	if total == 0 {
+		return 1
+	}
+	return 2 * float64(matches) / float64(total)
+}

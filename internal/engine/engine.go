@@ -1,9 +1,13 @@
 // Package engine is the multi-stream concurrent inference engine: it fans
 // many camera streams (pipeline.Source) across a pool of workers, each
-// owning a weight-sharing network replica (network.CloneForInference) and,
+// owning a weight-sharing model replica (Model.CloneForInference) and,
 // optionally, a per-stream IoU tracker. One set of trained weights thus
 // serves an entire camera fleet — the "heavy traffic, many scenarios"
 // scaling direction on top of the paper's single-camera §IV.B loop.
+//
+// The engine is precision-agnostic: it operates on the network.Model
+// interface, so the same replica pool serves a float32 network.Network or an
+// INT8 quant.QNet without the layers above noticing.
 //
 // Streams are dispatched whole: a worker drains one stream before taking the
 // next, so frames within a stream stay in order (tracker state remains
@@ -25,6 +29,7 @@ import (
 
 	"repro/internal/detect"
 	"repro/internal/imgproc"
+	"repro/internal/layers"
 	"repro/internal/network"
 	"repro/internal/pipeline"
 	"repro/internal/tracking"
@@ -89,7 +94,7 @@ type FleetStats struct {
 // other. Distinct worker ids may execute batches concurrently — that is the
 // whole point of the pool.
 type Engine struct {
-	base *network.Network
+	base network.Model
 	cfg  Config
 
 	mu       sync.Mutex         // guards lazy pool growth only
@@ -97,20 +102,23 @@ type Engine struct {
 	batchers []*pipeline.BatchRunner
 }
 
-// New creates an engine around a base network. The base is never mutated by
-// Run; workers clone it for inference, so training it while a fleet run is
-// in flight is not safe.
-func New(net *network.Network, cfg Config) (*Engine, error) {
-	if net == nil {
-		return nil, fmt.Errorf("engine: nil network")
+// New creates an engine around a base model — a float32 *network.Network or
+// any other network.Model implementation such as the INT8 *quant.QNet. The
+// base is never mutated by Run; workers clone it for inference, so training
+// it while a fleet run is in flight is not safe.
+func New(m network.Model, cfg Config) (*Engine, error) {
+	if m == nil {
+		return nil, fmt.Errorf("engine: nil model")
 	}
-	if net.Region() == nil {
-		return nil, fmt.Errorf("engine: network must end in a region layer")
+	// Both model implementations expose their terminal region layer; reject
+	// a headless model here rather than erroring on every DetectBatch.
+	if r, ok := m.(interface{ Region() *layers.Region }); ok && r.Region() == nil {
+		return nil, fmt.Errorf("engine: model must end in a region layer")
 	}
 	if cfg.Workers < 1 {
 		cfg.Workers = 1
 	}
-	return &Engine{base: net, cfg: cfg}, nil
+	return &Engine{base: m, cfg: cfg}, nil
 }
 
 // Run drains every source through the worker pool and returns the aggregated

@@ -7,6 +7,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/detect"
 	"repro/internal/models"
+	"repro/internal/network"
 	"repro/internal/tensor"
 )
 
@@ -43,7 +44,7 @@ func TestDetectBatchMatchesSerial(t *testing.T) {
 	}
 	const thresh, nms = 0.1, 0.45
 
-	serialNet := net.CloneForInference()
+	serialNet := net.CloneForInference().(*network.Network)
 	expected := make([][]detect.Detection, n)
 	for i, img := range imgs {
 		dets, err := serialNet.Detect(img, thresh, nms)

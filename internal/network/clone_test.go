@@ -25,7 +25,7 @@ func buildSmallDroNet(t *testing.T) *network.Network {
 // write into distinct output buffers.
 func TestCloneSharesParamsNotWorkspace(t *testing.T) {
 	net := buildSmallDroNet(t)
-	clone := net.CloneForInference()
+	clone := net.CloneForInference().(*network.Network)
 
 	op, cp := net.Params(), clone.Params()
 	if len(op) != len(cp) {
@@ -82,7 +82,7 @@ func TestCloneConcurrentDetectIdentical(t *testing.T) {
 		wg.Add(1)
 		go func(r int) {
 			defer wg.Done()
-			rep := net.CloneForInference()
+			rep := net.CloneForInference().(*network.Network)
 			got[r] = make([][]detect.Detection, frames)
 			for i, x := range inputs {
 				dets, err := rep.Detect(x, 0.1, 0.45)

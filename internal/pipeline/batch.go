@@ -17,11 +17,12 @@ import (
 // changing what any caller observes.
 //
 // Like Runner, a BatchRunner is not safe for concurrent use: the packed
-// input tensor and the network's layer workspaces are per-instance state.
-// Give each worker its own BatchRunner over a network.CloneForInference
-// replica.
+// input tensor and the model's layer workspaces are per-instance state.
+// Give each worker its own BatchRunner over a CloneForInference replica.
+// Net is the precision-agnostic model interface: the same batcher drives a
+// float32 network.Network or an INT8 quant.QNet.
 type BatchRunner struct {
-	Net *network.Network
+	Net network.Model
 	// Thresh and NMSThresh are the decode and suppression thresholds
 	// (defaults 0.5 / 0.45 when zero, matching Runner).
 	Thresh, NMSThresh float64
@@ -40,13 +41,14 @@ func (r *BatchRunner) Warm(batch int) {
 	if r.Net == nil || batch < 1 {
 		return
 	}
-	r.Net.Forward(r.ensureIn(batch), false)
+	r.Net.ForwardBatch(r.ensureIn(batch))
 }
 
 // ensureIn returns the packed input tensor for n images, growing its backing
 // storage only when a larger batch than ever before arrives.
 func (r *BatchRunner) ensureIn(n int) *tensor.Tensor {
-	r.in = tensor.Reslice(r.in, n, 3, r.Net.InputH, r.Net.InputW)
+	in := r.Net.InShape()
+	r.in = tensor.Reslice(r.in, n, in.C, in.H, in.W)
 	return r.in
 }
 
@@ -56,7 +58,7 @@ func (r *BatchRunner) ensureIn(n int) *tensor.Tensor {
 // in order.
 func (r *BatchRunner) Detect(imgs []*imgproc.Image, altitudes []float64) ([][]detect.Detection, error) {
 	if r.Net == nil {
-		return nil, fmt.Errorf("pipeline: BatchRunner requires a network")
+		return nil, fmt.Errorf("pipeline: BatchRunner requires a model")
 	}
 	if len(imgs) == 0 {
 		return nil, nil
@@ -73,13 +75,20 @@ func (r *BatchRunner) Detect(imgs []*imgproc.Image, altitudes []float64) ([][]de
 		nms = 0.45
 	}
 	x := r.ensureIn(len(imgs))
-	sample := 3 * r.Net.InputH * r.Net.InputW
+	in := r.Net.InShape()
+	if in.C != 3 {
+		// imgproc images are inherently 3-channel RGB; packing them into a
+		// model with a different channel count would silently misalign every
+		// slot after the first.
+		return nil, fmt.Errorf("pipeline: model expects %d input channels, images are 3-channel RGB", in.C)
+	}
+	sample := in.Size()
 	for i, img := range imgs {
 		if img == nil {
 			return nil, fmt.Errorf("pipeline: nil image at batch index %d", i)
 		}
-		if img.W != r.Net.InputW || img.H != r.Net.InputH {
-			img = img.Resize(r.Net.InputW, r.Net.InputH)
+		if img.W != in.W || img.H != in.H {
+			img = img.Resize(in.W, in.H)
 		}
 		copy(x.Data[i*sample:(i+1)*sample], img.Pix)
 	}

@@ -77,9 +77,11 @@ func (d *DatasetSource) Next() (Frame, bool) {
 	return f, true
 }
 
-// Runner executes the detector over a frame stream.
+// Runner executes the detector over a frame stream. Net is the
+// precision-agnostic model interface, so the same loop drives a float32
+// network.Network or an INT8 quant.QNet.
 type Runner struct {
-	Net *network.Network
+	Net network.Model
 	// Thresh and NMSThresh are the decode and suppression thresholds.
 	Thresh, NMSThresh float64
 	// AltitudeFilter, when non-nil, applies the §III.D size gating using
@@ -112,7 +114,7 @@ func (r *Runner) Run(src Source) (Stats, error) {
 // use for graceful shutdown.
 func (r *Runner) RunContext(ctx context.Context, src Source) (Stats, error) {
 	if r.Net == nil {
-		return Stats{}, fmt.Errorf("pipeline: Runner requires a network")
+		return Stats{}, fmt.Errorf("pipeline: Runner requires a model")
 	}
 	thresh := r.Thresh
 	if thresh <= 0 {
@@ -122,6 +124,7 @@ func (r *Runner) RunContext(ctx context.Context, src Source) (Stats, error) {
 	if nms <= 0 {
 		nms = 0.45
 	}
+	in := r.Net.InShape()
 	var st Stats
 	var totalLatency float64
 	for {
@@ -135,13 +138,14 @@ func (r *Runner) RunContext(ctx context.Context, src Source) (Stats, error) {
 		}
 		start := time.Now()
 		img := f.Image
-		if img.W != r.Net.InputW || img.H != r.Net.InputH {
-			img = img.Resize(r.Net.InputW, r.Net.InputH)
+		if img.W != in.W || img.H != in.H {
+			img = img.Resize(in.W, in.H)
 		}
-		dets, err := r.Net.Detect(img.ToTensor(), thresh, nms)
+		per, err := r.Net.DetectBatch(img.ToTensor(), thresh, nms)
 		if err != nil {
 			return st, err
 		}
+		dets := per[0]
 		if r.AltitudeFilter != nil && f.Altitude > 0 {
 			dets, err = r.AltitudeFilter.Apply(dets, f.Altitude)
 			if err != nil {

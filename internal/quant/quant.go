@@ -4,6 +4,13 @@
 // post-training symmetric INT8 quantization with per-output-channel weight
 // scales and per-layer activation scales calibrated on sample images.
 //
+// The resulting QNet is a full serving-grade model, not just an accuracy
+// probe: it implements network.Model (batched ForwardBatch/DetectBatch over
+// the int8 kernels in internal/tensor, CloneForInference replicas with
+// Reslice-style workspace reuse), so the engine replica pool and the HTTP
+// micro-batcher drive it exactly like the float32 network — that is what
+// backs `dronet-serve -precision int8`.
+//
 // On the paper's platforms the benefit of INT8 is chiefly the 4× smaller
 // weight working set (cache residency in the roofline model) plus wider
 // integer SIMD; PredictFPS exposes the corresponding platform-model
@@ -81,9 +88,17 @@ func FoldBatchNorm(net *network.Network) (*network.Network, error) {
 
 // QConv is an INT8-quantized convolution: int8 weights with one scale per
 // output channel, int8 activations with a calibrated per-layer scale, and
-// int32 accumulation. Bias addition and activation run in float32, as do
-// the values flowing between layers (the standard "fake-quant inference"
-// data path, which isolates the accuracy effect of the 8-bit storage).
+// int32 accumulation (tensor.GemmInt8). Bias addition and activation run in
+// float32, as do the values flowing between layers (the standard "fake-quant
+// inference" data path, which isolates the accuracy effect of the 8-bit
+// storage).
+//
+// Like the float layers, a QConv separates shared read-only parameters (W,
+// WScale, Bias, ActScale, requant) from its per-instance workspace (qx, col
+// and the output tensor), so cloneForInference replicas can run concurrently.
+// Forward is batched: it loops the batch dimension with per-image
+// quantize/im2col/GEMM, and because int32 accumulation is exact, an N-image
+// batch is byte-identical to N single-image calls.
 type QConv struct {
 	in, out Shape
 	Filters int
@@ -95,8 +110,14 @@ type QConv struct {
 	W        []int8    // Filters × fanIn
 	WScale   []float32 // per output channel
 	Bias     []float32
-	ActScale float32 // input activation quantization scale
+	ActScale float32   // input activation quantization scale
+	requant  []float32 // WScale[f]*ActScale, precomputed per output channel
 
+	// Workspace (per replica): quantized input image, im2col scratch, and
+	// the batched output. All reuse backing storage Reslice-style, so under
+	// varying micro-batch sizes they converge to max-batch capacity with no
+	// realloc thrash — the same convergence behavior as the fp32 layers.
+	qx   []int8
 	col  []int8
 	out_ *tensor.Tensor
 }
@@ -104,8 +125,10 @@ type QConv struct {
 // Shape mirrors layers.Shape to keep the package's public surface small.
 type Shape = layers.Shape
 
-// QNet is a quantized inference network: quantized convolutions plus the
-// original pooling and region layers.
+// QNet is a quantized inference network: quantized convolutions plus clones
+// of the original pooling and region layers. It implements network.Model, so
+// the engine replica pool and the serving micro-batcher can drive it exactly
+// like a float32 network.
 type QNet struct {
 	Name                   string
 	InputW, InputH, InputC int
@@ -113,7 +136,11 @@ type QNet struct {
 	Others                 []layers.Layer // pool/region layers
 	Order                  []bool         // true → next conv, false → next other
 	region                 *layers.Region
+	outShape               Shape
 }
+
+// QNet must satisfy the precision-agnostic serving contract.
+var _ network.Model = (*QNet)(nil)
 
 // Quantize converts a (BN-folded or BN-free) network to INT8 using the
 // calibration tensors to set activation scales (max-abs observed per conv
@@ -156,13 +183,17 @@ func Quantize(net *network.Network, calibration []*tensor.Tensor) (*QNet, error)
 			q.Convs = append(q.Convs, qc)
 			q.Order = append(q.Order, true)
 		case *layers.Region:
-			q.Others = append(q.Others, l)
+			// Clone so the QNet owns its workspace instead of aliasing the
+			// source network's (which may keep running concurrently).
+			r := c.CloneForInference().(*layers.Region)
+			q.Others = append(q.Others, r)
 			q.Order = append(q.Order, false)
-			q.region = c
+			q.region = r
 		default:
-			q.Others = append(q.Others, l)
+			q.Others = append(q.Others, l.CloneForInference())
 			q.Order = append(q.Order, false)
 		}
+		q.outShape = l.OutShape()
 	}
 	if q.region == nil {
 		return nil, fmt.Errorf("quant: network has no region layer")
@@ -185,7 +216,7 @@ func quantizeConv(c *layers.Conv2D, inMaxAbs float32) (*QConv, error) {
 		WScale:   make([]float32, c.Filters),
 		Bias:     make([]float32, c.Filters),
 		ActScale: inMaxAbs / 127,
-		col:      make([]int8, fanIn*c.OutShape().H*c.OutShape().W),
+		requant:  make([]float32, c.Filters),
 	}
 	copy(qc.Bias, c.Biases.W.Data)
 	for f := 0; f < c.Filters; f++ {
@@ -201,16 +232,8 @@ func quantizeConv(c *layers.Conv2D, inMaxAbs float32) (*QConv, error) {
 		}
 		scale := m / 127
 		qc.WScale[f] = scale
-		for k, v := range row {
-			qv := int32(roundf(v / scale))
-			if qv > 127 {
-				qv = 127
-			}
-			if qv < -127 {
-				qv = -127
-			}
-			qc.W[f*fanIn+k] = int8(qv)
-		}
+		qc.requant[f] = scale * qc.ActScale
+		QuantizeSymmetric(row, scale, qc.W[f*fanIn:(f+1)*fanIn])
 	}
 	return qc, nil
 }
@@ -229,87 +252,41 @@ func roundf(v float32) float32 {
 	return float32(math.Ceil(float64(v) - 0.5))
 }
 
-// Forward runs INT8 inference on a single-image tensor.
+// cloneForInference returns a replica QConv sharing the read-only quantized
+// parameters but owning a fresh workspace.
+func (qc *QConv) cloneForInference() *QConv {
+	cp := *qc
+	cp.qx, cp.col, cp.out_ = nil, nil, nil
+	return &cp
+}
+
+// Forward runs batched INT8 inference: per image, the input activations are
+// quantized with the calibrated scale, lowered with the int8 im2col, and
+// pushed through one int8 GEMM whose int32 accumulator is requantized back
+// to float32 at the layer edge.
 func (qc *QConv) Forward(x *tensor.Tensor) *tensor.Tensor {
-	if qc.out_ == nil || qc.out_.N != x.N {
-		qc.out_ = tensor.New(x.N, qc.out.C, qc.out.H, qc.out.W)
-	}
+	qc.out_ = tensor.Reslice(qc.out_, x.N, qc.out.C, qc.out.H, qc.out.W)
 	out := qc.out_
 	fanIn := qc.in.C * qc.Ksize * qc.Ksize
 	spatial := qc.out.H * qc.out.W
-	inv := 1 / qc.ActScale
-	qx := make([]int8, qc.in.Size())
+	qc.qx = tensor.ResliceI8(qc.qx, qc.in.Size())
+	pointwise := qc.Ksize == 1 && qc.Stride == 1 && qc.Pad == 0
+	if !pointwise {
+		qc.col = tensor.ResliceI8(qc.col, fanIn*spatial)
+	}
 	for b := 0; b < x.N; b++ {
-		src := x.Batch(b).Data
-		// Quantize the input activations symmetrically.
-		for i, v := range src {
-			qv := int32(roundf(v * inv))
-			if qv > 127 {
-				qv = 127
-			}
-			if qv < -127 {
-				qv = -127
-			}
-			qx[i] = int8(qv)
-		}
-		col := qx
-		if !(qc.Ksize == 1 && qc.Stride == 1 && qc.Pad == 0) {
-			im2colInt8(qx, qc.in.C, qc.in.H, qc.in.W, qc.Ksize, qc.Stride, qc.Pad, qc.col)
+		QuantizeSymmetric(x.Batch(b).Data, qc.ActScale, qc.qx)
+		col := qc.qx
+		if !pointwise {
+			tensor.Im2colInt8(qc.qx, qc.in.C, qc.in.H, qc.in.W, qc.Ksize, qc.Stride, qc.Pad, qc.col)
 			col = qc.col
 		}
-		dst := out.Batch(b).Data
-		for f := 0; f < qc.Filters; f++ {
-			wrow := qc.W[f*fanIn : (f+1)*fanIn]
-			deq := qc.WScale[f] * qc.ActScale
-			bias := qc.Bias[f]
-			orow := dst[f*spatial : (f+1)*spatial]
-			for j := 0; j < spatial; j++ {
-				var acc int32
-				for k, wv := range wrow {
-					acc += int32(wv) * int32(col[k*spatial+j])
-				}
-				orow[j] = float32(acc)*deq + bias
-			}
-		}
+		tensor.GemmInt8(qc.Filters, spatial, fanIn, qc.W, fanIn, col, spatial, qc.requant, qc.Bias, out.Batch(b).Data, spatial)
 	}
 	if qc.Act == layers.ActLeaky {
 		tensor.Leaky(out.Data)
 	}
 	return out
-}
-
-// im2colInt8 mirrors tensor.Im2col for int8 data.
-func im2colInt8(img []int8, channels, height, width, ksize, stride, pad int, col []int8) {
-	outH := (height+2*pad-ksize)/stride + 1
-	outW := (width+2*pad-ksize)/stride + 1
-	colsPerRow := outH * outW
-	rows := channels * ksize * ksize
-	for r := 0; r < rows; r++ {
-		wOff := r % ksize
-		hOff := (r / ksize) % ksize
-		ch := r / (ksize * ksize)
-		src := img[ch*height*width:]
-		dst := col[r*colsPerRow:]
-		for oh := 0; oh < outH; oh++ {
-			ih := oh*stride - pad + hOff
-			base := oh * outW
-			if ih < 0 || ih >= height {
-				for ow := 0; ow < outW; ow++ {
-					dst[base+ow] = 0
-				}
-				continue
-			}
-			srow := src[ih*width:]
-			for ow := 0; ow < outW; ow++ {
-				iw := ow*stride - pad + wOff
-				if iw < 0 || iw >= width {
-					dst[base+ow] = 0
-				} else {
-					dst[base+ow] = srow[iw]
-				}
-			}
-		}
-	}
 }
 
 // Forward runs the whole quantized network on a batch tensor and returns
@@ -329,24 +306,126 @@ func (q *QNet) Forward(x *tensor.Tensor) *tensor.Tensor {
 	return cur
 }
 
-// Detect runs quantized inference plus decode and NMS.
-func (q *QNet) Detect(x *tensor.Tensor, thresh, nms float64) []detect.Detection {
-	out := q.Forward(x)
-	var all []detect.Detection
-	for b := 0; b < x.N; b++ {
-		all = append(all, q.region.Decode(out, b, thresh)...)
+// InShape implements network.Model.
+func (q *QNet) InShape() Shape { return Shape{C: q.InputC, H: q.InputH, W: q.InputW} }
+
+// OutShape implements network.Model.
+func (q *QNet) OutShape() Shape { return q.outShape }
+
+// ForwardBatch implements network.Model.
+func (q *QNet) ForwardBatch(x *tensor.Tensor) *tensor.Tensor { return q.Forward(x) }
+
+// Region returns the terminal region layer (the engine checks it exists).
+func (q *QNet) Region() *layers.Region { return q.region }
+
+// CloneForInference implements network.Model: the replica shares the
+// quantized weights, scales and biases (all read-only after Quantize) and
+// the pool/region layers' learnable state, but owns fresh workspaces, so it
+// may run concurrently with the receiver.
+func (q *QNet) CloneForInference() network.Model {
+	c := &QNet{Name: q.Name, InputW: q.InputW, InputH: q.InputH, InputC: q.InputC,
+		Order: q.Order, outShape: q.outShape}
+	c.Convs = make([]*QConv, len(q.Convs))
+	for i, qc := range q.Convs {
+		c.Convs[i] = qc.cloneForInference()
 	}
-	return detect.NMS(all, nms)
+	c.Others = make([]layers.Layer, len(q.Others))
+	for i, l := range q.Others {
+		c.Others[i] = l.CloneForInference()
+		if r, ok := c.Others[i].(*layers.Region); ok {
+			c.region = r
+		}
+	}
+	return c
 }
 
-// WeightBytes returns the INT8 parameter storage (scales and biases
-// included), roughly a quarter of the float32 network's.
+// Detect runs quantized inference plus decode and NMS, concatenated over the
+// batch (suppression is per image; for per-image results use DetectBatch).
+func (q *QNet) Detect(x *tensor.Tensor, thresh, nms float64) ([]detect.Detection, error) {
+	per, err := q.DetectBatch(x, thresh, nms)
+	if err != nil {
+		return nil, err
+	}
+	if len(per) == 1 {
+		return per[0], nil
+	}
+	var all []detect.Detection
+	for _, dets := range per {
+		all = append(all, dets...)
+	}
+	return all, nil
+}
+
+// DetectBatch implements network.Model: one batched INT8 forward with
+// per-image decode and NMS. Because every stage loops the batch dimension
+// with exact int32 accumulation, an N-image batch returns byte-identical
+// per-image detections to N serial single-image calls — the invariant the
+// serving micro-batcher requires of every Model.
+func (q *QNet) DetectBatch(x *tensor.Tensor, thresh, nms float64) ([][]detect.Detection, error) {
+	if q.region == nil {
+		return nil, fmt.Errorf("quant: QNet has no region layer")
+	}
+	out := q.Forward(x)
+	per := make([][]detect.Detection, x.N)
+	for b := 0; b < x.N; b++ {
+		per[b] = detect.NMS(q.region.Decode(out, b, thresh), nms)
+	}
+	return per, nil
+}
+
+// WeightBytes implements network.Model: the INT8 parameter storage (scales
+// and biases included), roughly a quarter of the float32 network's.
 func (q *QNet) WeightBytes() int64 {
 	var total int64
 	for _, c := range q.Convs {
 		total += int64(len(c.W)) + 4*int64(len(c.WScale)+len(c.Bias))
 	}
 	return total
+}
+
+// QuantizeSymmetric quantizes src into dst (which must be at least as long)
+// with the symmetric map q = clamp(round(v/scale), ±127). A zero scale (or a
+// NaN input) maps to zero. Dequantize inverts it up to the guaranteed
+// round-trip error of scale/2 per element (see FuzzQuantDequant).
+func QuantizeSymmetric(src []float32, scale float32, dst []int8) {
+	if scale == 0 {
+		for i := range src {
+			dst[i] = 0
+		}
+		return
+	}
+	inv := 1 / scale
+	if math.IsInf(float64(inv), 0) {
+		// scale is subnormal: multiplying by the overflowed inverse would
+		// produce ±Inf, so divide instead (IEEE division is correctly
+		// rounded for subnormal operands too).
+		for i, v := range src {
+			dst[i] = clampInt8(roundf(v / scale))
+		}
+		return
+	}
+	for i, v := range src {
+		dst[i] = clampInt8(roundf(v * inv))
+	}
+}
+
+// Dequantize expands quantized values back to float32: dst[i] = src[i]*scale.
+func Dequantize(src []int8, scale float32, dst []float32) {
+	for i, v := range src {
+		dst[i] = float32(v) * scale
+	}
+}
+
+func clampInt8(q float32) int8 {
+	switch {
+	case q != q: // NaN input: pick zero rather than a platform-defined conversion
+		return 0
+	case q > 127:
+		return 127
+	case q < -127:
+		return -127
+	}
+	return int8(q)
 }
 
 // PredictFPS estimates the quantized network's throughput on a platform:

@@ -2,9 +2,12 @@ package quant
 
 import (
 	"math"
+	"reflect"
+	"sync"
 	"testing"
 
 	"repro/internal/cfg"
+	"repro/internal/detect"
 	"repro/internal/models"
 	"repro/internal/network"
 	"repro/internal/platform"
@@ -114,11 +117,129 @@ func TestQuantizedDetectParity(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	qdets := q.Detect(probe, 0.01, 0.45)
+	qdets, err := q.Detect(probe, 0.01, 0.45)
+	if err != nil {
+		t.Fatal(err)
+	}
 	// Untrained nets produce near-uniform confidences; the box counts
 	// should be in the same ballpark (within a factor of 3).
 	if len(fdets) > 0 && (len(qdets) > 3*len(fdets)+5 || 3*len(qdets)+5 < len(fdets)) {
 		t.Fatalf("detection count diverged: float %d vs int8 %d", len(fdets), len(qdets))
+	}
+}
+
+// TestQNetDetectBatchMatchesSerial mirrors network.TestDetectBatchMatchesSerial
+// for the INT8 path: one N-image batched DetectBatch must be byte-identical
+// to N serial single-image calls, including after batch-size changes over
+// the re-sliced workspaces — the invariant that lets the serving
+// micro-batcher coalesce int8 requests.
+func TestQNetDetectBatchMatchesSerial(t *testing.T) {
+	net := buildDroNet(t, 96)
+	const n = 4
+	imgs := randImages(n, 3, 96, 96, 51)
+	q, err := Quantize(net, imgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const thresh, nms = 0.01, 0.45
+
+	serial := q.CloneForInference().(*QNet)
+	expected := make([][]detect.Detection, n)
+	for i, img := range imgs {
+		per, err := serial.DetectBatch(img, thresh, nms)
+		if err != nil {
+			t.Fatal(err)
+		}
+		expected[i] = per[0]
+	}
+
+	batch := tensor.New(n, 3, 96, 96)
+	sample := 3 * 96 * 96
+	for i, img := range imgs {
+		copy(batch.Data[i*sample:(i+1)*sample], img.Data)
+	}
+	got, err := q.DetectBatch(batch, thresh, nms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for i := range got {
+		if !reflect.DeepEqual(got[i], expected[i]) {
+			t.Errorf("image %d: batched int8 detections differ from serial", i)
+		}
+		total += len(got[i])
+	}
+	if total == 0 {
+		t.Fatal("test degenerated: no detections on any image")
+	}
+
+	// Shrinking and regrowing the batch must keep the identity: int8
+	// workspaces re-slice over grown storage and stale tails must not leak.
+	for _, sub := range [][]int{{2}, {3, 0, 1}, {1, 2}} {
+		part := tensor.New(len(sub), 3, 96, 96)
+		for j, idx := range sub {
+			copy(part.Data[j*sample:(j+1)*sample], imgs[idx].Data)
+		}
+		got, err := q.DetectBatch(part, thresh, nms)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j, idx := range sub {
+			if !reflect.DeepEqual(got[j], expected[idx]) {
+				t.Errorf("sub-batch %v image %d: int8 detections differ after batch-size change", sub, idx)
+			}
+		}
+	}
+}
+
+// TestQNetCloneConcurrent proves the replica contract int8-side: clones
+// share quantized parameters, own their workspaces, and produce identical
+// detections when run concurrently (meaningful under -race).
+func TestQNetCloneConcurrent(t *testing.T) {
+	net := buildDroNet(t, 96)
+	imgs := randImages(4, 3, 96, 96, 61)
+	q, err := Quantize(net, imgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([][]detect.Detection, len(imgs))
+	for i, img := range imgs {
+		per, err := q.DetectBatch(img, 0.01, 0.45)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = per[0]
+	}
+	const replicas = 2
+	got := make([][][]detect.Detection, replicas)
+	errs := make([]error, replicas)
+	var wg sync.WaitGroup
+	for r := 0; r < replicas; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			rep := q.CloneForInference()
+			got[r] = make([][]detect.Detection, len(imgs))
+			for i, img := range imgs {
+				per, err := rep.DetectBatch(img, 0.01, 0.45)
+				if err != nil {
+					errs[r] = err
+					return
+				}
+				got[r][i] = per[0]
+			}
+		}(r)
+	}
+	wg.Wait()
+	for r := 0; r < replicas; r++ {
+		if errs[r] != nil {
+			t.Fatalf("replica %d: %v", r, errs[r])
+		}
+		for i := range want {
+			if !reflect.DeepEqual(want[i], got[r][i]) {
+				t.Errorf("replica %d image %d: detections differ from original", r, i)
+			}
+		}
 	}
 }
 

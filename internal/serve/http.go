@@ -207,6 +207,7 @@ func toJSON(dets []detect.Detection) []DetectionJSON {
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status":      "ok",
+		"precision":   s.cfg.Precision,
 		"workers":     s.eng.Workers(),
 		"max_batch":   s.cfg.MaxBatch,
 		"max_wait_ms": s.cfg.MaxWait.Seconds() * 1e3,

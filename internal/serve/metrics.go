@@ -16,6 +16,11 @@ const latWindow = 4096
 type Stats struct {
 	UptimeSeconds float64 `json:"uptime_s"`
 
+	// Precision labels the numeric path serving these requests ("fp32" or
+	// "int8"), so metrics scraped from mixed-precision deployments stay
+	// attributable.
+	Precision string `json:"precision"`
+
 	// Request counters: Received counts every admission attempt, Rejected
 	// the 429/503 turnaways, Completed successful responses, Failed
 	// responses that errored during inference.

@@ -19,6 +19,7 @@ import (
 	"repro/internal/models"
 	"repro/internal/network"
 	"repro/internal/pipeline"
+	"repro/internal/quant"
 	"repro/internal/serve"
 	"repro/internal/tensor"
 )
@@ -72,7 +73,7 @@ func newServer(t *testing.T, net *network.Network, workers int, cfg serve.Config
 // private replica — the ground truth the micro-batched server must match.
 func expectedDetections(t *testing.T, net *network.Network, frames []*imgproc.Image) [][]serve.DetectionJSON {
 	t.Helper()
-	replica := net.CloneForInference()
+	replica := net.CloneForInference().(*network.Network)
 	out := make([][]serve.DetectionJSON, len(frames))
 	for i, img := range frames {
 		dets, err := replica.Detect(img.ToTensor(), testThresh, testNMS)
@@ -156,6 +157,102 @@ func TestConcurrentClientsBatchedIdentical(t *testing.T) {
 	}
 	if stats.MeanBatchSize <= 1.5 {
 		t.Errorf("mean batch size %.2f, want > 1.5 (hist %v) — micro-batching is not coalescing", stats.MeanBatchSize, stats.BatchHist)
+	}
+}
+
+// TestInt8ServingBatchedIdentical is the quantized-path acceptance test: an
+// INT8 model behind the same admission queue and micro-batcher must form
+// real batches under concurrent clients and answer every request with
+// exactly the detections of single-image int8 inference, while /metrics
+// labels the active precision.
+func TestInt8ServingBatchedIdentical(t *testing.T) {
+	net := buildNet(t)
+	const clients, perClient, distinct = 8, 5, 4
+	frames := testFrames(distinct)
+	calib := make([]*tensor.Tensor, len(frames))
+	for i, img := range frames {
+		calib[i] = img.ToTensor()
+	}
+	qnet, err := quant.Quantize(net, calib)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Single-image int8 reference on a private replica.
+	replica := qnet.CloneForInference()
+	want := make([][]serve.DetectionJSON, len(frames))
+	for i, img := range frames {
+		per, err := replica.DetectBatch(img.ToTensor(), testThresh, testNMS)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = make([]serve.DetectionJSON, len(per[0]))
+		for j, d := range per[0] {
+			want[i][j] = serve.DetectionJSON{X: d.Box.X, Y: d.Box.Y, W: d.Box.W, H: d.Box.H, Class: d.Class, Score: d.Score}
+		}
+	}
+
+	eng, err := engine.New(qnet, engine.Config{Workers: 1, Thresh: testThresh, NMSThresh: testNMS})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := serve.New(eng, serve.Config{
+		MaxBatch: 8, MaxWait: 50 * time.Millisecond, QueueDepth: 64, Warm: true, Precision: "int8",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	var wg sync.WaitGroup
+	errCh := make(chan error, clients*perClient)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for r := 0; r < perClient; r++ {
+				idx := (c + r) % distinct
+				resp, err := postFrame(ts, frames[idx])
+				if err != nil {
+					errCh <- err
+					return
+				}
+				var got serve.DetectResponse
+				err = json.NewDecoder(resp.Body).Decode(&got)
+				resp.Body.Close()
+				if err != nil {
+					errCh <- err
+					return
+				}
+				if resp.StatusCode != http.StatusOK {
+					errCh <- fmt.Errorf("client %d: status %d", c, resp.StatusCode)
+					return
+				}
+				if !reflect.DeepEqual(got.Detections, want[idx]) {
+					errCh <- fmt.Errorf("client %d frame %d: batched int8 detections differ from single-image int8\ngot:  %v\nwant: %v",
+						c, idx, got.Detections, want[idx])
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Error(err)
+	}
+
+	stats := srv.Stats()
+	if stats.Precision != "int8" {
+		t.Errorf("stats precision = %q, want int8", stats.Precision)
+	}
+	if stats.Completed != clients*perClient {
+		t.Errorf("completed %d of %d requests", stats.Completed, clients*perClient)
+	}
+	if stats.MeanBatchSize <= 1.5 {
+		t.Errorf("mean batch size %.2f, want > 1.5 (hist %v) — int8 micro-batching is not coalescing", stats.MeanBatchSize, stats.BatchHist)
 	}
 }
 

@@ -33,6 +33,11 @@ type Config struct {
 	// replica at startup so first-request latency excludes workspace
 	// allocation.
 	Warm bool
+	// Precision labels the numeric path of the engine's model ("fp32" or
+	// "int8") on /healthz, /metrics and BENCH_serve.json. Purely
+	// informational — the engine already encapsulates the actual model —
+	// and defaults to "fp32".
+	Precision string
 }
 
 // ErrOverloaded is returned by submit when the admission queue is full; the
@@ -103,6 +108,9 @@ func New(eng *engine.Engine, cfg Config) (*Server, error) {
 	if cfg.QueueDepth < 1 {
 		cfg.QueueDepth = 8 * cfg.MaxBatch
 	}
+	if cfg.Precision == "" {
+		cfg.Precision = "fp32"
+	}
 	s := &Server{
 		eng:      eng,
 		cfg:      cfg,
@@ -133,7 +141,9 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.Serve
 
 // Stats returns a point-in-time snapshot of the serving metrics.
 func (s *Server) Stats() Stats {
-	return s.met.snapshot(len(s.queue), cap(s.queue), s.eng.Workers(), s.cfg.MaxBatch)
+	st := s.met.snapshot(len(s.queue), cap(s.queue), s.eng.Workers(), s.cfg.MaxBatch)
+	st.Precision = s.cfg.Precision
+	return st
 }
 
 // submit admits a request or rejects it without blocking. The read lock

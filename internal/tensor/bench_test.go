@@ -32,6 +32,46 @@ func BenchmarkGemm(b *testing.B) {
 	}
 }
 
+// BenchmarkGemmInt8 measures the INT8 GEMM (int32 accumulation + per-channel
+// requantization) at the same shapes as BenchmarkGemm, so the fp32-vs-int8
+// kernel cost is directly comparable from one `go test -bench Gemm` run.
+func BenchmarkGemmInt8(b *testing.B) {
+	for _, sz := range []struct{ m, n, k int }{
+		{12, 65536, 72},   // DroNet conv2 @512
+		{1024, 256, 4608}, // TinyYoloVoc conv7 @512
+		{64, 1024, 216},   // DroNet conv8 @512
+	} {
+		b.Run(fmt.Sprintf("m%d_n%d_k%d", sz.m, sz.n, sz.k), func(b *testing.B) {
+			rng := NewRNG(1)
+			fa := make([]float32, sz.m*sz.k)
+			fb := make([]float32, sz.k*sz.n)
+			rng.FillUniform(fa, -1, 1)
+			rng.FillUniform(fb, -1, 1)
+			a := make([]int8, len(fa))
+			bm := make([]int8, len(fb))
+			for i, v := range fa {
+				a[i] = int8(v * 127)
+			}
+			for i, v := range fb {
+				bm[i] = int8(v * 127)
+			}
+			requant := make([]float32, sz.m)
+			bias := make([]float32, sz.m)
+			for i := range requant {
+				requant[i] = 1.0 / 127
+			}
+			c := make([]float32, sz.m*sz.n)
+			b.SetBytes(int64(sz.m*sz.k + sz.k*sz.n + 4*sz.m*sz.n))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				GemmInt8(sz.m, sz.n, sz.k, a, sz.k, bm, sz.n, requant, bias, c, sz.n)
+			}
+			ops := 2 * float64(sz.m) * float64(sz.n) * float64(sz.k)
+			b.ReportMetric(ops*float64(b.N)/b.Elapsed().Seconds()/1e9, "GOP/s")
+		})
+	}
+}
+
 // BenchmarkIm2col measures the convolution lowering step at DroNet's first
 // layer shape.
 func BenchmarkIm2col(b *testing.B) {

@@ -1,0 +1,128 @@
+package tensor
+
+import "sync"
+
+// This file holds the INT8 counterparts of the float32 convolution kernels:
+// an int8 im2col with the exact patch layout of Im2col, and an int8 GEMM
+// that accumulates in int32 and requantizes each output row back to float32
+// with a per-channel scale. Integer accumulation is exact and associative,
+// so results are independent of blocking and batching — the property the
+// quantized serving path relies on for batched == serial identity.
+
+// int8Strip is the number of output rows accumulated together by GemmInt8 so
+// a K-panel of B stays cache-resident across several weight rows, mirroring
+// the float GEMM's blockK tiling.
+const int8Strip = 8
+
+// accPool recycles GemmInt8's int32 accumulator strips across calls and
+// worker goroutines: the hot serving path runs one GemmInt8 per conv layer
+// per image, and without pooling each call would allocate a strip (up to
+// int8Strip*n int32s, megabyte-scale for early high-resolution layers) —
+// exactly the realloc thrash the Reslice workspace convention exists to
+// avoid. Accumulator contents are fully overwritten via clear() on reuse.
+var accPool sync.Pool
+
+// ResliceI8 returns an int8 slice of length n, reusing s's backing array
+// whenever its capacity suffices and allocating only when it does not — the
+// Reslice workspace-reuse primitive for raw int8 scratch buffers. Reused
+// contents are unspecified; callers must fully overwrite.
+func ResliceI8(s []int8, n int) []int8 {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return make([]int8, n)
+}
+
+// ResliceI32 is ResliceI8 for int32 accumulator scratch.
+func ResliceI32(s []int32, n int) []int32 {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return make([]int32, n)
+}
+
+// Im2colInt8 unrolls a single-image CHW int8 input into the column matrix
+// used to lower convolution onto GEMM. It produces exactly the same patch
+// layout as the float Im2col: (channels*ksize*ksize) rows by (outH*outW)
+// columns, row-major, with zeros for pixels outside the padded image.
+func Im2colInt8(img []int8, channels, height, width, ksize, stride, pad int, col []int8) {
+	outH := (height+2*pad-ksize)/stride + 1
+	outW := (width+2*pad-ksize)/stride + 1
+	colsPerRow := outH * outW
+	rows := channels * ksize * ksize
+	for r := 0; r < rows; r++ {
+		wOff := r % ksize
+		hOff := (r / ksize) % ksize
+		ch := r / (ksize * ksize)
+		src := img[ch*height*width:]
+		dst := col[r*colsPerRow:]
+		for oh := 0; oh < outH; oh++ {
+			ih := oh*stride - pad + hOff
+			base := oh * outW
+			if ih < 0 || ih >= height {
+				for ow := 0; ow < outW; ow++ {
+					dst[base+ow] = 0
+				}
+				continue
+			}
+			srow := src[ih*width:]
+			for ow := 0; ow < outW; ow++ {
+				iw := ow*stride - pad + wOff
+				if iw < 0 || iw >= width {
+					dst[base+ow] = 0
+				} else {
+					dst[base+ow] = srow[iw]
+				}
+			}
+		}
+	}
+}
+
+// GemmInt8 computes C = requant ⊙ (A·B) + bias for row-major int8 matrices:
+// A is m×k (quantized weights, one row per output channel), B is k×n (the
+// quantized im2col patches), and C is m×n float32. Products accumulate
+// exactly in int32; each finished row i is requantized in one pass as
+//
+//	C[i][j] = float32(acc[i][j])*requant[i] + bias[i]
+//
+// which is the standard per-output-channel dequantization (requant[i] =
+// weightScale[i]·activationScale). int32 addition is associative, so the
+// strip/panel blocking below cannot change results — batched and serial
+// execution are byte-identical.
+func GemmInt8(m, n, k int, a []int8, lda int, b []int8, ldb int, requant, bias []float32, c []float32, ldc int) {
+	gemmRows(m, m*n*k, func(i0, i1 int) {
+		pooled, _ := accPool.Get().([]int32)
+		acc := ResliceI32(pooled, int8Strip*n)
+		defer accPool.Put(acc) //nolint:staticcheck // slice header boxing is cheaper than the strip alloc it avoids
+		for s0 := i0; s0 < i1; s0 += int8Strip {
+			s1 := min(s0+int8Strip, i1)
+			strip := acc[:(s1-s0)*n]
+			clear(strip)
+			for kk := 0; kk < k; kk += blockK {
+				kEnd := min(kk+blockK, k)
+				for i := s0; i < s1; i++ {
+					arow := a[i*lda:]
+					srow := strip[(i-s0)*n : (i-s0+1)*n]
+					for p := kk; p < kEnd; p++ {
+						av := int32(arow[p])
+						if av == 0 {
+							continue
+						}
+						brow := b[p*ldb : p*ldb+n]
+						for j, bv := range brow {
+							srow[j] += av * int32(bv)
+						}
+					}
+				}
+			}
+			for i := s0; i < s1; i++ {
+				scale, off := requant[i], bias[i]
+				crow := c[i*ldc : i*ldc+n]
+				srow := strip[(i-s0)*n:]
+				for j := range crow {
+					crow[j] = float32(srow[j])*scale + off
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,138 @@
+package tensor
+
+import (
+	"testing"
+)
+
+// quantizeForTest maps floats in [-1,1] to int8 with a fixed scale of 1/127,
+// enough structure to exercise every patch path.
+func quantizeForTest(src []float32) []int8 {
+	out := make([]int8, len(src))
+	for i, v := range src {
+		q := int32(v * 127)
+		if q > 127 {
+			q = 127
+		}
+		if q < -127 {
+			q = -127
+		}
+		out[i] = int8(q)
+	}
+	return out
+}
+
+// FuzzIm2colInt8 cross-checks the int8 im2col against the float reference on
+// random shapes: quantizing the input and unrolling must commute, i.e.
+// Im2colInt8(quantize(img)) == quantize(Im2col(img)) element for element,
+// proving the two kernels produce the identical patch layout (offsets,
+// padding zeros, strides).
+func FuzzIm2colInt8(f *testing.F) {
+	f.Add(uint64(1), 3, 8, 8, 3, 1, 1)
+	f.Add(uint64(2), 1, 5, 7, 2, 2, 0)
+	f.Add(uint64(3), 4, 6, 6, 1, 1, 0)
+	f.Add(uint64(4), 2, 9, 4, 3, 2, 2)
+	f.Fuzz(func(t *testing.T, seed uint64, channels, height, width, ksize, stride, pad int) {
+		// Clamp the fuzzed geometry to valid, small convolution shapes.
+		clamp := func(v, lo, hi int) int {
+			if v < lo {
+				return lo
+			}
+			if v > hi {
+				return hi
+			}
+			return v
+		}
+		channels = clamp(channels, 1, 4)
+		height = clamp(height, 1, 12)
+		width = clamp(width, 1, 12)
+		ksize = clamp(ksize, 1, 5)
+		stride = clamp(stride, 1, 3)
+		pad = clamp(pad, 0, 3)
+		if height+2*pad < ksize || width+2*pad < ksize {
+			t.Skip("window larger than padded input")
+		}
+
+		img := make([]float32, channels*height*width)
+		NewRNG(seed).FillUniform(img, -1, 1)
+		qimg := quantizeForTest(img)
+
+		outH := ConvOutSize(height, ksize, stride, pad)
+		outW := ConvOutSize(width, ksize, stride, pad)
+		rows := channels * ksize * ksize
+		fcol := make([]float32, rows*outH*outW)
+		Im2col(img, channels, height, width, ksize, stride, pad, fcol)
+		want := quantizeForTest(fcol)
+
+		got := make([]int8, rows*outH*outW)
+		Im2colInt8(qimg, channels, height, width, ksize, stride, pad, got)
+
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("col[%d] = %d, float reference %d (c=%d h=%d w=%d k=%d s=%d p=%d)",
+					i, got[i], want[i], channels, height, width, ksize, stride, pad)
+			}
+		}
+	})
+}
+
+// TestGemmInt8MatchesNaive pins GemmInt8 (strip/panel-blocked) to the
+// textbook triple loop with int32 accumulation and per-row requantization —
+// exactness, not tolerance, since integer accumulation has no rounding.
+func TestGemmInt8MatchesNaive(t *testing.T) {
+	rng := NewRNG(11)
+	for _, sz := range []struct{ m, n, k int }{
+		{1, 1, 1}, {3, 7, 5}, {12, 33, 72}, {17, 130, 260}, {9, 5, 300},
+	} {
+		a := make([]int8, sz.m*sz.k)
+		b := make([]int8, sz.k*sz.n)
+		fa := make([]float32, len(a))
+		fb := make([]float32, len(b))
+		rng.FillUniform(fa, -1, 1)
+		rng.FillUniform(fb, -1, 1)
+		copy(a, quantizeForTest(fa))
+		copy(b, quantizeForTest(fb))
+		requant := make([]float32, sz.m)
+		bias := make([]float32, sz.m)
+		for i := range requant {
+			requant[i] = 0.001 * float32(i+1)
+			bias[i] = float32(i) - 2
+		}
+
+		want := make([]float32, sz.m*sz.n)
+		for i := 0; i < sz.m; i++ {
+			for j := 0; j < sz.n; j++ {
+				var acc int32
+				for p := 0; p < sz.k; p++ {
+					acc += int32(a[i*sz.k+p]) * int32(b[p*sz.n+j])
+				}
+				want[i*sz.n+j] = float32(acc)*requant[i] + bias[i]
+			}
+		}
+		got := make([]float32, sz.m*sz.n)
+		GemmInt8(sz.m, sz.n, sz.k, a, sz.k, b, sz.n, requant, bias, got, sz.n)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("m%d n%d k%d: C[%d] = %v, want %v", sz.m, sz.n, sz.k, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestResliceI8ReusesStorage pins the workspace-reuse contract.
+func TestResliceI8ReusesStorage(t *testing.T) {
+	s := ResliceI8(nil, 16)
+	if len(s) != 16 {
+		t.Fatalf("len = %d", len(s))
+	}
+	shrunk := ResliceI8(s, 4)
+	if len(shrunk) != 4 || &shrunk[0] != &s[0] {
+		t.Fatal("shrinking did not reuse backing storage")
+	}
+	grown := ResliceI8(shrunk, 16)
+	if len(grown) != 16 || &grown[0] != &s[0] {
+		t.Fatal("regrowing within capacity did not reuse backing storage")
+	}
+	if bigger := ResliceI8(grown, 17); len(bigger) != 17 {
+		t.Fatalf("grow beyond capacity: len = %d", len(bigger))
+	}
+}
