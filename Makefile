@@ -1,9 +1,16 @@
 GO ?= go
 
-.PHONY: ci vet build test race bench serve-bench serve-smoke fuzz fleet serve
+.PHONY: ci vet build test race bench bench-smoke serve-bench serve-smoke fuzz fleet serve profile
 
-## ci: the full tier-1 + hygiene gate (what .github/workflows/ci.yml runs)
-ci: vet build race bench serve-smoke
+## ci: the full tier-1 + hygiene gate (what .github/workflows/ci.yml runs);
+## bench-smoke runs the GEMM kernels a few iterations so a kernel regression
+## (or an asm/portable divergence) breaks CI loudly, not just slowly
+ci: vet build race bench-smoke bench serve-smoke
+
+## bench-smoke: quick kernel-level regression tripwire over the packed GEMM
+## benchmarks (10 iterations — catches crashes and gross slowdowns cheaply)
+bench-smoke:
+	$(GO) test -run '^$$' -bench Gemm -benchtime 10x ./internal/tensor/
 
 vet:
 	$(GO) vet ./...
@@ -43,12 +50,23 @@ serve-smoke:
 	$(GO) run ./examples/serveclient -server bin/dronet-serve
 	$(GO) run ./examples/serveclient -server bin/dronet-serve -precision int8
 
-## fuzz: short bounded fuzz pass over the detect and quantization invariants
+## fuzz: short bounded fuzz pass over the detect, kernel and quantization
+## invariants (FuzzGemmPackedVsNaive cross-checks the packed cache-blocked
+## GEMM against the naive loops: exact for int8, <=1e-4 relative for fp32)
 fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzIoU -fuzztime 30s ./internal/detect
 	$(GO) test -run '^$$' -fuzz FuzzNMS -fuzztime 30s ./internal/detect
+	$(GO) test -run '^$$' -fuzz FuzzGemmPackedVsNaive -fuzztime 30s ./internal/tensor
 	$(GO) test -run '^$$' -fuzz FuzzIm2colInt8 -fuzztime 30s ./internal/tensor
 	$(GO) test -run '^$$' -fuzz FuzzQuantDequant -fuzztime 30s ./internal/quant
+
+## profile: run the serving selfbench with CPU + heap pprof capture; inspect
+## with `go tool pprof bin/pprof/cpu.pprof` (see README "Profiling")
+profile:
+	mkdir -p bin/pprof
+	$(GO) run ./cmd/dronet-serve -selfbench -size 96 -scale 0.25 -workers 2 \
+	    -bench-clients 8 -bench-requests 25 -bench-out bin/pprof/BENCH_serve.json \
+	    -cpuprofile bin/pprof/cpu.pprof -memprofile bin/pprof/heap.pprof
 
 ## fleet: demo the multi-stream engine with a serial-vs-parallel comparison
 fleet:

@@ -39,6 +39,7 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"runtime/pprof"
 	"sync"
 	"syscall"
 	"time"
@@ -71,6 +72,7 @@ func main() {
 	workers := flag.Int("workers", runtime.NumCPU(), "batch worker pool size (model replicas)")
 	maxBatch := flag.Int("max-batch", 8, "maximum images per micro-batch")
 	maxWait := flag.Duration("max-wait", 2*time.Millisecond, "maximum wait for a batch to fill")
+	minWait := flag.Duration("min-wait", 300*time.Microsecond, "batch accumulation floor: a non-full batch is never dispatched earlier")
 	queueDepth := flag.Int("queue", 0, "admission queue depth (0 = 8*max-batch); full queue returns 429")
 	thresh := flag.Float64("thresh", 0.24, "detection confidence threshold")
 	altFilter := flag.Bool("altfilter", false, "apply the altitude size gate when requests carry an altitude")
@@ -78,6 +80,8 @@ func main() {
 	benchOut := flag.String("bench-out", "BENCH_serve.json", "selfbench: output path for the JSON report")
 	benchClients := flag.Int("bench-clients", 8, "selfbench: concurrent synthetic clients")
 	benchRequests := flag.Int("bench-requests", 40, "selfbench: requests per client")
+	cpuProfile := flag.String("cpuprofile", "", "selfbench: write a CPU pprof profile of the whole run to this path")
+	memProfile := flag.String("memprofile", "", "selfbench: write a heap pprof profile at the end of the run to this path")
 	flag.Parse()
 
 	if *precision != "fp32" && *precision != "int8" {
@@ -103,12 +107,21 @@ func main() {
 	scfg := serve.Config{
 		MaxBatch:   *maxBatch,
 		MaxWait:    *maxWait,
+		MinWait:    *minWait,
 		QueueDepth: *queueDepth,
 		Warm:       true,
 	}
 
 	if *selfbench {
-		if err := runSelfBench(det, cfg, scfg, *size, *calibFrames, *benchClients, *benchRequests, *benchOut, *model, *scale); err != nil {
+		stopProf, err := startProfiles(*cpuProfile, *memProfile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		err = runSelfBench(det, cfg, scfg, *size, *calibFrames, *benchClients, *benchRequests, *benchOut, *model, *scale)
+		if perr := stopProf(); err == nil {
+			err = perr
+		}
+		if err != nil {
 			log.Fatal(err)
 		}
 		return
@@ -190,17 +203,125 @@ func buildModel(det *core.Detector, precision string, size, calibFrames int) (co
 	return mdl, nil
 }
 
+// startProfiles begins CPU profiling (when cpuPath is set) and returns a
+// stop function that finishes the CPU profile and snapshots the heap (when
+// memPath is set). `make profile` drives this to fill bin/pprof/.
+func startProfiles(cpuPath, memPath string) (func() error, error) {
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, err
+		}
+		return func() error {
+			pprof.StopCPUProfile()
+			if err := f.Close(); err != nil {
+				return err
+			}
+			return writeHeapProfile(memPath)
+		}, nil
+	}
+	return func() error { return writeHeapProfile(memPath) }, nil
+}
+
+func writeHeapProfile(path string) error {
+	if path == "" {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	runtime.GC() // report live steady-state heap, not transient garbage
+	return pprof.WriteHeapProfile(f)
+}
+
+// kernelStat is one GEMM-shape measurement in the selfbench report: the
+// packed cache-blocked kernels' throughput at a representative DroNet
+// convolution shape, fp32 (GFLOP/s) and int8 (GOP/s, 2 ops per MAC).
+type kernelStat struct {
+	Shape      string  `json:"shape"`
+	FP32GFLOPS float64 `json:"fp32_gflops"`
+	Int8GOPS   float64 `json:"int8_gops"`
+}
+
+// benchKernels measures the raw GEMM kernels at three representative DroNet
+// conv shapes (the same ones BenchmarkGemm tracks), ~0.2s each, so
+// BENCH_serve.json records kernel-level throughput next to the end-to-end
+// serving numbers.
+func benchKernels() []kernelStat {
+	shapes := []struct {
+		name    string
+		m, n, k int
+	}{
+		{"dronet-conv2@512 m12 n65536 k72", 12, 65536, 72},
+		{"tinyyolo-conv7@512 m1024 n256 k4608", 1024, 256, 4608},
+		{"dronet-conv8@512 m64 n1024 k216", 64, 1024, 216},
+	}
+	stats := make([]kernelStat, 0, len(shapes))
+	for _, s := range shapes {
+		rng := tensor.NewRNG(1)
+		a := make([]float32, s.m*s.k)
+		b := make([]float32, s.k*s.n)
+		c := make([]float32, s.m*s.n)
+		rng.FillUniform(a, -1, 1)
+		rng.FillUniform(b, -1, 1)
+		qa := make([]int8, len(a))
+		qb := make([]int8, len(b))
+		for i, v := range a {
+			qa[i] = int8(v * 127)
+		}
+		for i, v := range b {
+			qb[i] = int8(v * 127)
+		}
+		requant := make([]float32, s.m)
+		bias := make([]float32, s.m)
+		for i := range requant {
+			requant[i] = 1.0 / 127
+		}
+		ops := 2 * float64(s.m) * float64(s.n) * float64(s.k)
+		st := kernelStat{Shape: s.name}
+		st.FP32GFLOPS = ops * measureRate(func() {
+			tensor.Gemm(false, false, s.m, s.n, s.k, 1, a, s.k, b, s.n, 0, c, s.n)
+		}) / 1e9
+		st.Int8GOPS = ops * measureRate(func() {
+			tensor.GemmInt8(s.m, s.n, s.k, qa, s.k, qb, s.n, requant, bias, c, s.n)
+		}) / 1e9
+		stats = append(stats, st)
+	}
+	return stats
+}
+
+// measureRate returns calls-per-second of fn, warmed once and then timed
+// for at least 200ms.
+func measureRate(fn func()) float64 {
+	fn() // warm: pack-slab growth, pool priming
+	var calls int
+	start := time.Now()
+	for time.Since(start) < 200*time.Millisecond {
+		fn()
+		calls++
+	}
+	return float64(calls) / time.Since(start).Seconds()
+}
+
 // benchReport is the schema of BENCH_serve.json: the run parameters plus the
-// serving metrics snapshots of the fp32 and int8 runs and their
-// detection-agreement score on the identical request stream.
+// serving metrics snapshots of the fp32 and int8 runs, their
+// detection-agreement score on the identical request stream, and the raw
+// kernel throughput of the packed GEMMs.
 type benchReport struct {
-	Model    string      `json:"model"`
-	Scale    float64     `json:"scale"`
-	Size     int         `json:"size"`
-	Clients  int         `json:"clients"`
-	Requests int         `json:"requests_per_client"`
-	FP32     serve.Stats `json:"fp32"`
-	Int8     serve.Stats `json:"int8"`
+	Model    string       `json:"model"`
+	Scale    float64      `json:"scale"`
+	Size     int          `json:"size"`
+	Clients  int          `json:"clients"`
+	Requests int          `json:"requests_per_client"`
+	Kernels  []kernelStat `json:"kernels"`
+	FP32     serve.Stats  `json:"fp32"`
+	Int8     serve.Stats  `json:"int8"`
 	// DetectionAgreement is 2*matches/(fp32_dets+int8_dets) over every
 	// benchmark image, where a match is a same-class pair with
 	// IoU >= AgreementIoU — 1.0 means the quantized path reproduced every
@@ -229,6 +350,10 @@ func runSelfBench(det *core.Detector, cfg engine.Config, scfg serve.Config, size
 		}
 	}
 	rep := benchReport{Model: model, Scale: scale, Size: size, Clients: clients, Requests: requests, AgreementIoU: agreementIoU}
+	rep.Kernels = benchKernels()
+	for _, ks := range rep.Kernels {
+		log.Printf("selfbench kernel %s: fp32 %.2f GFLOP/s, int8 %.2f GOP/s", ks.Shape, ks.FP32GFLOPS, ks.Int8GOPS)
+	}
 	dets := make(map[string][][]detect.Detection, 2)
 	for _, precision := range []string{"fp32", "int8"} {
 		mdl, err := buildModel(det, precision, size, calibFrames)

@@ -34,4 +34,15 @@
 // labelling /metrics with the active precision; BENCH_serve.json reports
 // fp32 and int8 aggregate FPS plus their detection-agreement score side by
 // side.
+//
+// Both precisions lower convolution onto one packed cache-blocked GEMM
+// (internal/tensor): BLIS-style MR×KC / KC×NR panel packing feeding a 4×8
+// register-blocked microkernel (SSE2 assembly on amd64, portable Go
+// elsewhere), parallel across row strips and column panels with a tile
+// decomposition independent of the worker count. The int8 kernel
+// accumulates exactly in int32 over packed int16 pairs and requantizes on
+// store, so its results are blocking- and concurrency-invariant. The
+// steady-state serving path is allocation-free: each model replica owns a
+// grow-once scratch arena (tensor.Arena) for its transient per-forward
+// buffers, reset at the start of every pass.
 package repro

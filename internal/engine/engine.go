@@ -222,6 +222,24 @@ func (e *Engine) runner(id int) *pipeline.Runner {
 // Workers returns the configured worker-pool size.
 func (e *Engine) Workers() int { return e.cfg.Workers }
 
+// WorkspaceBytes sums the scratch-arena footprint of every instantiated
+// worker replica (models expose it via an optional ScratchBytes method).
+// Each replica owns exactly one grow-once arena for its transient
+// per-forward scratch, so after warm-up this is the engine's steady-state
+// transient memory — the quantity the zero-alloc serving path holds
+// constant. Replicas not yet instantiated (never used) contribute zero.
+func (e *Engine) WorkspaceBytes() int64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	var total int64
+	for _, r := range e.runners {
+		if s, ok := r.Net.(interface{ ScratchBytes() int64 }); ok {
+			total += s.ScratchBytes()
+		}
+	}
+	return total
+}
+
 // batcher returns the id-th pooled batch runner. It shares the same network
 // replica as runner(id): a worker executes either a stream job or a batch
 // job at any moment, never both, so the replica's layer workspaces are safe

@@ -60,7 +60,8 @@ type convState struct {
 	xhat     *tensor.Tensor // normalized values (BatchNorm only)
 	batchMu  []float32
 	batchVar []float32
-	col      []float32 // im2col scratch
+	col      []float32     // im2col scratch (owned fallback when no arena)
+	arena    *tensor.Arena // per-replica scratch arena, when bound
 	dx       *tensor.Tensor
 }
 
@@ -112,9 +113,20 @@ func (c *Conv2D) CloneForInference() Layer {
 	return &cp
 }
 
-// ensureCol returns the im2col scratch buffer, allocating it on first use.
+// SetScratchArena implements ScratchUser: im2col output is carved from the
+// replica's arena instead of a layer-owned buffer. The network rebinds the
+// arena on Add and CloneForInference, so every replica owns exactly one.
+func (c *Conv2D) SetScratchArena(a *tensor.Arena) { c.st.arena = a }
+
+// ensureCol returns the im2col scratch buffer for one image: an arena carve
+// when a per-replica arena is bound (the serving configuration — one carve
+// per Forward/Backward phase, pure pointer bump at steady state), otherwise
+// a layer-owned buffer allocated on first use.
 func (c *Conv2D) ensureCol() []float32 {
 	need := c.in.C * c.Ksize * c.Ksize * c.out.H * c.out.W
+	if c.st.arena != nil {
+		return c.st.arena.F32(need)
+	}
 	if len(c.st.col) != need {
 		c.st.col = make([]float32, need)
 	}
@@ -164,15 +176,20 @@ func (c *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	m := c.Filters
 	k := c.in.C * c.Ksize * c.Ksize
 	n := c.out.H * c.out.W
+	pointwise := c.Ksize == 1 && c.Stride == 1 && c.Pad == 0
+	var col []float32
+	if !pointwise {
+		col = c.ensureCol() // one carve per Forward, shared by the batch loop
+	}
 	for b := 0; b < x.N; b++ {
 		src := x.Batch(b).Data
-		col := src
-		if !(c.Ksize == 1 && c.Stride == 1 && c.Pad == 0) {
-			col = c.ensureCol()
+		lowered := src
+		if !pointwise {
 			tensor.Im2col(src, c.in.C, c.in.H, c.in.W, c.Ksize, c.Stride, c.Pad, col)
+			lowered = col
 		}
 		dst := out.Batch(b).Data
-		tensor.Gemm(false, false, m, n, k, 1, c.Weights.W.Data, k, col, n, 0, dst, n)
+		tensor.Gemm(false, false, m, n, k, 1, c.Weights.W.Data, k, lowered, n, 0, dst, n)
 	}
 	if c.BatchNorm {
 		if train {
@@ -308,22 +325,29 @@ func (c *Conv2D) Backward(dout *tensor.Tensor) *tensor.Tensor {
 	dx := ensureDX(&c.st.dx, c.st.x)
 	dx.Zero()
 	pointwise := c.Ksize == 1 && c.Stride == 1 && c.Pad == 0
+	var col, dcol []float32
+	if !pointwise {
+		// With an arena these are two distinct carves; in the legacy
+		// layer-owned mode both name the same buffer, which is safe because
+		// col's contents are consumed (dW GEMM) before dcol is zeroed.
+		col = c.ensureCol()
+		dcol = c.ensureCol()
+	}
 	for b := 0; b < delta.N; b++ {
 		src := c.st.x.Batch(b).Data
-		col := src
+		lowered := src
 		if !pointwise {
-			col = c.ensureCol()
 			tensor.Im2col(src, c.in.C, c.in.H, c.in.W, c.Ksize, c.Stride, c.Pad, col)
+			lowered = col
 		}
 		d := delta.Batch(b).Data
 		// dW += d · colᵀ
-		tensor.Gemm(false, true, m, k, n, 1, d, n, col, n, 1, c.Weights.G.Data, k)
+		tensor.Gemm(false, true, m, k, n, 1, d, n, lowered, n, 1, c.Weights.G.Data, k)
 		// dcol = Wᵀ · d ; scatter back with col2im.
 		dxb := dx.Batch(b).Data
 		if pointwise {
 			tensor.Gemm(true, false, k, n, m, 1, c.Weights.W.Data, k, d, n, 1, dxb, n)
 		} else {
-			dcol := c.ensureCol() // reuse scratch: col contents no longer needed
 			for i := range dcol {
 				dcol[i] = 0
 			}

@@ -79,6 +79,17 @@ type Layer interface {
 	CloneForInference() Layer
 }
 
+// ScratchUser is implemented by layers whose transient per-forward scratch
+// (im2col output, quantization staging) can be rebound to a shared
+// per-replica arena (tensor.Arena). The owning network binds one arena per
+// replica — on Add and again on CloneForInference — so all of a replica's
+// transient scratch lives in one grow-once slab that is reset at the start
+// of each forward pass; layers without the method keep their private
+// buffers.
+type ScratchUser interface {
+	SetScratchArena(*tensor.Arena)
+}
+
 // ensure allocates (or reuses) an output tensor for the given batch size;
 // tensor.Reslice keeps the backing storage when capacity suffices, so
 // workspaces converge to max-batch capacity under varying batch sizes.

@@ -83,7 +83,11 @@ func (p *MaxPool) IOBytes() int64 {
 	return 4 * (int64(p.in.Size()) + int64(p.out.Size()))
 }
 
-// Forward implements Layer.
+// Forward implements Layer. The window bounds are clamped per output
+// row/column BEFORE the window loops, so the hot interior runs without any
+// per-element padding branch — max pooling sits on the serving path right
+// after the widest convolutions, and the branchy form showed up as the
+// single largest non-GEMM cost in the serving profile.
 func (p *MaxPool) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	p.st.x = x
 	out := ensure(&p.st.out, x.N, p.out)
@@ -94,34 +98,44 @@ func (p *MaxPool) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 		}
 	}
 	off := p.Pad / 2
+	inH, inW := p.in.H, p.in.W
 	for b := 0; b < x.N; b++ {
 		src := x.Batch(b).Data
 		dst := out.Batch(b).Data
 		for ch := 0; ch < p.in.C; ch++ {
-			plane := src[ch*p.in.H*p.in.W:]
+			plane := src[ch*inH*inW : (ch+1)*inH*inW]
 			for oh := 0; oh < p.out.H; oh++ {
+				h0 := oh*p.Stride - off
+				kh0, kh1 := 0, p.Size
+				if h0 < 0 {
+					kh0 = -h0
+				}
+				if h0+kh1 > inH {
+					kh1 = inH - h0
+				}
 				for ow := 0; ow < p.out.W; ow++ {
+					w0 := ow*p.Stride - off
+					kw0, kw1 := 0, p.Size
+					if w0 < 0 {
+						kw0 = -w0
+					}
+					if w0+kw1 > inW {
+						kw1 = inW - w0
+					}
 					best := float32(math.Inf(-1))
 					bestIdx := int32(-1)
-					for kh := 0; kh < p.Size; kh++ {
-						ih := oh*p.Stride - off + kh
-						if ih < 0 || ih >= p.in.H {
-							continue
-						}
-						for kw := 0; kw < p.Size; kw++ {
-							iw := ow*p.Stride - off + kw
-							if iw < 0 || iw >= p.in.W {
-								continue
-							}
-							v := plane[ih*p.in.W+iw]
-							if v > best {
+					for kh := kh0; kh < kh1; kh++ {
+						row := (h0 + kh) * inW
+						for kw := kw0; kw < kw1; kw++ {
+							iw := row + w0 + kw
+							if v := plane[iw]; v > best {
 								best = v
-								bestIdx = int32(ch*p.in.H*p.in.W + ih*p.in.W + iw)
+								bestIdx = int32(ch*inH*inW + iw)
 							}
 						}
 					}
 					if bestIdx == -1 {
-						best = 0
+						best = 0 // all-pad window (possible only with extreme padding)
 					}
 					oi := ch*p.out.H*p.out.W + oh*p.out.W + ow
 					dst[oi] = best

@@ -79,6 +79,7 @@ type regionState struct {
 	truths [][]Truth // per batch image, set before a training Forward
 	out    *tensor.Tensor
 	delta  *tensor.Tensor // gradient w.r.t. the (pre-activation) input
+	cls    []float32      // per-cell softmax scratch, reused across Forwards
 }
 
 // NewRegion validates the configuration against the input shape.
@@ -153,7 +154,10 @@ func (r *Region) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	nAnchors := len(r.cfg.Anchors)
 	classes := r.cfg.Classes
 	// Activate: σ(tx), σ(ty), σ(tobj); softmax over class logits per cell.
-	scratch := make([]float32, classes)
+	if len(r.st.cls) != classes {
+		r.st.cls = make([]float32, classes)
+	}
+	scratch := r.st.cls
 	for b := 0; b < x.N; b++ {
 		d := out.Batch(b).Data
 		for a := 0; a < nAnchors; a++ {

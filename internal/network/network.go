@@ -23,22 +23,48 @@ type Network struct {
 	Layers                 []layers.Layer
 
 	lastOut *tensor.Tensor
+	// arena is this instance's scratch arena: every layer implementing
+	// layers.ScratchUser carves its transient per-forward buffers from it,
+	// and Forward resets it at the start of each pass. Replicas get their
+	// own (CloneForInference), so the whole transient footprint of one
+	// replica is a single grow-once slab — the zero-alloc steady state the
+	// serving path relies on, with ScratchBytes reporting the footprint.
+	arena *tensor.Arena
+	// per is the reusable result holder of DetectBatch (see its contract).
+	per [][]detect.Detection
 }
 
 // New creates an empty network for the given input geometry.
 func New(name string, w, h, c int) *Network {
-	return &Network{Name: name, InputW: w, InputH: h, InputC: c}
+	return &Network{Name: name, InputW: w, InputH: h, InputC: c, arena: &tensor.Arena{}}
 }
 
 // Add appends a layer; its input shape must chain from the previous layer.
+// Layers implementing layers.ScratchUser are bound to the network's scratch
+// arena.
 func (n *Network) Add(l layers.Layer) error {
 	want := n.nextShape()
 	got := l.InShape()
 	if got != want {
 		return fmt.Errorf("network: layer %q input %+v does not chain from %+v", l.Name(), got, want)
 	}
+	if n.arena == nil { // zero-literal constructed network
+		n.arena = &tensor.Arena{}
+	}
+	if su, ok := l.(layers.ScratchUser); ok {
+		su.SetScratchArena(n.arena)
+	}
 	n.Layers = append(n.Layers, l)
 	return nil
+}
+
+// ScratchBytes reports the footprint of this instance's scratch arena — the
+// per-replica transient workspace the engine aggregates for observability.
+func (n *Network) ScratchBytes() int64 {
+	if n.arena == nil {
+		return 0
+	}
+	return n.arena.Bytes()
 }
 
 func (n *Network) nextShape() layers.Shape {
@@ -60,10 +86,13 @@ func (n *Network) OutShape() layers.Shape { return n.nextShape() }
 // serve many camera streams from one set of weights. The result is typed as
 // the precision-agnostic Model (its dynamic type is always *Network).
 func (n *Network) CloneForInference() Model {
-	c := &Network{Name: n.Name, InputW: n.InputW, InputH: n.InputH, InputC: n.InputC}
+	c := &Network{Name: n.Name, InputW: n.InputW, InputH: n.InputH, InputC: n.InputC, arena: &tensor.Arena{}}
 	c.Layers = make([]layers.Layer, len(n.Layers))
 	for i, l := range n.Layers {
 		c.Layers[i] = l.CloneForInference()
+		if su, ok := c.Layers[i].(layers.ScratchUser); ok {
+			su.SetScratchArena(c.arena)
+		}
 	}
 	return c
 }
@@ -81,6 +110,9 @@ func (n *Network) Region() *layers.Region {
 // Forward runs the network on a batch. The returned tensor is owned by the
 // final layer and is valid until the next Forward.
 func (n *Network) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if n.arena != nil {
+		n.arena.Reset() // transient scratch from the previous pass is dead
+	}
 	cur := x
 	for _, l := range n.Layers {
 		cur = l.Forward(cur, train)
@@ -213,13 +245,21 @@ func (n *Network) Detect(x *tensor.Tensor, thresh, nmsThresh float64) ([]detect.
 // the batch dimension with per-image im2col/decode, and inference-mode
 // batch norm uses rolling statistics, so images never influence each
 // other).
+//
+// Ownership: the OUTER slice is workspace owned by the model and is valid
+// only until the next DetectBatch call (this keeps the steady-state serving
+// path allocation-free); the inner per-image slices are freshly built and
+// may be retained by the caller.
 func (n *Network) DetectBatch(x *tensor.Tensor, thresh, nmsThresh float64) ([][]detect.Detection, error) {
 	r := n.Region()
 	if r == nil {
 		return nil, fmt.Errorf("network: DetectBatch requires a region layer")
 	}
 	out := n.Forward(x, false)
-	per := make([][]detect.Detection, x.N)
+	if cap(n.per) < x.N {
+		n.per = make([][]detect.Detection, x.N)
+	}
+	per := n.per[:x.N]
 	for b := 0; b < x.N; b++ {
 		per[b] = detect.NMS(r.Decode(out, b, thresh), nmsThresh)
 	}

@@ -114,12 +114,15 @@ type QConv struct {
 	requant  []float32 // WScale[f]*ActScale, precomputed per output channel
 
 	// Workspace (per replica): quantized input image, im2col scratch, and
-	// the batched output. All reuse backing storage Reslice-style, so under
-	// varying micro-batch sizes they converge to max-batch capacity with no
-	// realloc thrash — the same convergence behavior as the fp32 layers.
-	qx   []int8
-	col  []int8
-	out_ *tensor.Tensor
+	// the batched output. qx and col are carved from the owning QNet's
+	// per-replica arena when one is bound (falling back to layer-owned
+	// Reslice buffers otherwise); out_ reuses backing storage
+	// Reslice-style. Either way, buffers converge to max-batch capacity
+	// with no realloc thrash — the same behavior as the fp32 layers.
+	arena *tensor.Arena
+	qx    []int8
+	col   []int8
+	out_  *tensor.Tensor
 }
 
 // Shape mirrors layers.Shape to keep the package's public surface small.
@@ -137,6 +140,13 @@ type QNet struct {
 	Order                  []bool         // true → next conv, false → next other
 	region                 *layers.Region
 	outShape               Shape
+
+	// arena is this replica's scratch arena (quantized activations, int8
+	// im2col output), reset at the start of every Forward; per is the
+	// reusable DetectBatch result holder. Same ownership rules as the fp32
+	// network.
+	arena *tensor.Arena
+	per   [][]detect.Detection
 }
 
 // QNet must satisfy the precision-agnostic serving contract.
@@ -172,7 +182,7 @@ func Quantize(net *network.Network, calibration []*tensor.Tensor) (*QNet, error)
 			x = l.Forward(x, false)
 		}
 	}
-	q := &QNet{Name: net.Name + "-int8", InputW: net.InputW, InputH: net.InputH, InputC: net.InputC}
+	q := &QNet{Name: net.Name + "-int8", InputW: net.InputW, InputH: net.InputH, InputC: net.InputC, arena: &tensor.Arena{}}
 	for i, l := range net.Layers {
 		switch c := l.(type) {
 		case *layers.Conv2D:
@@ -180,6 +190,7 @@ func Quantize(net *network.Network, calibration []*tensor.Tensor) (*QNet, error)
 			if err != nil {
 				return nil, err
 			}
+			qc.arena = q.arena
 			q.Convs = append(q.Convs, qc)
 			q.Order = append(q.Order, true)
 		case *layers.Region:
@@ -253,10 +264,11 @@ func roundf(v float32) float32 {
 }
 
 // cloneForInference returns a replica QConv sharing the read-only quantized
-// parameters but owning a fresh workspace.
+// parameters but owning a fresh workspace; the caller rebinds the replica's
+// arena.
 func (qc *QConv) cloneForInference() *QConv {
 	cp := *qc
-	cp.qx, cp.col, cp.out_ = nil, nil, nil
+	cp.arena, cp.qx, cp.col, cp.out_ = nil, nil, nil, nil
 	return &cp
 }
 
@@ -269,17 +281,27 @@ func (qc *QConv) Forward(x *tensor.Tensor) *tensor.Tensor {
 	out := qc.out_
 	fanIn := qc.in.C * qc.Ksize * qc.Ksize
 	spatial := qc.out.H * qc.out.W
-	qc.qx = tensor.ResliceI8(qc.qx, qc.in.Size())
 	pointwise := qc.Ksize == 1 && qc.Stride == 1 && qc.Pad == 0
-	if !pointwise {
-		qc.col = tensor.ResliceI8(qc.col, fanIn*spatial)
+	var qx, qcol []int8
+	if qc.arena != nil {
+		qx = qc.arena.I8(qc.in.Size())
+		if !pointwise {
+			qcol = qc.arena.I8(fanIn * spatial)
+		}
+	} else {
+		qc.qx = tensor.ResliceI8(qc.qx, qc.in.Size())
+		qx = qc.qx
+		if !pointwise {
+			qc.col = tensor.ResliceI8(qc.col, fanIn*spatial)
+			qcol = qc.col
+		}
 	}
 	for b := 0; b < x.N; b++ {
-		QuantizeSymmetric(x.Batch(b).Data, qc.ActScale, qc.qx)
-		col := qc.qx
+		QuantizeSymmetric(x.Batch(b).Data, qc.ActScale, qx)
+		col := qx
 		if !pointwise {
-			tensor.Im2colInt8(qc.qx, qc.in.C, qc.in.H, qc.in.W, qc.Ksize, qc.Stride, qc.Pad, qc.col)
-			col = qc.col
+			tensor.Im2colInt8(qx, qc.in.C, qc.in.H, qc.in.W, qc.Ksize, qc.Stride, qc.Pad, qcol)
+			col = qcol
 		}
 		tensor.GemmInt8(qc.Filters, spatial, fanIn, qc.W, fanIn, col, spatial, qc.requant, qc.Bias, out.Batch(b).Data, spatial)
 	}
@@ -292,6 +314,9 @@ func (qc *QConv) Forward(x *tensor.Tensor) *tensor.Tensor {
 // Forward runs the whole quantized network on a batch tensor and returns
 // the region layer's activated output.
 func (q *QNet) Forward(x *tensor.Tensor) *tensor.Tensor {
+	if q.arena != nil {
+		q.arena.Reset()
+	}
 	ci, oi := 0, 0
 	cur := x
 	for _, isConv := range q.Order {
@@ -324,10 +349,11 @@ func (q *QNet) Region() *layers.Region { return q.region }
 // may run concurrently with the receiver.
 func (q *QNet) CloneForInference() network.Model {
 	c := &QNet{Name: q.Name, InputW: q.InputW, InputH: q.InputH, InputC: q.InputC,
-		Order: q.Order, outShape: q.outShape}
+		Order: q.Order, outShape: q.outShape, arena: &tensor.Arena{}}
 	c.Convs = make([]*QConv, len(q.Convs))
 	for i, qc := range q.Convs {
 		c.Convs[i] = qc.cloneForInference()
+		c.Convs[i].arena = c.arena
 	}
 	c.Others = make([]layers.Layer, len(q.Others))
 	for i, l := range q.Others {
@@ -361,16 +387,32 @@ func (q *QNet) Detect(x *tensor.Tensor, thresh, nms float64) ([]detect.Detection
 // with exact int32 accumulation, an N-image batch returns byte-identical
 // per-image detections to N serial single-image calls — the invariant the
 // serving micro-batcher requires of every Model.
+//
+// Ownership matches network.Network.DetectBatch: the outer slice is model
+// workspace valid until the next call; the inner slices may be retained.
 func (q *QNet) DetectBatch(x *tensor.Tensor, thresh, nms float64) ([][]detect.Detection, error) {
 	if q.region == nil {
 		return nil, fmt.Errorf("quant: QNet has no region layer")
 	}
 	out := q.Forward(x)
-	per := make([][]detect.Detection, x.N)
+	if cap(q.per) < x.N {
+		q.per = make([][]detect.Detection, x.N)
+	}
+	per := q.per[:x.N]
 	for b := 0; b < x.N; b++ {
 		per[b] = detect.NMS(q.region.Decode(out, b, thresh), nms)
 	}
 	return per, nil
+}
+
+// ScratchBytes reports the footprint of this replica's scratch arena,
+// mirroring network.Network.ScratchBytes for the engine's workspace
+// accounting.
+func (q *QNet) ScratchBytes() int64 {
+	if q.arena == nil {
+		return 0
+	}
+	return q.arena.Bytes()
 }
 
 // WeightBytes implements network.Model: the INT8 parameter storage (scales
@@ -384,9 +426,16 @@ func (q *QNet) WeightBytes() int64 {
 }
 
 // QuantizeSymmetric quantizes src into dst (which must be at least as long)
-// with the symmetric map q = clamp(round(v/scale), ±127). A zero scale (or a
-// NaN input) maps to zero. Dequantize inverts it up to the guaranteed
-// round-trip error of scale/2 per element (see FuzzQuantDequant).
+// with the symmetric map q = clamp(round(v/scale), ±127), rounding halves
+// away from zero. A zero scale (or a NaN input) maps to zero. Dequantize
+// inverts it up to the guaranteed round-trip error of scale/2 per element
+// (see FuzzQuantDequant).
+//
+// This runs once per quantized convolution per image (the whole input
+// activation map), so the hot loop stays in float32 end to end: adding a
+// sign-matched 0.5 and truncating implements round-half-away-from-zero
+// without the float64 floor/ceil round trip, which roughly halves the
+// quantization stage's cost on the serving path.
 func QuantizeSymmetric(src []float32, scale float32, dst []int8) {
 	if scale == 0 {
 		for i := range src {
@@ -405,7 +454,24 @@ func QuantizeSymmetric(src []float32, scale float32, dst []int8) {
 		return
 	}
 	for i, v := range src {
-		dst[i] = clampInt8(roundf(v * inv))
+		t := v * inv
+		if t != t { // NaN: pick zero rather than a platform-defined conversion
+			dst[i] = 0
+			continue
+		}
+		// Clamp in float space first so the int32 conversion below can never
+		// see an out-of-range value (whose result Go leaves to the platform).
+		if t >= 127 {
+			dst[i] = 127
+			continue
+		}
+		if t <= -127 {
+			dst[i] = -127
+			continue
+		}
+		// ±0.5 with t's sign, then truncate: round-half-away-from-zero.
+		half := math.Float32frombits(0x3F000000 | math.Float32bits(t)&0x80000000)
+		dst[i] = int8(int32(t + half))
 	}
 }
 

@@ -206,12 +206,14 @@ func toJSON(dets []detect.Detection) []DetectionJSON {
 // handleHealthz serves GET /healthz.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{
-		"status":      "ok",
-		"precision":   s.cfg.Precision,
-		"workers":     s.eng.Workers(),
-		"max_batch":   s.cfg.MaxBatch,
-		"max_wait_ms": s.cfg.MaxWait.Seconds() * 1e3,
-		"queue_cap":   s.cfg.QueueDepth,
+		"status":          "ok",
+		"precision":       s.cfg.Precision,
+		"workers":         s.eng.Workers(),
+		"max_batch":       s.cfg.MaxBatch,
+		"max_wait_ms":     s.cfg.MaxWait.Seconds() * 1e3,
+		"min_wait_ms":     s.cfg.MinWait.Seconds() * 1e3,
+		"queue_cap":       s.cfg.QueueDepth,
+		"workspace_bytes": s.eng.WorkspaceBytes(),
 	})
 }
 

@@ -106,10 +106,11 @@ func TestConcurrentClientsBatchedIdentical(t *testing.T) {
 	frames := testFrames(distinct)
 	want := expectedDetections(t, net, frames)
 
-	// One worker with a generous MaxWait guarantees coalescing: while a
-	// batch executes, the other clients' requests pile up in the queue and
-	// ride the next batch together.
-	srv := newServer(t, net, 1, serve.Config{MaxBatch: 8, MaxWait: 50 * time.Millisecond, QueueDepth: 64, Warm: true})
+	// One worker with a generous MaxWait and a real MinWait accumulation
+	// floor guarantees coalescing: while a batch executes, the other
+	// clients' requests pile up and the forming batch keeps absorbing them
+	// until the worker frees up.
+	srv := newServer(t, net, 1, serve.Config{MaxBatch: 8, MinWait: 20 * time.Millisecond, MaxWait: 50 * time.Millisecond, QueueDepth: 64, Warm: true})
 	ts := httptest.NewServer(srv)
 	defer ts.Close()
 
@@ -155,9 +156,20 @@ func TestConcurrentClientsBatchedIdentical(t *testing.T) {
 	if stats.Completed != clients*perClient {
 		t.Errorf("completed %d of %d requests", stats.Completed, clients*perClient)
 	}
-	if stats.MeanBatchSize <= 1.5 {
-		t.Errorf("mean batch size %.2f, want > 1.5 (hist %v) — micro-batching is not coalescing", stats.MeanBatchSize, stats.BatchHist)
+	if want := batchBar(); stats.MeanBatchSize <= want {
+		t.Errorf("mean batch size %.2f, want > %.1f (hist %v) — micro-batching is not coalescing", stats.MeanBatchSize, want, stats.BatchHist)
 	}
+}
+
+// batchBar is the mean-batch-size acceptance bar: 2.5 normally; under the
+// race detector the instrumented HTTP round-trip is so slow that fewer
+// requests share one accumulation window, so only basic coalescing (>1.5)
+// is asserted there.
+func batchBar() float64 {
+	if raceEnabled {
+		return 1.5
+	}
+	return 2.5
 }
 
 // TestInt8ServingBatchedIdentical is the quantized-path acceptance test: an
@@ -197,7 +209,7 @@ func TestInt8ServingBatchedIdentical(t *testing.T) {
 		t.Fatal(err)
 	}
 	srv, err := serve.New(eng, serve.Config{
-		MaxBatch: 8, MaxWait: 50 * time.Millisecond, QueueDepth: 64, Warm: true, Precision: "int8",
+		MaxBatch: 8, MinWait: 20 * time.Millisecond, MaxWait: 50 * time.Millisecond, QueueDepth: 64, Warm: true, Precision: "int8",
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -251,8 +263,8 @@ func TestInt8ServingBatchedIdentical(t *testing.T) {
 	if stats.Completed != clients*perClient {
 		t.Errorf("completed %d of %d requests", stats.Completed, clients*perClient)
 	}
-	if stats.MeanBatchSize <= 1.5 {
-		t.Errorf("mean batch size %.2f, want > 1.5 (hist %v) — int8 micro-batching is not coalescing", stats.MeanBatchSize, stats.BatchHist)
+	if want := batchBar(); stats.MeanBatchSize <= want {
+		t.Errorf("mean batch size %.2f, want > %.1f (hist %v) — int8 micro-batching is not coalescing", stats.MeanBatchSize, want, stats.BatchHist)
 	}
 }
 

@@ -21,11 +21,21 @@ type Config struct {
 	// batched Forward. Default 8.
 	MaxBatch int
 	// MaxWait bounds how long the oldest request in a forming batch waits
-	// for batch-mates before the batch is dispatched anyway. It is the
-	// latency the service is willing to spend buying throughput; under
-	// saturation batches fill instantly and the knob never bites.
-	// Default 2ms.
+	// for batch-mates before the batch is dispatched anyway — in
+	// particular, a LONE request is held back this long hoping for
+	// company. It is the latency the service is willing to spend buying
+	// throughput; under saturation batches fill instantly and the knob
+	// never bites. Default 2ms.
 	MaxWait time.Duration
+	// MinWait is the accumulation floor of a forming batch: a non-full
+	// batch is never offered to a worker before MinWait has elapsed, so a
+	// burst of concurrent requests coalesces instead of being split into
+	// leading singletons. Between MinWait and MaxWait a batch with at
+	// least two requests dispatches as soon as a worker is free — and
+	// while every worker is busy, the forming batch keeps absorbing
+	// arrivals up to MaxBatch, which is what makes the batcher effective
+	// under sustained load. Default 300µs.
+	MinWait time.Duration
 	// QueueDepth is the admission queue bound; a request arriving to a full
 	// queue is rejected with HTTP 429 immediately. Default 8*MaxBatch.
 	QueueDepth int
@@ -105,6 +115,16 @@ func New(eng *engine.Engine, cfg Config) (*Server, error) {
 	if cfg.MaxWait <= 0 {
 		cfg.MaxWait = 2 * time.Millisecond
 	}
+	if cfg.MinWait <= 0 {
+		cfg.MinWait = 300 * time.Microsecond
+	}
+	if cfg.MinWait > cfg.MaxWait {
+		// The floor cannot exceed the ceiling: past MaxWait a batch is
+		// dispatched regardless, so a larger MinWait would silently never
+		// be honored. Clamp instead of erroring — the effective behavior
+		// (accumulate the full MaxWait) is what the caller asked for.
+		cfg.MinWait = cfg.MaxWait
+	}
 	if cfg.QueueDepth < 1 {
 		cfg.QueueDepth = 8 * cfg.MaxBatch
 	}
@@ -179,29 +199,55 @@ func (s *Server) detect(img *imgproc.Image, altitude float64) (response, time.Du
 }
 
 // batchLoop drains the admission queue, coalescing requests into batches of
-// up to MaxBatch images; a partial batch is dispatched once its oldest
-// request has waited MaxWait. Exits (closing the workers' feed) when the
-// queue is closed and drained.
+// up to MaxBatch images. A forming batch becomes ELIGIBLE for dispatch once
+// it is full, once MinWait has elapsed with at least two requests aboard,
+// or once MaxWait has elapsed regardless of size; an eligible non-full
+// batch is offered to the workers while STILL absorbing arrivals, so when
+// every worker is busy the batch keeps growing toward MaxBatch instead of
+// going stale at whatever size the deadline caught it (the committed
+// pre-MinWait benchmark showed exactly that: mean batch 1.67 with 53/120
+// singleton batches). Exits (closing the workers' feed) when the queue is
+// closed and drained.
 func (s *Server) batchLoop() {
 	defer s.batcherWG.Done()
 	defer close(s.batches)
 	for first := range s.queue {
 		batch := append(make([]*request, 0, s.cfg.MaxBatch), first)
-		deadline := time.NewTimer(s.cfg.MaxWait)
-	collect:
-		for len(batch) < s.cfg.MaxBatch {
+		minT := time.NewTimer(s.cfg.MinWait)
+		maxT := time.NewTimer(s.cfg.MaxWait)
+		minDone, maxDone := false, false
+		sent, open := false, true
+		for !sent && open && len(batch) < s.cfg.MaxBatch {
+			// A send on a nil channel never fires: the offer case is armed
+			// only once the batch is eligible, so one select covers both
+			// phases while always racing worker availability against new
+			// arrivals.
+			var offer chan []*request
+			if maxDone || (minDone && len(batch) >= 2) {
+				offer = s.batches
+			}
 			select {
 			case r, ok := <-s.queue:
 				if !ok {
-					break collect // queue closed: flush what we have
+					open = false
+				} else {
+					batch = append(batch, r)
 				}
-				batch = append(batch, r)
-			case <-deadline.C:
-				break collect
+			case <-minT.C:
+				minDone = true
+			case <-maxT.C:
+				maxDone = true
+			case offer <- batch:
+				sent = true
 			}
 		}
-		deadline.Stop()
-		s.batches <- batch
+		minT.Stop()
+		maxT.Stop()
+		if !sent {
+			// Full batch, or the queue closed mid-collection: hand it over
+			// unconditionally (blocks until a worker frees up).
+			s.batches <- batch
+		}
 	}
 }
 

@@ -1,0 +1,77 @@
+package tensor
+
+import "sync/atomic"
+
+// Arena is a grow-once bump allocator for the transient per-forward scratch
+// of a model replica: im2col output, quantized-activation staging, and any
+// other buffer whose contents do not need to survive into the next forward
+// pass. A replica resets its arena at the start of every forward and each
+// layer carves what it needs; after one warm-up pass the slabs have
+// converged to the high-water demand and steady-state carving is pure
+// pointer bumping — zero allocations, the same convergence behavior as the
+// Reslice workspace convention but consolidated into one slab per element
+// type, whose footprint ScratchBytes reports per replica.
+//
+// An Arena is single-goroutine state, like every other piece of replica
+// workspace: clones get a fresh arena via the layers' workspace rebinding,
+// never a shared one. Carved slices alias earlier slab generations when the
+// slab grows mid-pass; that is fine — they stay valid, and the next Reset
+// starts carving from the grown slab.
+//
+// Carved contents are unspecified (previous-pass data); callers must fully
+// overwrite, exactly as with Reslice.
+type Arena struct {
+	f32    []float32
+	f32Off int
+	i8     []int8
+	i8Off  int
+	// bytes mirrors the slab footprint for Bytes(): updated atomically on
+	// the rare grow so observers (engine workspace accounting polled from
+	// /healthz) can read it concurrently with a forward pass in flight.
+	bytes atomic.Int64
+}
+
+// Reset rewinds the arena; every previously carved buffer's contents become
+// unspecified and may be handed out again by the next carve.
+func (a *Arena) Reset() {
+	a.f32Off = 0
+	a.i8Off = 0
+}
+
+// F32 carves n float32s.
+func (a *Arena) F32(n int) []float32 {
+	if a.f32Off+n > len(a.f32) {
+		grown := 2 * len(a.f32)
+		if grown < a.f32Off+n {
+			grown = a.f32Off + n
+		}
+		a.f32 = make([]float32, grown)
+		a.bytes.Store(4*int64(len(a.f32)) + int64(len(a.i8)))
+	}
+	s := a.f32[a.f32Off : a.f32Off+n : a.f32Off+n]
+	a.f32Off += n
+	return s
+}
+
+// I8 carves n int8s.
+func (a *Arena) I8(n int) []int8 {
+	if a.i8Off+n > len(a.i8) {
+		grown := 2 * len(a.i8)
+		if grown < a.i8Off+n {
+			grown = a.i8Off + n
+		}
+		a.i8 = make([]int8, grown)
+		a.bytes.Store(4*int64(len(a.f32)) + int64(len(a.i8)))
+	}
+	s := a.i8[a.i8Off : a.i8Off+n : a.i8Off+n]
+	a.i8Off += n
+	return s
+}
+
+// Bytes reports the arena's current slab footprint. Unlike carving, it is
+// safe to call concurrently with a forward pass using the arena: the
+// footprint is mirrored atomically on grow, so observability pollers
+// (engine.WorkspaceBytes behind /healthz) never race the slab headers.
+func (a *Arena) Bytes() int64 {
+	return a.bytes.Load()
+}

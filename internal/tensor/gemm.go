@@ -5,15 +5,54 @@ import (
 	"sync"
 )
 
-// blockK is the K-dimension tile used by the blocked GEMM kernels; it keeps
-// a panel of B resident in cache while a row strip of A streams through.
-const blockK = 128
+// This file implements the framework's single numeric hot spot as a
+// BLIS-style packed, cache-blocked GEMM:
+//
+//   - the k dimension is tiled into kcBlock panels so a packed slab of B
+//     stays cache-resident while row strips of A stream through;
+//   - the n dimension is tiled into ncBlock chunks bounding the packed-B
+//     slab (ncBlock·kcBlock floats ≈ 1 MB, L2-sized);
+//   - inside a chunk, an MR×NR register-blocked microkernel (see
+//     microkernel.go) runs over MR-interleaved A strips and NR-interleaved
+//     B panels produced by pack.go.
+//
+// Work is parallelized across both row strips (packing A) and column panels
+// (packing B and running tiles) on a persistent worker pool; task payloads
+// are plain structs carrying a pooled context, so a steady-state Gemm call
+// performs zero heap allocations regardless of worker count. The tile
+// decomposition is independent of the worker count and each tile's k-loop
+// runs in a fixed order, so results are deterministic for any GOMAXPROCS
+// (and exact for the int8 driver in int8.go, which shares this machinery).
+//
+// Tiny problems fall through to the naive register-free loops at the bottom
+// of this file: below packThreshold the packing traffic would dominate.
+
+const (
+	// kcBlock is the K-dimension panel depth: one packed B panel is
+	// kcBlock×NR floats (8 KB, L1-resident), one packed A block is
+	// m×kcBlock floats.
+	kcBlock = 256
+	// ncBlock bounds the packed-B slab per chunk (kcBlock·ncBlock floats =
+	// 1 MB) and is the unit across which column-panel tasks are spread.
+	ncBlock = 1024
+	// packThreshold is the m·n·k volume below which Gemm uses the naive
+	// loops: packing pays off only once each packed element is reused
+	// across several tiles.
+	packThreshold = 1 << 15
+	// maxGemmWorkers caps the persistent worker pool.
+	maxGemmWorkers = 64
+)
 
 // Gemm computes C = alpha*op(A)*op(B) + beta*C for row-major matrices,
 // where op transposes its argument when ta/tb is true. A is M×K (or K×M if
 // transposed), B is K×N (or N×K), and C is M×N. This is the single numeric
 // hot spot of the framework: convolution forward and both backward passes
 // all lower to one Gemm call each.
+//
+// Large problems run on the packed cache-blocked driver; because the packed
+// microkernel accumulates each output tile in a different order than the
+// naive loops, float32 results may differ from them by reassociation
+// rounding (the driver itself is deterministic for any worker count).
 func Gemm(ta, tb bool, m, n, k int, alpha float32, a []float32, lda int, b []float32, ldb int, beta float32, c []float32, ldc int) {
 	if beta != 1 {
 		for i := 0; i < m; i++ {
@@ -32,6 +71,10 @@ func Gemm(ta, tb bool, m, n, k int, alpha float32, a []float32, lda int, b []flo
 	if alpha == 0 {
 		return
 	}
+	if int64(m)*int64(n)*int64(k) >= packThreshold {
+		gemmPacked(ta, tb, m, n, k, alpha, a, lda, b, ldb, c, ldc)
+		return
+	}
 	switch {
 	case !ta && !tb:
 		gemmNN(m, n, k, alpha, a, lda, b, ldb, c, ldc)
@@ -44,106 +87,289 @@ func Gemm(ta, tb bool, m, n, k int, alpha float32, a []float32, lda int, b []flo
 	}
 }
 
-// gemmRows runs fn(i0, i1) over row ranges of [0, m), in parallel when more
-// than one CPU is available and the work is large enough to amortize the
-// goroutine overhead.
-func gemmRows(m, work int, fn func(i0, i1 int)) {
-	workers := runtime.GOMAXPROCS(0)
-	if workers > m {
-		workers = m
-	}
-	if workers <= 1 || work < 1<<16 {
-		fn(0, m)
-		return
-	}
-	var wg sync.WaitGroup
-	chunk := (m + workers - 1) / workers
-	for i0 := 0; i0 < m; i0 += chunk {
-		i1 := i0 + chunk
-		if i1 > m {
-			i1 = m
-		}
-		wg.Add(1)
-		go func(i0, i1 int) {
-			defer wg.Done()
-			fn(i0, i1)
-		}(i0, i1)
-	}
-	wg.Wait()
+// gemmCtx is the pooled state of one packed GEMM invocation: the problem
+// geometry, the current block coordinates, and the grow-once pack slabs.
+// Pooling the context (and passing it by pointer through the task structs)
+// is what keeps the steady-state driver allocation-free.
+type gemmCtx struct {
+	wg sync.WaitGroup
+
+	ta, tb  bool
+	m, n, k int
+	alpha   float32
+	a, b, c []float32
+	lda     int
+	ldb     int
+	ldc     int
+
+	kk, kc  int // current K panel
+	jj, nc  int // current N chunk
+	nStrips int
+
+	pa []float32 // packed A block: nStrips strips of MR·kc
+	pb []float32 // packed B chunk: panels of NR·kc
+
+	// INT8 driver state (int8.go): same blocking, int16-pair panels.
+	a8, b8     []int8
+	pa16, pb16 []int16
+	requant    []float32
+	bias       []float32
+	kPairs     int
 }
 
-func gemmNN(m, n, k int, alpha float32, a []float32, lda int, b []float32, ldb int, c []float32, ldc int) {
-	gemmRows(m, m*n*k, func(i0, i1 int) {
-		for kk := 0; kk < k; kk += blockK {
-			kEnd := kk + blockK
-			if kEnd > k {
-				kEnd = k
+var gemmCtxPool = sync.Pool{New: func() any { return new(gemmCtx) }}
+
+// tileScratch is the per-task edge-tile workspace: a full MR×NR tile plus
+// padded per-row requant/bias vectors for the int8 kernel. Pooled so edge
+// handling stays allocation-free (a stack array would escape through the
+// kernel function variable).
+type tileScratch struct {
+	tile [gemmMR * gemmNR]float32
+	rq   [gemmMR]float32
+	bs   [gemmMR]float32
+}
+
+var tileScratchPool = sync.Pool{New: func() any { return new(tileScratch) }}
+
+// resliceF32 reuses s's backing array when it suffices for n elements.
+func resliceF32(s []float32, n int) []float32 {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return make([]float32, n)
+}
+
+// resliceI16 is resliceF32 for the int8 driver's int16 pack slabs.
+func resliceI16(s []int16, n int) []int16 {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return make([]int16, n)
+}
+
+// gemmPacked is the blocked fp32 driver.
+func gemmPacked(ta, tb bool, m, n, k int, alpha float32, a []float32, lda int, b []float32, ldb int, c []float32, ldc int) {
+	ctx := gemmCtxPool.Get().(*gemmCtx)
+	ctx.ta, ctx.tb = ta, tb
+	ctx.m, ctx.n, ctx.k = m, n, k
+	ctx.alpha = alpha
+	ctx.a, ctx.b, ctx.c = a, b, c
+	ctx.lda, ctx.ldb, ctx.ldc = lda, ldb, ldc
+	ctx.nStrips = (m + gemmMR - 1) / gemmMR
+
+	for kk := 0; kk < k; kk += kcBlock {
+		ctx.kk = kk
+		ctx.kc = min(kcBlock, k-kk)
+		ctx.pa = resliceF32(ctx.pa, ctx.nStrips*gemmMR*ctx.kc)
+		gemmParallel(ctx, ctx.nStrips, taskPackAF32)
+		for jj := 0; jj < n; jj += ncBlock {
+			ctx.jj = jj
+			ctx.nc = min(ncBlock, n-jj)
+			nPanels := (ctx.nc + gemmNR - 1) / gemmNR
+			ctx.pb = resliceF32(ctx.pb, nPanels*gemmNR*ctx.kc)
+			gemmParallel(ctx, nPanels, taskPackBF32)
+			gemmParallel(ctx, nPanels, taskTilesF32)
+		}
+	}
+	ctx.a, ctx.b, ctx.c = nil, nil, nil
+	gemmCtxPool.Put(ctx)
+}
+
+// taskPackAF32 packs A strips [lo, hi) of the current K panel.
+func taskPackAF32(ctx *gemmCtx, lo, hi int) {
+	for s := lo; s < hi; s++ {
+		dst := ctx.pa[s*gemmMR*ctx.kc : (s+1)*gemmMR*ctx.kc]
+		packAF32(ctx.ta, ctx.a, ctx.lda, ctx.m, s*gemmMR, ctx.kk, ctx.kc, ctx.alpha, dst)
+	}
+}
+
+// taskPackBF32 packs B panels [lo, hi) of the current N chunk.
+func taskPackBF32(ctx *gemmCtx, lo, hi int) {
+	for pn := lo; pn < hi; pn++ {
+		dst := ctx.pb[pn*gemmNR*ctx.kc : (pn+1)*gemmNR*ctx.kc]
+		packBF32(ctx.tb, ctx.b, ctx.ldb, ctx.n, ctx.jj+pn*gemmNR, ctx.kk, ctx.kc, dst)
+	}
+}
+
+// taskTilesF32 runs the microkernel over panels [lo, hi) × every A strip.
+// Full tiles update C in place; edge tiles accumulate into a pooled scratch
+// tile first and then add only the valid region.
+func taskTilesF32(ctx *gemmCtx, lo, hi int) {
+	var ts *tileScratch
+	for pn := lo; pn < hi; pn++ {
+		j0 := ctx.jj + pn*gemmNR
+		cols := min(gemmNR, ctx.n-j0)
+		pb := ctx.pb[pn*gemmNR*ctx.kc:]
+		for s := 0; s < ctx.nStrips; s++ {
+			i0 := s * gemmMR
+			rows := min(gemmMR, ctx.m-i0)
+			pa := ctx.pa[s*gemmMR*ctx.kc:]
+			if rows == gemmMR && cols == gemmNR {
+				kernF32(ctx.kc, pa, pb, ctx.c[i0*ctx.ldc+j0:], ctx.ldc)
+				continue
 			}
-			for i := i0; i < i1; i++ {
-				crow := c[i*ldc : i*ldc+n]
-				arow := a[i*lda:]
-				for p := kk; p < kEnd; p++ {
-					av := alpha * arow[p]
-					if av == 0 {
-						continue
-					}
-					brow := b[p*ldb : p*ldb+n]
-					for j, bv := range brow {
-						crow[j] += av * bv
-					}
+			if ts == nil {
+				ts = tileScratchPool.Get().(*tileScratch)
+			}
+			clear(ts.tile[:])
+			kernF32(ctx.kc, pa, pb, ts.tile[:], gemmNR)
+			for r := 0; r < rows; r++ {
+				crow := ctx.c[(i0+r)*ctx.ldc+j0:]
+				trow := ts.tile[r*gemmNR:]
+				for j := 0; j < cols; j++ {
+					crow[j] += trow[j]
 				}
 			}
 		}
-	})
+	}
+	if ts != nil {
+		tileScratchPool.Put(ts)
+	}
 }
 
-func gemmTN(m, n, k int, alpha float32, a []float32, lda int, b []float32, ldb int, c []float32, ldc int) {
-	gemmRows(m, m*n*k, func(i0, i1 int) {
-		for p := 0; p < k; p++ {
-			brow := b[p*ldb : p*ldb+n]
-			arow := a[p*lda:]
-			for i := i0; i < i1; i++ {
-				av := alpha * arow[i]
+// gemmTask is one unit of pool work: a phase function applied to an index
+// range of the shared context. Plain struct, sent by value — no allocation.
+type gemmTask struct {
+	fn     func(*gemmCtx, int, int)
+	ctx    *gemmCtx
+	lo, hi int
+}
+
+var (
+	gemmPoolMu  sync.Mutex
+	gemmTasks   chan gemmTask
+	gemmSpawned int
+)
+
+// gemmWorkerChan returns the shared task channel, lazily spawning workers up
+// to want-1 (the submitting goroutine always executes one chunk inline).
+// Workers are persistent: spawning happens only while the observed
+// GOMAXPROCS keeps growing, so the steady state takes one mutex and no
+// allocation.
+func gemmWorkerChan(want int) chan gemmTask {
+	gemmPoolMu.Lock()
+	if gemmTasks == nil {
+		gemmTasks = make(chan gemmTask, 4*maxGemmWorkers)
+	}
+	for gemmSpawned < want-1 && gemmSpawned < maxGemmWorkers-1 {
+		gemmSpawned++
+		go gemmWorker(gemmTasks)
+	}
+	ch := gemmTasks
+	gemmPoolMu.Unlock()
+	return ch
+}
+
+// gemmWorker executes pool tasks forever. Tasks never submit sub-tasks and
+// never block on other tasks, so the pool cannot deadlock even when several
+// GEMMs from different goroutines interleave on it.
+func gemmWorker(ch chan gemmTask) {
+	for t := range ch {
+		t.fn(t.ctx, t.lo, t.hi)
+		t.ctx.wg.Done()
+	}
+}
+
+// gemmParallel runs fn over [0, total) split across the worker pool, with a
+// barrier at the end. fn must be a top-level function (no closure) so the
+// call allocates nothing. The split depends only on GOMAXPROCS-sized chunk
+// counts, never on timing, and fn's work per index is order-independent
+// across chunks, so results do not depend on the worker count.
+func gemmParallel(ctx *gemmCtx, total int, fn func(*gemmCtx, int, int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > total {
+		workers = total
+	}
+	if workers > maxGemmWorkers {
+		workers = maxGemmWorkers
+	}
+	if workers <= 1 {
+		fn(ctx, 0, total)
+		return
+	}
+	ch := gemmWorkerChan(workers)
+	chunk := (total + workers - 1) / workers
+	for lo := chunk; lo < total; lo += chunk {
+		hi := min(lo+chunk, total)
+		ctx.wg.Add(1)
+		ch <- gemmTask{fn: fn, ctx: ctx, lo: lo, hi: hi}
+	}
+	fn(ctx, 0, min(chunk, total))
+	ctx.wg.Wait()
+}
+
+// --- naive fallback loops (small problems, and the fuzz/test oracle) ---
+//
+// Only sub-threshold problems reach these, so they run serially and
+// closure-free: spawning goroutines (or even building a closure) would cost
+// more than the loop itself and would put allocations on the zero-alloc
+// serving path, which lowers every convolution — including tiny late-stage
+// ones — onto Gemm.
+
+func gemmNN(m, n, k int, alpha float32, a []float32, lda int, b []float32, ldb int, c []float32, ldc int) {
+	for kk := 0; kk < k; kk += kcBlock {
+		kEnd := kk + kcBlock
+		if kEnd > k {
+			kEnd = k
+		}
+		for i := 0; i < m; i++ {
+			crow := c[i*ldc : i*ldc+n]
+			arow := a[i*lda:]
+			for p := kk; p < kEnd; p++ {
+				av := alpha * arow[p]
 				if av == 0 {
 					continue
 				}
-				crow := c[i*ldc : i*ldc+n]
+				brow := b[p*ldb : p*ldb+n]
 				for j, bv := range brow {
 					crow[j] += av * bv
 				}
 			}
 		}
-	})
+	}
+}
+
+func gemmTN(m, n, k int, alpha float32, a []float32, lda int, b []float32, ldb int, c []float32, ldc int) {
+	for p := 0; p < k; p++ {
+		brow := b[p*ldb : p*ldb+n]
+		arow := a[p*lda:]
+		for i := 0; i < m; i++ {
+			av := alpha * arow[i]
+			if av == 0 {
+				continue
+			}
+			crow := c[i*ldc : i*ldc+n]
+			for j, bv := range brow {
+				crow[j] += av * bv
+			}
+		}
+	}
 }
 
 func gemmNT(m, n, k int, alpha float32, a []float32, lda int, b []float32, ldb int, c []float32, ldc int) {
-	gemmRows(m, m*n*k, func(i0, i1 int) {
-		for i := i0; i < i1; i++ {
-			arow := a[i*lda : i*lda+k]
-			crow := c[i*ldc : i*ldc+n]
-			for j := 0; j < n; j++ {
-				brow := b[j*ldb : j*ldb+k]
-				var sum float32
-				for p, av := range arow {
-					sum += av * brow[p]
-				}
-				crow[j] += alpha * sum
+	for i := 0; i < m; i++ {
+		arow := a[i*lda : i*lda+k]
+		crow := c[i*ldc : i*ldc+n]
+		for j := 0; j < n; j++ {
+			brow := b[j*ldb : j*ldb+k]
+			var sum float32
+			for p, av := range arow {
+				sum += av * brow[p]
 			}
+			crow[j] += alpha * sum
 		}
-	})
+	}
 }
 
 func gemmTT(m, n, k int, alpha float32, a []float32, lda int, b []float32, ldb int, c []float32, ldc int) {
-	gemmRows(m, m*n*k, func(i0, i1 int) {
-		for i := i0; i < i1; i++ {
-			crow := c[i*ldc : i*ldc+n]
-			for j := 0; j < n; j++ {
-				var sum float32
-				for p := 0; p < k; p++ {
-					sum += a[p*lda+i] * b[j*ldb+p]
-				}
-				crow[j] += alpha * sum
+	for i := 0; i < m; i++ {
+		crow := c[i*ldc : i*ldc+n]
+		for j := 0; j < n; j++ {
+			var sum float32
+			for p := 0; p < k; p++ {
+				sum += a[p*lda+i] * b[j*ldb+p]
 			}
+			crow[j] += alpha * sum
 		}
-	})
+	}
 }

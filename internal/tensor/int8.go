@@ -1,26 +1,20 @@
 package tensor
 
-import "sync"
-
 // This file holds the INT8 counterparts of the float32 convolution kernels:
 // an int8 im2col with the exact patch layout of Im2col, and an int8 GEMM
-// that accumulates in int32 and requantizes each output row back to float32
+// that accumulates in int32 and requantizes each output tile back to float32
 // with a per-channel scale. Integer accumulation is exact and associative,
-// so results are independent of blocking and batching — the property the
-// quantized serving path relies on for batched == serial identity.
-
-// int8Strip is the number of output rows accumulated together by GemmInt8 so
-// a K-panel of B stays cache-resident across several weight rows, mirroring
-// the float GEMM's blockK tiling.
-const int8Strip = 8
-
-// accPool recycles GemmInt8's int32 accumulator strips across calls and
-// worker goroutines: the hot serving path runs one GemmInt8 per conv layer
-// per image, and without pooling each call would allocate a strip (up to
-// int8Strip*n int32s, megabyte-scale for early high-resolution layers) —
-// exactly the realloc thrash the Reslice workspace convention exists to
-// avoid. Accumulator contents are fully overwritten via clear() on reuse.
-var accPool sync.Pool
+// so results are independent of blocking, batching, and worker count — the
+// property the quantized serving path relies on for batched == serial
+// identity.
+//
+// GemmInt8 rides the same packed blocking driver as the float32 Gemm
+// (gemm.go): A is packed into MR-interleaved int16 k-pair strips, B into
+// NR-interleaved int16 k-pair panels, and a 4×8 microkernel (PMADDWD on
+// amd64) accumulates int32 over the full k before requantizing on store.
+// Unlike fp32 there is no K-panel split: keeping the whole k inside one
+// kernel call keeps the int32 accumulators in registers, and the packed
+// slabs stay cache-sized by chunking n instead.
 
 // ResliceI8 returns an int8 slice of length n, reusing s's backing array
 // whenever its capacity suffices and allocating only when it does not — the
@@ -31,14 +25,6 @@ func ResliceI8(s []int8, n int) []int8 {
 		return s[:n]
 	}
 	return make([]int8, n)
-}
-
-// ResliceI32 is ResliceI8 for int32 accumulator scratch.
-func ResliceI32(s []int32, n int) []int32 {
-	if cap(s) >= n {
-		return s[:n]
-	}
-	return make([]int32, n)
 }
 
 // Im2colInt8 unrolls a single-image CHW int8 input into the column matrix
@@ -81,48 +67,128 @@ func Im2colInt8(img []int8, channels, height, width, ksize, stride, pad int, col
 // GemmInt8 computes C = requant ⊙ (A·B) + bias for row-major int8 matrices:
 // A is m×k (quantized weights, one row per output channel), B is k×n (the
 // quantized im2col patches), and C is m×n float32. Products accumulate
-// exactly in int32; each finished row i is requantized in one pass as
+// exactly in int32; each finished tile is requantized on store as
 //
 //	C[i][j] = float32(acc[i][j])*requant[i] + bias[i]
 //
 // which is the standard per-output-channel dequantization (requant[i] =
-// weightScale[i]·activationScale). int32 addition is associative, so the
-// strip/panel blocking below cannot change results — batched and serial
-// execution are byte-identical.
+// weightScale[i]·activationScale). int32 addition is associative, so neither
+// the panel blocking nor the worker count can change results — batched and
+// serial execution are byte-identical.
 func GemmInt8(m, n, k int, a []int8, lda int, b []int8, ldb int, requant, bias []float32, c []float32, ldc int) {
-	gemmRows(m, m*n*k, func(i0, i1 int) {
-		pooled, _ := accPool.Get().([]int32)
-		acc := ResliceI32(pooled, int8Strip*n)
-		defer accPool.Put(acc) //nolint:staticcheck // slice header boxing is cheaper than the strip alloc it avoids
-		for s0 := i0; s0 < i1; s0 += int8Strip {
-			s1 := min(s0+int8Strip, i1)
-			strip := acc[:(s1-s0)*n]
-			clear(strip)
-			for kk := 0; kk < k; kk += blockK {
-				kEnd := min(kk+blockK, k)
-				for i := s0; i < s1; i++ {
-					arow := a[i*lda:]
-					srow := strip[(i-s0)*n : (i-s0+1)*n]
-					for p := kk; p < kEnd; p++ {
-						av := int32(arow[p])
-						if av == 0 {
-							continue
-						}
-						brow := b[p*ldb : p*ldb+n]
-						for j, bv := range brow {
-							srow[j] += av * int32(bv)
-						}
-					}
+	if int64(m)*int64(n)*int64(k) < packThreshold {
+		gemmInt8Naive(m, n, k, a, lda, b, ldb, requant, bias, c, ldc)
+		return
+	}
+	ctx := gemmCtxPool.Get().(*gemmCtx)
+	ctx.m, ctx.n, ctx.k = m, n, k
+	ctx.a8, ctx.b8, ctx.c = a, b, c
+	ctx.lda, ctx.ldb, ctx.ldc = lda, ldb, ldc
+	ctx.requant, ctx.bias = requant, bias
+	ctx.kPairs = (k + 1) / 2
+	ctx.nStrips = (m + gemmMR - 1) / gemmMR
+
+	ctx.pa16 = resliceI16(ctx.pa16, ctx.nStrips*gemmMR*2*ctx.kPairs)
+	gemmParallel(ctx, ctx.nStrips, taskPackAI8)
+
+	// Chunk n so one packed B slab stays around 1 MB of int16 pairs.
+	ncI8 := (1 << 18) / ctx.kPairs
+	ncI8 -= ncI8 % gemmNR
+	if ncI8 < gemmNR {
+		ncI8 = gemmNR
+	}
+	if ncI8 > ncBlock {
+		ncI8 = ncBlock
+	}
+	for jj := 0; jj < n; jj += ncI8 {
+		ctx.jj = jj
+		ctx.nc = min(ncI8, n-jj)
+		nPanels := (ctx.nc + gemmNR - 1) / gemmNR
+		ctx.pb16 = resliceI16(ctx.pb16, nPanels*gemmNR*2*ctx.kPairs)
+		gemmParallel(ctx, nPanels, taskPackBI8)
+		gemmParallel(ctx, nPanels, taskTilesI8)
+	}
+	ctx.a8, ctx.b8, ctx.c = nil, nil, nil
+	ctx.requant, ctx.bias = nil, nil
+	gemmCtxPool.Put(ctx)
+}
+
+// taskPackAI8 packs A strips [lo, hi) over the full k.
+func taskPackAI8(ctx *gemmCtx, lo, hi int) {
+	stripLen := gemmMR * 2 * ctx.kPairs
+	for s := lo; s < hi; s++ {
+		packAI8(ctx.a8, ctx.lda, ctx.m, ctx.k, s*gemmMR, ctx.pa16[s*stripLen:(s+1)*stripLen])
+	}
+}
+
+// taskPackBI8 packs B panels [lo, hi) of the current N chunk over the full k.
+func taskPackBI8(ctx *gemmCtx, lo, hi int) {
+	panelLen := gemmNR * 2 * ctx.kPairs
+	for pn := lo; pn < hi; pn++ {
+		packBI8(ctx.b8, ctx.ldb, ctx.n, ctx.k, ctx.jj+pn*gemmNR, ctx.pb16[pn*panelLen:(pn+1)*panelLen])
+	}
+}
+
+// taskTilesI8 runs the int8 microkernel over panels [lo, hi) × every A
+// strip. Full tiles requantize straight into C; edge tiles go through a
+// pooled scratch tile with zero-padded requant/bias rows, then copy the
+// valid region (overwrite semantics).
+func taskTilesI8(ctx *gemmCtx, lo, hi int) {
+	var ts *tileScratch
+	stripLen := gemmMR * 2 * ctx.kPairs
+	panelLen := gemmNR * 2 * ctx.kPairs
+	for pn := lo; pn < hi; pn++ {
+		j0 := ctx.jj + pn*gemmNR
+		cols := min(gemmNR, ctx.n-j0)
+		pb := ctx.pb16[pn*panelLen:]
+		for s := 0; s < ctx.nStrips; s++ {
+			i0 := s * gemmMR
+			rows := min(gemmMR, ctx.m-i0)
+			pa := ctx.pa16[s*stripLen:]
+			if rows == gemmMR && cols == gemmNR {
+				kernI8(ctx.kPairs, pa, pb, ctx.requant[i0:], ctx.bias[i0:], ctx.c[i0*ctx.ldc+j0:], ctx.ldc)
+				continue
+			}
+			if ts == nil {
+				ts = tileScratchPool.Get().(*tileScratch)
+			}
+			for r := 0; r < gemmMR; r++ {
+				if r < rows {
+					ts.rq[r], ts.bs[r] = ctx.requant[i0+r], ctx.bias[i0+r]
+				} else {
+					ts.rq[r], ts.bs[r] = 0, 0
 				}
 			}
-			for i := s0; i < s1; i++ {
-				scale, off := requant[i], bias[i]
-				crow := c[i*ldc : i*ldc+n]
-				srow := strip[(i-s0)*n:]
-				for j := range crow {
-					crow[j] = float32(srow[j])*scale + off
+			kernI8(ctx.kPairs, pa, pb, ts.rq[:], ts.bs[:], ts.tile[:], gemmNR)
+			for r := 0; r < rows; r++ {
+				crow := ctx.c[(i0+r)*ctx.ldc+j0:]
+				trow := ts.tile[r*gemmNR:]
+				for j := 0; j < cols; j++ {
+					crow[j] = trow[j]
 				}
 			}
 		}
-	})
+	}
+	if ts != nil {
+		tileScratchPool.Put(ts)
+	}
+}
+
+// gemmInt8Naive is the register-free reference loop: exact int32
+// accumulation in ascending-k order. It doubles as the oracle for the
+// packed-vs-naive fuzz cross-check — integer accumulation is associative,
+// so the packed driver must match it bit for bit.
+func gemmInt8Naive(m, n, k int, a []int8, lda int, b []int8, ldb int, requant, bias []float32, c []float32, ldc int) {
+	for i := 0; i < m; i++ {
+		arow := a[i*lda:]
+		crow := c[i*ldc : i*ldc+n]
+		scale, off := requant[i], bias[i]
+		for j := 0; j < n; j++ {
+			var acc int32
+			for p := 0; p < k; p++ {
+				acc += int32(arow[p]) * int32(b[p*ldb+j])
+			}
+			crow[j] = float32(acc)*scale + off
+		}
+	}
 }

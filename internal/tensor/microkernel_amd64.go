@@ -1,0 +1,26 @@
+//go:build amd64 && !purego
+
+package tensor
+
+// amd64 installs the SSE2 microkernels. SSE2 is part of the amd64 baseline
+// (GOAMD64=v1), so no runtime feature detection is needed; the `purego`
+// build tag forces the portable kernels for cross-checking.
+
+func init() {
+	kernF32 = kernF32SSE
+	kernI8 = kernI8SSE
+}
+
+// kernF32SSE is the 4×8 SSE2 tile kernel: 8 XMM accumulators, one packed-A
+// quad load broadcast via PSHUFD against two packed-B vector loads per
+// k-step. C is updated with +=.
+//
+//go:noescape
+func kernF32SSE(kc int, pa, pb []float32, c []float32, ldc int)
+
+// kernI8SSE is the 4×8 SSE2 int8 tile kernel over int16 k-pairs: PMADDWD
+// forms the pairwise int32 products, PADDD accumulates them exactly, and the
+// store path requantizes with CVTDQ2PS·requant+bias (overwrite).
+//
+//go:noescape
+func kernI8SSE(kPairs int, pa, pb []int16, requant, bias []float32, c []float32, ldc int)

@@ -1,0 +1,9 @@
+//go:build race
+
+package tensor
+
+// raceEnabled reports whether the race detector instruments this test
+// binary. Allocation-count tests skip under it: the race-mode sync.Pool
+// deliberately drops items to expose reuse races, so steady-state pooling
+// cannot be observed.
+const raceEnabled = true
