@@ -2,18 +2,24 @@ GO ?= go
 
 .PHONY: ci vet build test race bench bench-smoke serve-bench serve-smoke fuzz fleet serve profile
 
-## ci: the full tier-1 + hygiene gate (what .github/workflows/ci.yml runs);
-## bench-smoke runs the GEMM kernels a few iterations so a kernel regression
-## (or an asm/portable divergence) breaks CI loudly, not just slowly
-ci: vet build race bench-smoke bench serve-smoke
+## ci: the full tier-1 + hygiene gate (what .github/workflows/ci.yml's main
+## job runs step by step); bench-smoke runs the GEMM kernels a few iterations
+## so a kernel regression (or an asm/portable divergence) breaks CI loudly,
+## not just slowly. Deliberately NOT `bench`: that regenerates (and dirties)
+## the committed BENCH_serve.json, which is a release chore, not a gate.
+ci: vet build race bench-smoke serve-smoke
 
 ## bench-smoke: quick kernel-level regression tripwire over the packed GEMM
 ## benchmarks (10 iterations — catches crashes and gross slowdowns cheaply)
 bench-smoke:
 	$(GO) test -run '^$$' -bench Gemm -benchtime 10x ./internal/tensor/
 
+## vet: static analysis plus the gofmt cleanliness gate — unformatted files
+## fail the build with their names listed
 vet:
 	$(GO) vet ./...
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+	    echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 build:
 	$(GO) build ./...
@@ -38,27 +44,33 @@ bench: serve-bench
 ## tracked per-commit
 serve-bench:
 	$(GO) run ./cmd/dronet-serve -selfbench -size 96 -scale 0.25 -workers 2 \
-	    -bench-clients 8 -bench-requests 25 -bench-out BENCH_serve.json
+	    -bench-clients 8 -bench-requests 25 -bench-out BENCH_serve.json \
+	    -models "low=dronet:64:int8:150,high=dronet:96:fp32"
 
 ## serve-smoke: boot the real dronet-serve binary on a random port — once per
-## precision (fp32, then -precision int8 with startup calibration) — POST a
-## synthetic frame to every endpoint, assert 200s with well-formed detection
-## JSON and the right precision label, then SIGTERM-drain it
+## precision (fp32, then -precision int8 with startup calibration), then once
+## as a routed two-model registry — POST a synthetic frame to every endpoint,
+## assert 200s with well-formed detection JSON, the right precision label and
+## the routing matrix (explicit/altitude/404), then SIGTERM-drain it
 ## (examples/serveclient is the driver)
 serve-smoke:
 	$(GO) build -o bin/dronet-serve ./cmd/dronet-serve
 	$(GO) run ./examples/serveclient -server bin/dronet-serve
 	$(GO) run ./examples/serveclient -server bin/dronet-serve -precision int8
+	$(GO) run ./examples/serveclient -server bin/dronet-serve \
+	    -models "low=dronet:64:int8:150,high=dronet:96:fp32"
 
 ## fuzz: short bounded fuzz pass over the detect, kernel and quantization
 ## invariants (FuzzGemmPackedVsNaive cross-checks the packed cache-blocked
-## GEMM against the naive loops: exact for int8, <=1e-4 relative for fp32)
+## GEMM against the naive loops: exact for int8, <=1e-4 relative for fp32).
+## FUZZTIME tunes the per-target budget (CI's parallel fuzz job uses 15s).
+FUZZTIME ?= 30s
 fuzz:
-	$(GO) test -run '^$$' -fuzz FuzzIoU -fuzztime 30s ./internal/detect
-	$(GO) test -run '^$$' -fuzz FuzzNMS -fuzztime 30s ./internal/detect
-	$(GO) test -run '^$$' -fuzz FuzzGemmPackedVsNaive -fuzztime 30s ./internal/tensor
-	$(GO) test -run '^$$' -fuzz FuzzIm2colInt8 -fuzztime 30s ./internal/tensor
-	$(GO) test -run '^$$' -fuzz FuzzQuantDequant -fuzztime 30s ./internal/quant
+	$(GO) test -run '^$$' -fuzz FuzzIoU -fuzztime $(FUZZTIME) ./internal/detect
+	$(GO) test -run '^$$' -fuzz FuzzNMS -fuzztime $(FUZZTIME) ./internal/detect
+	$(GO) test -run '^$$' -fuzz FuzzGemmPackedVsNaive -fuzztime $(FUZZTIME) ./internal/tensor
+	$(GO) test -run '^$$' -fuzz FuzzIm2colInt8 -fuzztime $(FUZZTIME) ./internal/tensor
+	$(GO) test -run '^$$' -fuzz FuzzQuantDequant -fuzztime $(FUZZTIME) ./internal/quant
 
 ## profile: run the serving selfbench with CPU + heap pprof capture; inspect
 ## with `go tool pprof bin/pprof/cpu.pprof` (see README "Profiling")

@@ -1,7 +1,7 @@
-// Command dronet-serve exposes a detector as the HTTP micro-batching
-// service (internal/serve): concurrent requests are admitted through a
-// bounded queue (429 on overload) and coalesced into dynamic micro-batches
-// executed on the multi-stream engine's replica pool.
+// Command dronet-serve exposes one or several detectors as the HTTP
+// micro-batching service (internal/serve): concurrent requests are admitted
+// through bounded per-model queues (429 on overload) and coalesced into
+// dynamic micro-batches executed on each model's engine replica pool.
 //
 // Usage:
 //
@@ -14,16 +14,30 @@
 // through exactly the same admission queue and batcher as fp32, and
 // /healthz, /metrics label the active precision.
 //
+// With -models the server hosts a routed registry of models instead of one:
+//
+//	dronet-serve -addr :8080 -models "low=dronet:96:int8:150,high=dronet:128:fp32"
+//
+// Each comma-separated entry is name=model:size:precision[:maxalt]; the
+// first entry is the default route. Requests pick a model explicitly with
+// ?model= or the X-Model header; otherwise a request carrying an altitude
+// is routed to the model whose maxalt band covers it (the paper's
+// operating-scenario trade-off: low flight ⇒ large targets ⇒ the small
+// fast model; high flight ⇒ the larger-input one). /healthz and /metrics
+// carry per-model labelled blocks plus fleet aggregates.
+//
 // The server prints "listening on HOST:PORT" once the socket is bound (so
 // -addr 127.0.0.1:0 picks a free port scripts can parse) and drains
-// in-flight requests on SIGINT/SIGTERM.
+// in-flight requests on SIGINT/SIGTERM across every model's pool.
 //
 // With -selfbench the command instead boots the server in-process — once
 // per precision — drives each with the same concurrent synthetic clients,
 // and writes the machine-readable throughput report (serve.Stats for fp32
 // and int8 side by side, plus their detection-agreement score on the same
 // inputs) to -bench-out — this is what `make bench` uses to emit
-// BENCH_serve.json.
+// BENCH_serve.json. When -models is also given, a routed server hosting
+// every registered model is benchmarked too, adding per-model serve.Stats
+// under "routed".
 package main
 
 import (
@@ -40,6 +54,7 @@ import (
 	"os/signal"
 	"runtime"
 	"runtime/pprof"
+	"strings"
 	"sync"
 	"syscall"
 	"time"
@@ -68,6 +83,7 @@ func main() {
 	scale := flag.Float64("scale", 0.5, "filter-count scale (1.0 = paper-size model)")
 	weightsPath := flag.String("weights", "", "trained weights file (random init when empty)")
 	precision := flag.String("precision", "fp32", "inference precision: fp32 or int8 (post-training quantized)")
+	modelsFlag := flag.String("models", "", `routed multi-model registry: "name=model:size:precision[:maxalt],..." (first entry is the default route; overrides -model/-size/-precision)`)
 	calibFrames := flag.Int("calib-frames", 8, "int8: synthetic sample frames for activation-scale calibration")
 	workers := flag.Int("workers", runtime.NumCPU(), "batch worker pool size (model replicas)")
 	maxBatch := flag.Int("max-batch", 8, "maximum images per micro-batch")
@@ -87,19 +103,23 @@ func main() {
 	if *precision != "fp32" && *precision != "int8" {
 		log.Fatalf("unknown -precision %q (want fp32 or int8)", *precision)
 	}
-	det, err := core.NewScaledDetector(*model, *size, *scale, 1)
-	if err != nil {
-		log.Fatal(err)
-	}
-	if *weightsPath != "" {
-		if err := det.LoadWeights(*weightsPath); err != nil {
+	var specs []serve.ModelSpec
+	if *modelsFlag != "" {
+		if *weightsPath != "" {
+			log.Fatal("-weights is single-model only and incompatible with -models")
+		}
+		var err error
+		specs, err = serve.ParseModelSpecs(*modelsFlag)
+		if err != nil {
 			log.Fatal(err)
 		}
-	} else {
-		log.Print("warning: no -weights given, using random initialization")
 	}
 
-	cfg := engine.Config{Workers: *workers, Thresh: *thresh, NMSThresh: det.NMSThresh}
+	// NMSThresh is deliberately left zero here: every serving path fills it
+	// from its detector (buildEntries / the single-model branch / selfbench),
+	// so a path that forgot would surface as the runners' zero-value default
+	// rather than masquerading as a deliberate constant.
+	cfg := engine.Config{Workers: *workers, Thresh: *thresh}
 	if *altFilter {
 		gate := detect.NewVehicleAltitudeFilter()
 		cfg.AltitudeFilter = &gate
@@ -113,11 +133,15 @@ func main() {
 	}
 
 	if *selfbench {
+		det, err := buildDetector(*model, *size, *scale, *weightsPath)
+		if err != nil {
+			log.Fatal(err)
+		}
 		stopProf, err := startProfiles(*cpuProfile, *memProfile)
 		if err != nil {
 			log.Fatal(err)
 		}
-		err = runSelfBench(det, cfg, scfg, *size, *calibFrames, *benchClients, *benchRequests, *benchOut, *model, *scale)
+		err = runSelfBench(det, cfg, scfg, *size, *calibFrames, *benchClients, *benchRequests, *benchOut, *model, *scale, specs)
 		if perr := stopProf(); err == nil {
 			err = perr
 		}
@@ -127,18 +151,35 @@ func main() {
 		return
 	}
 
-	mdl, err := buildModel(det, *precision, *size, *calibFrames)
-	if err != nil {
-		log.Fatal(err)
-	}
-	eng, err := engine.New(mdl, cfg)
-	if err != nil {
-		log.Fatal(err)
-	}
-	scfg.Precision = *precision
-	srv, err := serve.New(eng, scfg)
-	if err != nil {
-		log.Fatal(err)
+	var srv *serve.Server
+	if specs != nil {
+		entries, err := buildEntries(specs, *scale, *calibFrames, cfg, scfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		srv, err = serve.NewRouted(entries)
+		if err != nil {
+			log.Fatal(err)
+		}
+	} else {
+		det, err := buildDetector(*model, *size, *scale, *weightsPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg.NMSThresh = det.NMSThresh
+		mdl, err := buildModel(det, *precision, *size, *calibFrames)
+		if err != nil {
+			log.Fatal(err)
+		}
+		eng, err := engine.New(mdl, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		scfg.Precision = *precision
+		srv, err = serve.New(eng, scfg)
+		if err != nil {
+			log.Fatal(err)
+		}
 	}
 
 	ln, err := net.Listen("tcp", *addr)
@@ -146,8 +187,13 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("listening on %s\n", ln.Addr())
-	log.Printf("model %s size %d scale %.2f precision %s, %d workers, max-batch %d, max-wait %s, queue %d",
-		*model, *size, *scale, *precision, eng.Workers(), *maxBatch, *maxWait, srv.Stats().QueueCap)
+	if specs != nil {
+		log.Printf("routed models %v (default %s), %d workers per pool, max-batch %d, max-wait %s",
+			srv.Models(), srv.Models()[0], *workers, *maxBatch, *maxWait)
+	} else {
+		log.Printf("model %s size %d scale %.2f precision %s, %d workers, max-batch %d, max-wait %s, queue %d",
+			*model, *size, *scale, *precision, *workers, *maxBatch, *maxWait, srv.Stats().QueueCap)
+	}
 
 	httpSrv := &http.Server{Handler: srv}
 	errCh := make(chan error, 1)
@@ -170,6 +216,66 @@ func main() {
 		log.Printf("drain: %v", err)
 	}
 	log.Printf("final stats: %+v", srv.Stats())
+}
+
+// buildDetector constructs the scaled detector and loads weights when a
+// path was given (random init with a warning otherwise).
+func buildDetector(model string, size int, scale float64, weightsPath string) (*core.Detector, error) {
+	det, err := core.NewScaledDetector(model, size, scale, 1)
+	if err != nil {
+		return nil, err
+	}
+	if weightsPath != "" {
+		if err := det.LoadWeights(weightsPath); err != nil {
+			return nil, err
+		}
+	} else {
+		log.Print("warning: no -weights given, using random initialization")
+	}
+	return det, nil
+}
+
+// buildEntries turns parsed -models specs into hosted entries: one scaled
+// detector (quantized when the spec says int8), one engine replica pool and
+// one batching config per spec. Every pool inherits the command-level
+// worker count and batching knobs; precision and input size come from the
+// spec.
+func buildEntries(specs []serve.ModelSpec, scale float64, calibFrames int, cfg engine.Config, scfg serve.Config) ([]serve.ModelEntry, error) {
+	entries := make([]serve.ModelEntry, 0, len(specs))
+	for _, spec := range specs {
+		det, err := core.NewScaledDetector(spec.Model, spec.Size, scale, 1)
+		if err != nil {
+			return nil, fmt.Errorf("model %s: %w", spec.Name, err)
+		}
+		mdl, err := buildModel(det, spec.Precision, spec.Size, calibFrames)
+		if err != nil {
+			return nil, fmt.Errorf("model %s: %w", spec.Name, err)
+		}
+		ecfg := cfg
+		ecfg.NMSThresh = det.NMSThresh
+		eng, err := engine.New(mdl, ecfg)
+		if err != nil {
+			return nil, fmt.Errorf("model %s: %w", spec.Name, err)
+		}
+		mcfg := scfg
+		mcfg.Precision = spec.Precision
+		entries = append(entries, serve.ModelEntry{
+			Name:        spec.Name,
+			Engine:      eng,
+			Config:      mcfg,
+			MaxAltitude: spec.MaxAltitude,
+		})
+		log.Printf("registered %s (input %dx%d, %s%s)", spec.Name, spec.Size, spec.Size, spec.Precision,
+			altLabel(spec.MaxAltitude))
+	}
+	return entries, nil
+}
+
+func altLabel(maxAlt float64) string {
+	if maxAlt <= 0 {
+		return ""
+	}
+	return fmt.Sprintf(", altitude <= %gm", maxAlt)
 }
 
 // buildModel returns the inference model for the requested precision. For
@@ -328,15 +434,23 @@ type benchReport struct {
 	// fp32 detection.
 	DetectionAgreement float64 `json:"detection_agreement"`
 	AgreementIoU       float64 `json:"agreement_iou"`
+	// RoutedSpec and Routed report the multi-model leg when -models was
+	// given: one routed server hosting every spec at once, each model driven
+	// by its own client fleet, snapshotted per model.
+	RoutedSpec string                 `json:"routed_spec,omitempty"`
+	Routed     map[string]serve.Stats `json:"routed,omitempty"`
 }
 
 // runSelfBench boots the server on a loopback port once per precision,
 // drives both with the same pre-rendered frames over real HTTP (the path
-// production traffic takes), and writes the side-by-side report.
-func runSelfBench(det *core.Detector, cfg engine.Config, scfg serve.Config, size, calibFrames, clients, requests int, outPath, model string, scale float64) error {
+// production traffic takes), and writes the side-by-side report. With
+// -models it additionally benchmarks one routed server hosting every
+// registered model at once.
+func runSelfBench(det *core.Detector, cfg engine.Config, scfg serve.Config, size, calibFrames, clients, requests int, outPath, model string, scale float64, specs []serve.ModelSpec) error {
 	if clients < 1 || requests < 1 {
 		return fmt.Errorf("selfbench: need clients >= 1 and requests >= 1")
 	}
+	cfg.NMSThresh = det.NMSThresh
 	// Pre-render each client's frames so generation cost stays off the clock.
 	frames := make([][]*imgproc.Image, clients)
 	for c := range frames {
@@ -374,6 +488,22 @@ func runSelfBench(det *core.Detector, cfg engine.Config, scfg serve.Config, size
 			precision, stats.AggregateFPS, stats.MeanBatchSize, stats.LatencyP50Ms, stats.LatencyP99Ms)
 	}
 	rep.DetectionAgreement = detect.Agreement(dets["fp32"], dets["int8"], agreementIoU)
+	if len(specs) > 0 {
+		routed, err := benchRouted(specs, scale, calibFrames, clients, requests, cfg, scfg)
+		if err != nil {
+			return fmt.Errorf("selfbench routed: %w", err)
+		}
+		rep.Routed = routed
+		parts := make([]string, len(specs))
+		for i, sp := range specs {
+			parts[i] = sp.String()
+		}
+		rep.RoutedSpec = strings.Join(parts, ",")
+		for name, st := range routed {
+			log.Printf("selfbench routed %s: %.1f images/s aggregate, mean batch %.2f, p50 %.1f ms, p99 %.1f ms",
+				name, st.AggregateFPS, st.MeanBatchSize, st.LatencyP50Ms, st.LatencyP99Ms)
+		}
+	}
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		return err
@@ -385,6 +515,71 @@ func runSelfBench(det *core.Detector, cfg engine.Config, scfg serve.Config, size
 	log.Printf("selfbench: fp32 %.1f images/s vs int8 %.1f images/s, detection agreement %.3f (IoU >= %.2f) -> %s",
 		rep.FP32.AggregateFPS, rep.Int8.AggregateFPS, rep.DetectionAgreement, agreementIoU, outPath)
 	return nil
+}
+
+// benchRouted boots ONE routed server hosting every -models spec and
+// drives each model with its own client fleet concurrently — cross-model
+// interleaved traffic, the load pattern the per-model pools exist for —
+// returning each model's private stats snapshot.
+func benchRouted(specs []serve.ModelSpec, scale float64, calibFrames, clients, requests int, cfg engine.Config, scfg serve.Config) (map[string]serve.Stats, error) {
+	entries, err := buildEntries(specs, scale, calibFrames, cfg, scfg)
+	if err != nil {
+		return nil, err
+	}
+	srv, err := serve.NewRouted(entries)
+	if err != nil {
+		return nil, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	httpSrv := &http.Server{Handler: srv}
+	go func() { _ = httpSrv.Serve(ln) }()
+
+	// Pre-render each model's frames at its own input size.
+	frames := make(map[string][]*imgproc.Image, len(specs))
+	for i, sp := range specs {
+		cam := pipeline.NewSimCamera(dataset.DefaultConfig(sp.Size), requests, uint64(200+i))
+		for {
+			f, ok := cam.Next()
+			if !ok {
+				break
+			}
+			frames[sp.Name] = append(frames[sp.Name], f.Image)
+		}
+	}
+	var wg sync.WaitGroup
+	for _, sp := range specs {
+		url := fmt.Sprintf("http://%s/detect?model=%s", ln.Addr(), sp.Name)
+		for c := 0; c < clients; c++ {
+			wg.Add(1)
+			go func(name, url string) {
+				defer wg.Done()
+				for _, img := range frames[name] {
+					if _, err := postFrame(url, img); err != nil {
+						log.Printf("routed client %s: %v", name, err)
+					}
+				}
+			}(sp.Name, url)
+		}
+	}
+	wg.Wait()
+	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	_ = httpSrv.Shutdown(shutCtx)
+	if err := srv.Close(); err != nil {
+		return nil, err
+	}
+	out := make(map[string]serve.Stats, len(specs))
+	for _, sp := range specs {
+		st, ok := srv.ModelStats(sp.Name)
+		if !ok {
+			return nil, fmt.Errorf("no stats for routed model %q", sp.Name)
+		}
+		out[sp.Name] = st
+	}
+	return out, nil
 }
 
 // benchOnePrecision runs the client fleet against a fresh server wrapping

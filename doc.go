@@ -13,14 +13,19 @@
 // replicas with per-stream and fleet-wide statistics (cmd/dronet-fleet,
 // examples/multicamera).
 //
-// On top of the engine, internal/serve exposes the detector as an HTTP
-// service (cmd/dronet-serve, examples/serveclient): concurrent requests
-// pass a bounded admission queue (429 on overload) and are coalesced into
-// dynamic micro-batches — one N-image batched Forward per batch, with
+// On top of the engine, internal/serve exposes detectors as an HTTP
+// service (cmd/dronet-serve, examples/serveclient): the server hosts a
+// routed registry of named models — any mix of precisions and input sizes,
+// one engine replica pool, bounded admission queue (429 on overload) and
+// micro-batcher per model (engine.Group tracks the pools) — and routes
+// each request by explicit ?model=/X-Model selection, else by altitude
+// band (the paper's operating-scenario trade-off: small fast model low,
+// larger model high), else to the default. Admitted requests are coalesced
+// into dynamic micro-batches — one N-image batched Forward per batch, with
 // per-image detections byte-identical to single-image inference — with
 // /metrics reporting latency percentiles, batch-size histogram and
-// aggregate FPS, and context-based cancellation draining in-flight work on
-// shutdown.
+// aggregate FPS per model plus fleet-wide, and one drain fencing every
+// pool on shutdown.
 //
 // The stack is precision-agnostic: engine, pipeline and serve all operate
 // on the core.Model interface (ForwardBatch, DetectBatch, CloneForInference,

@@ -7,10 +7,18 @@
 // the spawned server quantizes at startup and the client asserts the
 // precision label on /healthz, smoke-testing the whole quantized path.
 //
+// With -models the spawned server hosts a routed registry
+// (name=model:size:precision[:maxalt] entries) and the client walks the
+// routing matrix instead: explicit ?model= and X-Model selection, the
+// altitude default route, the 404 on an unknown model, and the per-model
+// blocks on /healthz and /metrics.
+//
 // Usage:
 //
 //	go build -o bin/dronet-serve ./cmd/dronet-serve
 //	go run ./examples/serveclient -server bin/dronet-serve
+//	go run ./examples/serveclient -server bin/dronet-serve \
+//	    -models "low=dronet:64:int8:150,high=dronet:96:fp32"
 //
 // or against a running server:
 //
@@ -28,6 +36,7 @@ import (
 	"net/http"
 	"os"
 	"os/exec"
+	"sort"
 	"strings"
 	"syscall"
 	"time"
@@ -46,6 +55,7 @@ func main() {
 	size := flag.Int("size", 96, "frame size to send (and model input when spawning)")
 	frames := flag.Int("frames", 4, "number of JSON frames to send")
 	precision := flag.String("precision", "fp32", "server precision to spawn (fp32 or int8)")
+	modelsFlag := flag.String("models", "", "spawn a routed multi-model server with this -models spec and walk the routing matrix")
 	flag.Parse()
 
 	var cmd *exec.Cmd
@@ -54,11 +64,21 @@ func main() {
 			log.Fatal("need -url or -server")
 		}
 		var err error
-		cmd, *url, err = spawn(*server, *size, *precision)
+		cmd, *url, err = spawn(*server, *size, *precision, *modelsFlag)
 		if err != nil {
 			log.Fatal(err)
 		}
 		defer func() { _ = cmd.Process.Kill() }()
+	}
+
+	if *modelsFlag != "" {
+		if cmd == nil {
+			log.Fatal("-models needs -server (it validates the spawned registry)")
+		}
+		walkRouted(*url, *modelsFlag)
+		drain(cmd)
+		fmt.Println("OK")
+		return
 	}
 
 	cam := pipeline.NewSimCamera(dataset.DefaultConfig(*size), *frames, 42)
@@ -106,22 +126,136 @@ func main() {
 
 	// 4. Graceful drain when we own the server process.
 	if cmd != nil {
-		if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
-			log.Fatal(err)
-		}
-		if err := cmd.Wait(); err != nil {
-			log.Fatalf("server exit: %v", err)
-		}
-		fmt.Println("server drained and exited cleanly")
+		drain(cmd)
 	}
 	fmt.Println("OK")
 }
 
-// spawn boots the server binary on a random loopback port at the given
-// precision and returns the process plus the base URL parsed from its
-// "listening on" line.
-func spawn(bin string, size int, precision string) (*exec.Cmd, string, error) {
-	cmd := exec.Command(bin,
+// drain asks the spawned server to shut down gracefully and waits for it.
+func drain(cmd *exec.Cmd) {
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		log.Fatal(err)
+	}
+	if err := cmd.Wait(); err != nil {
+		log.Fatalf("server exit: %v", err)
+	}
+	fmt.Println("server drained and exited cleanly")
+}
+
+// walkRouted validates a routed spawn end to end: per-model explicit
+// selection by query and header (the response must name the serving
+// model), altitude-band default routing, the unknown-model 404, and the
+// per-model blocks of /healthz and /metrics.
+func walkRouted(url, spec string) {
+	specs, err := serve.ParseModelSpecs(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Per-model explicit routing, alternating query and header selection.
+	for i, sp := range specs {
+		cam := pipeline.NewSimCamera(dataset.DefaultConfig(sp.Size), 2, uint64(50+i))
+		for j := 0; ; j++ {
+			f, ok := cam.Next()
+			if !ok {
+				break
+			}
+			target := url + "/detect?model=" + sp.Name
+			var header http.Header
+			if j%2 == 1 {
+				target = url + "/detect"
+				header = http.Header{"X-Model": []string{sp.Name}}
+			}
+			resp := postWithHeader(target, "application/json", marshalFrame(f.Image, 0), header)
+			if resp.Model != sp.Name {
+				log.Fatalf("request for %s served by %q", sp.Name, resp.Model)
+			}
+			fmt.Printf("model %s frame %d: %d detections (batch %d)\n", sp.Name, j, len(resp.Detections), resp.BatchSize)
+		}
+	}
+
+	// Altitude default route: probe the interior of every bounded band —
+	// between the previous band's ceiling and this one's — and expect that
+	// band's model, without naming it. (A band's floor is the next-lower
+	// ceiling, so probing MaxAltitude/2 would land in a LOWER band whenever
+	// two bounded bands are configured.)
+	bounded := make([]serve.ModelSpec, 0, len(specs))
+	for _, sp := range specs {
+		if sp.MaxAltitude > 0 {
+			bounded = append(bounded, sp)
+		}
+	}
+	sort.Slice(bounded, func(i, j int) bool { return bounded[i].MaxAltitude < bounded[j].MaxAltitude })
+	floor := 0.0
+	for _, sp := range bounded {
+		alt := (floor + sp.MaxAltitude) / 2
+		cam := pipeline.NewSimCamera(dataset.DefaultConfig(sp.Size), 1, 60)
+		f, _ := cam.Next()
+		resp := postWithHeader(url+"/detect", "application/json", marshalFrame(f.Image, alt), nil)
+		if resp.Model != sp.Name {
+			log.Fatalf("altitude %.0fm routed to %q, want %s", alt, resp.Model, sp.Name)
+		}
+		fmt.Printf("altitude %.0fm routed to %s\n", alt, resp.Model)
+		floor = sp.MaxAltitude
+	}
+
+	// Unknown model: 404, not a silent reroute.
+	cam := pipeline.NewSimCamera(dataset.DefaultConfig(specs[0].Size), 1, 61)
+	f, _ := cam.Next()
+	r, err := http.Post(url+"/detect?model=no-such-model", "application/json", bytes.NewReader(marshalFrame(f.Image, 0)))
+	if err != nil {
+		log.Fatal(err)
+	}
+	r.Body.Close()
+	if r.StatusCode != http.StatusNotFound {
+		log.Fatalf("unknown model: status %d, want 404", r.StatusCode)
+	}
+	fmt.Println("unknown model rejected with 404")
+
+	// Health and metrics carry one labelled block per model.
+	var health struct {
+		Status       string                    `json:"status"`
+		DefaultModel string                    `json:"default_model"`
+		Models       map[string]map[string]any `json:"models"`
+	}
+	getJSON(url+"/healthz", &health)
+	if health.Status != "ok" || health.DefaultModel != specs[0].Name {
+		log.Fatalf("healthz: %+v", health)
+	}
+	var rep serve.MetricsReport
+	getJSON(url+"/metrics", &rep)
+	for _, sp := range specs {
+		h, ok := health.Models[sp.Name]
+		if !ok || h["precision"] != sp.Precision {
+			log.Fatalf("healthz models[%s] = %v, want precision %s", sp.Name, h, sp.Precision)
+		}
+		st, ok := rep.Models[sp.Name]
+		if !ok || st.Completed == 0 {
+			log.Fatalf("metrics models[%s]: ok=%v completed=%d", sp.Name, ok, st.Completed)
+		}
+		fmt.Printf("metrics %s: %d completed, %.1f FPS aggregate\n", sp.Name, st.Completed, st.AggregateFPS)
+	}
+	if rep.Completed == 0 {
+		log.Fatal("fleet metrics report zero completed requests")
+	}
+}
+
+func marshalFrame(img *imgproc.Image, altitude float64) []byte {
+	body, err := json.Marshal(serve.DetectRequest{
+		Width: img.W, Height: img.H, Pixels: img.Pix, Altitude: altitude,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return body
+}
+
+// spawn boots the server binary on a random loopback port — single-model
+// at the given precision, or a routed registry when modelsSpec is set —
+// and returns the process plus the base URL parsed from its "listening on"
+// line.
+func spawn(bin string, size int, precision, modelsSpec string) (*exec.Cmd, string, error) {
+	args := []string{
 		"-addr", "127.0.0.1:0",
 		"-size", fmt.Sprint(size),
 		"-scale", "0.25",
@@ -129,7 +263,11 @@ func spawn(bin string, size int, precision string) (*exec.Cmd, string, error) {
 		"-max-batch", "4",
 		"-max-wait", "5ms",
 		"-precision", precision,
-	)
+	}
+	if modelsSpec != "" {
+		args = append(args, "-models", modelsSpec)
+	}
+	cmd := exec.Command(bin, args...)
 	cmd.Stderr = os.Stderr
 	stdout, err := cmd.StdoutPipe()
 	if err != nil {
@@ -174,7 +312,23 @@ func postJSON(url string, img *imgproc.Image, altitude float64) serve.DetectResp
 }
 
 func post(url, contentType string, body []byte) serve.DetectResponse {
-	resp, err := http.Post(url, contentType, bytes.NewReader(body))
+	return postWithHeader(url, contentType, body, nil)
+}
+
+// postWithHeader posts a body with optional extra headers (the X-Model
+// routing selector) and decodes the detection response.
+func postWithHeader(url, contentType string, body []byte, extra http.Header) serve.DetectResponse {
+	req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		log.Fatal(err)
+	}
+	req.Header.Set("Content-Type", contentType)
+	for k, vs := range extra {
+		for _, v := range vs {
+			req.Header.Add(k, v)
+		}
+	}
+	resp, err := http.DefaultClient.Do(req)
 	if err != nil {
 		log.Fatal(err)
 	}

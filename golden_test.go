@@ -95,7 +95,7 @@ func TestGoldenInt8Agreement(t *testing.T) {
 	imgs := make([]*tensor.Tensor, n)
 	for i := range imgs {
 		imgs[i] = tensor.New(1, 3, net.InputH, net.InputW)
-		tensor.NewRNG(uint64(7 + i)).FillUniform(imgs[i].Data, 0, 1)
+		tensor.NewRNG(uint64(7+i)).FillUniform(imgs[i].Data, 0, 1)
 	}
 	batch := tensor.New(n, 3, net.InputH, net.InputW)
 	sample := 3 * net.InputH * net.InputW

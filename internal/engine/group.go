@@ -1,0 +1,86 @@
+package engine
+
+import (
+	"fmt"
+
+	"repro/internal/layers"
+)
+
+// Group is a named collection of engines — one replica pool per served
+// model. It is the pool registry behind multi-model routed serving
+// (internal/serve): each registered model keeps its own worker replicas,
+// admission queue and batcher upstream, while the Group answers the
+// fleet-level questions — which pools exist, how many workers they hold in
+// total, and the aggregate steady-state workspace footprint across every
+// pool.
+//
+// A Group is populated once at construction time (Add) and read-only
+// afterwards; concurrent reads (Get, Names, WorkspaceBytes) are safe
+// because the underlying engines guard their own mutable state.
+type Group struct {
+	names  []string
+	byName map[string]*Engine
+}
+
+// NewGroup returns an empty pool registry.
+func NewGroup() *Group {
+	return &Group{byName: make(map[string]*Engine)}
+}
+
+// Add registers an engine under a model name. Names must be unique and
+// non-empty — routing keys collide otherwise.
+func (g *Group) Add(name string, e *Engine) error {
+	if name == "" {
+		return fmt.Errorf("engine: group entry needs a name")
+	}
+	if e == nil {
+		return fmt.Errorf("engine: nil engine for model %q", name)
+	}
+	if _, dup := g.byName[name]; dup {
+		return fmt.Errorf("engine: duplicate model name %q", name)
+	}
+	g.names = append(g.names, name)
+	g.byName[name] = e
+	return nil
+}
+
+// Get returns the named engine.
+func (g *Group) Get(name string) (*Engine, bool) {
+	e, ok := g.byName[name]
+	return e, ok
+}
+
+// Names returns the model names in registration order (a copy).
+func (g *Group) Names() []string {
+	out := make([]string, len(g.names))
+	copy(out, g.names)
+	return out
+}
+
+// Len returns the number of registered pools.
+func (g *Group) Len() int { return len(g.names) }
+
+// Workers sums the worker-pool sizes across every registered engine — the
+// fleet's total replica count.
+func (g *Group) Workers() int {
+	total := 0
+	for _, e := range g.byName {
+		total += e.Workers()
+	}
+	return total
+}
+
+// WorkspaceBytes sums the instantiated replicas' scratch-arena footprint
+// across every pool — the fleet-wide counterpart of Engine.WorkspaceBytes
+// that /healthz reports for a routed server.
+func (g *Group) WorkspaceBytes() int64 {
+	var total int64
+	for _, e := range g.byName {
+		total += e.WorkspaceBytes()
+	}
+	return total
+}
+
+// InShape returns the engine's per-sample input shape — the resolution the
+// served model consumes, which a routed registry reports per model.
+func (e *Engine) InShape() layers.Shape { return e.base.InShape() }

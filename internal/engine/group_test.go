@@ -1,0 +1,92 @@
+package engine_test
+
+import (
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/imgproc"
+	"repro/internal/models"
+	"repro/internal/tensor"
+)
+
+// TestGroupRegistry covers the pool-per-model registry: insertion order,
+// name uniqueness, worker totals, and workspace aggregation across pools
+// once replicas have been instantiated.
+func TestGroupRegistry(t *testing.T) {
+	small, _, err := models.Build(models.DroNet, 64, tensor.NewRNG(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, _, err := models.Build(models.DroNet, 96, tensor.NewRNG(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	engSmall, err := engine.New(small, engine.Config{Workers: 1, Thresh: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	engBig, err := engine.New(big, engine.Config{Workers: 2, Thresh: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	g := engine.NewGroup()
+	if err := g.Add("small", engSmall); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Add("big", engBig); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Add("small", engBig); err == nil {
+		t.Error("duplicate name accepted")
+	}
+	if err := g.Add("", engBig); err == nil {
+		t.Error("empty name accepted")
+	}
+	if err := g.Add("nil", nil); err == nil {
+		t.Error("nil engine accepted")
+	}
+
+	if got := g.Names(); len(got) != 2 || got[0] != "small" || got[1] != "big" {
+		t.Errorf("names = %v, want [small big] in registration order", got)
+	}
+	if g.Len() != 2 {
+		t.Errorf("len = %d", g.Len())
+	}
+	if got := g.Workers(); got != 3 {
+		t.Errorf("fleet workers = %d, want 3", got)
+	}
+	if e, ok := g.Get("big"); !ok || e != engBig {
+		t.Errorf("Get(big) = %v, %v", e, ok)
+	}
+	if _, ok := g.Get("absent"); ok {
+		t.Error("Get(absent) found an engine")
+	}
+	if in := engSmall.InShape(); in.W != 64 || in.H != 64 || in.C != 3 {
+		t.Errorf("small InShape = %+v", in)
+	}
+
+	// Workspace aggregates only instantiated replicas: zero before any
+	// batch ran, positive and additive after warming each pool.
+	if ws := g.WorkspaceBytes(); ws != 0 {
+		t.Errorf("workspace before warm-up = %d, want 0", ws)
+	}
+	engSmall.WarmBatch(2)
+	smallWS := engSmall.WorkspaceBytes()
+	if smallWS <= 0 {
+		t.Fatal("warmed pool reports no workspace")
+	}
+	if ws := g.WorkspaceBytes(); ws != smallWS {
+		t.Errorf("group workspace = %d, want the one warmed pool's %d", ws, smallWS)
+	}
+	engBig.WarmBatch(2)
+	if ws := g.WorkspaceBytes(); ws != smallWS+engBig.WorkspaceBytes() {
+		t.Errorf("group workspace = %d, want sum of pools", ws)
+	}
+
+	// The pools stay independently executable after registration.
+	img := &imgproc.Image{W: 64, H: 64, Pix: make([]float32, 3*64*64)}
+	if _, err := engSmall.ExecuteBatch(0, []*imgproc.Image{img}, nil); err != nil {
+		t.Fatal(err)
+	}
+}

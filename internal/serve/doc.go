@@ -1,23 +1,50 @@
 // Package serve is the network-facing detection service: an HTTP server
-// that accepts concurrent single-image detection requests and executes them
-// on the multi-stream engine's replica pool as dynamic cross-stream
-// micro-batches.
+// hosting a routed registry of one or more named models, each with its own
+// engine replica pool, and executing concurrent single-image detection
+// requests as dynamic cross-stream micro-batches on the pool of whichever
+// model each request routes to.
+//
+// # Model registry and routing
+//
+// A Server hosts N ModelEntry values — any mix of float32 and INT8 models
+// at any input sizes (the engine operates on the precision-agnostic
+// network.Model interface). Every entry runs a complete private pipeline:
+// its own bounded admission queue, its own batcher goroutine, and one
+// batch worker per engine pool worker, so a slow large-input model
+// saturates (and sheds load) without stalling its faster neighbours.
+//
+// Each request resolves to one model, in precedence order:
+//
+//  1. Explicit selection — the ?model= query parameter, then the X-Model
+//     header. An unknown name is a 404, never a silent reroute.
+//  2. The altitude default route — an entry with MaxAltitude > 0 serves
+//     the altitude band up to that ceiling; a request carrying a positive
+//     altitude is routed to the smallest band covering it, overflowing
+//     above every band to the first unbounded entry (else the highest
+//     band). This is the paper's operating-scenario trade-off as a routing
+//     rule: low flight means large targets and a small fast model, high
+//     flight means small targets and the larger-input model.
+//  3. The default model — the first registered entry.
 //
 // # Request path
 //
-// Every request is admitted through a bounded queue (Config.QueueDepth).
-// When the queue is full the request is rejected immediately with HTTP 429
-// — backpressure instead of unbounded buffering, so overload degrades
-// callers' throughput, never the server's memory. The bound covers request
-// decoding too: image sides are capped at 2048px, bodies at 64MB, and at
-// most 2×QueueDepth requests may hold decoded images at once — beyond
-// that, requests are shed with 429 before their body is even read. A single batcher
-// goroutine drains the queue and coalesces waiting requests into
-// micro-batches: a batch closes when it reaches Config.MaxBatch images or
-// when the oldest request in it has waited Config.MaxWait, whichever comes
-// first. Each batch becomes one N-image Network.Forward on a pooled worker
-// replica (engine.ExecuteBatch); the per-image detections are then fanned
-// back to the waiting callers.
+// Every request is admitted through its model's bounded queue
+// (Config.QueueDepth). When the queue is full the request is rejected
+// immediately with HTTP 429 — backpressure instead of unbounded buffering,
+// so overload degrades callers' throughput, never the server's memory. The
+// bound covers request decoding too: image sides are capped at 2048px,
+// bodies at 64MB, and at most 2× the summed queue depth of requests may
+// hold decoded images at once — beyond that, requests are shed with 429
+// before their body is even read. Rejected requests never retain the
+// decoded frame, and an idle batch worker's staging slice is cleared after
+// every batch, so no serving state pins pixels beyond a request's
+// lifetime. Per model, a single batcher goroutine drains the queue and
+// coalesces waiting requests into micro-batches: a batch closes when it
+// reaches Config.MaxBatch images or when the oldest request in it has
+// waited Config.MaxWait, whichever comes first. Each batch becomes one
+// N-image batched forward on that model's pooled worker replica
+// (engine.ExecuteBatch); the per-image detections are then fanned back to
+// the waiting callers.
 //
 // Batching is invisible to correctness: a batched forward produces
 // byte-identical per-image detections to single-image inference
@@ -32,22 +59,30 @@
 //	                  where pixels is the planar CHW float RGB image
 //	                  (length 3*width*height, values in [0,1])
 //	POST /detect/raw  a PNG (or JPEG) image body; ?altitude=metres optional
-//	GET  /healthz     liveness plus the serving configuration
-//	GET  /metrics     JSON serving statistics: queue depth, p50/p99/mean/max
-//	                  latency, batch-size histogram, aggregate FPS
+//	GET  /healthz     liveness plus the serving configuration: fleet
+//	                  totals at the top level, one labelled block per
+//	                  hosted model under "models" (precision, input size,
+//	                  queue depth/cap, altitude band, workspace bytes)
+//	GET  /metrics     JSON serving statistics (MetricsReport): the fleet
+//	                  aggregate flattened at the top level — queue depth,
+//	                  p50/p99/mean/max latency, batch-size histogram,
+//	                  aggregate FPS — plus per-model Stats under "models"
 //
-// Both detect endpoints respond with
+// Both detect endpoints accept ?model= / X-Model and respond with
 //
 //	{"detections":[{"x","y","w","h","class","score"},...],
-//	 "batch_size":N,"latency_ms":L}
+//	 "model":NAME,"batch_size":N,"latency_ms":L}
 //
-// where boxes are center-format in normalized image coordinates, batch_size
-// is the micro-batch the request rode in (an observability aid for tuning
-// MaxWait), and latency_ms is queue+inference time.
+// where boxes are center-format in normalized image coordinates, model
+// names the entry that served the request (so callers can observe the
+// altitude route), batch_size is the micro-batch the request rode in (an
+// observability aid for tuning MaxWait), and latency_ms is
+// queue+inference time.
 //
 // # Shutdown
 //
-// Close (or Shutdown with a context) stops admission — late requests get
-// HTTP 503 — then drains every queued request through the workers before
-// returning, so no accepted request is ever dropped.
+// Close (or Shutdown with a context) stops admission on every model at
+// once — late requests get HTTP 503 — then drains every queued request of
+// every pool through its workers before returning, so no accepted request
+// is ever dropped regardless of which model it routed to.
 package serve

@@ -11,6 +11,7 @@ import (
 	"io"
 	"net/http"
 	"strconv"
+	"strings"
 
 	"repro/internal/detect"
 	"repro/internal/imgproc"
@@ -50,12 +51,14 @@ type DetectionJSON struct {
 	Score float64 `json:"score"`
 }
 
-// DetectResponse is the body of a successful detection response. BatchSize
-// reports the micro-batch this request was executed in and LatencyMs the
-// end-to-end queue+inference time — both observability aids for tuning the
-// batching knobs.
+// DetectResponse is the body of a successful detection response. Model
+// names the hosted model that served the request (so callers can observe
+// where the altitude route sent them), BatchSize reports the micro-batch
+// this request was executed in, and LatencyMs the end-to-end
+// queue+inference time — observability aids for tuning the batching knobs.
 type DetectResponse struct {
 	Detections []DetectionJSON `json:"detections"`
+	Model      string          `json:"model,omitempty"`
 	BatchSize  int             `json:"batch_size"`
 	LatencyMs  float64         `json:"latency_ms"`
 }
@@ -83,8 +86,10 @@ func (s *Server) acquire(w http.ResponseWriter) bool {
 	case s.inflight <- struct{}{}:
 		return true
 	default:
-		s.met.admit()
-		s.met.reject()
+		// Shed before any model is even resolved: the turnaway is visible
+		// on the fleet aggregate only.
+		s.fleet.admit()
+		s.fleet.reject()
 		w.Header().Set("Retry-After", "1")
 		writeError(w, http.StatusTooManyRequests, "server overloaded: too many requests in flight")
 		return false
@@ -93,10 +98,54 @@ func (s *Server) acquire(w http.ResponseWriter) bool {
 
 func (s *Server) release() { <-s.inflight }
 
+// routeExplicit resolves an explicit model selection (?model= query
+// parameter, then the X-Model header) — it wins outright over every other
+// routing rule, and an unknown name is a 404, never silently rerouted.
+// Returns a nil hosted when the request carries no selection. Explicit
+// selection needs nothing from the request body, so handlers call this
+// BEFORE decoding: a misrouted 64MB upload is answered without ever
+// parsing it.
+func (s *Server) routeExplicit(r *http.Request) (*hosted, int, error) {
+	name := r.URL.Query().Get("model")
+	if name == "" {
+		name = r.Header.Get("X-Model")
+	}
+	if name == "" {
+		return nil, 0, nil
+	}
+	h, ok := s.byName[name]
+	if !ok {
+		return nil, http.StatusNotFound, fmt.Errorf("unknown model %q (hosted: %s)", name, strings.Join(s.Models(), ", "))
+	}
+	return h, 0, nil
+}
+
+// routeDefault picks the model for a request without an explicit
+// selection: a positive altitude walks the bounded altitude bands
+// (smallest ceiling at or above the request's altitude, overflowing to
+// the catch-all above every band); everything else lands on the default
+// model (the first registered entry).
+func (s *Server) routeDefault(altitude float64) *hosted {
+	if altitude > 0 && len(s.altRoutes) > 0 {
+		for _, h := range s.altRoutes {
+			if altitude <= h.maxAlt {
+				return h
+			}
+		}
+		return s.overflow
+	}
+	return s.def
+}
+
 // handleDetectJSON serves POST /detect.
 func (s *Server) handleDetectJSON(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		writeError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	h, code, err := s.routeExplicit(r)
+	if err != nil {
+		writeError(w, code, "%v", err)
 		return
 	}
 	if !s.acquire(w) {
@@ -117,11 +166,16 @@ func (s *Server) handleDetectJSON(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "pixels length %d != 3*%d*%d", len(req.Pixels), req.Width, req.Height)
 		return
 	}
+	if h == nil {
+		// No explicit selection: only now, with the body decoded, is the
+		// altitude available for the default route.
+		h = s.routeDefault(req.Altitude)
+	}
 	// req.Pixels is a private, just-decoded slice of exactly 3*W*H floats in
 	// the Image's own planar layout — adopt it rather than copying ~50MB at
 	// max dimensions on the hot path.
 	img := &imgproc.Image{W: req.Width, H: req.Height, Pix: req.Pixels}
-	s.respond(w, img, req.Altitude)
+	s.respond(w, h, img, req.Altitude)
 }
 
 // handleDetectRaw serves POST /detect/raw: the body is a PNG or JPEG image,
@@ -144,6 +198,16 @@ func (s *Server) handleDetectRaw(w http.ResponseWriter, r *http.Request) {
 		}
 		altitude = v
 	}
+	h, code, err := s.routeExplicit(r)
+	if err != nil {
+		writeError(w, code, "%v", err)
+		return
+	}
+	if h == nil {
+		// The raw endpoint carries its altitude in the query string, so the
+		// default route resolves before the body is read too.
+		h = s.routeDefault(altitude)
+	}
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "read body: %v", err)
@@ -165,12 +229,13 @@ func (s *Server) handleDetectRaw(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "decode image: %v", err)
 		return
 	}
-	s.respond(w, imgproc.FromGoImage(src), altitude)
+	s.respond(w, h, imgproc.FromGoImage(src), altitude)
 }
 
-// respond pushes the image through the micro-batcher and writes the result.
-func (s *Server) respond(w http.ResponseWriter, img *imgproc.Image, altitude float64) {
-	resp, lat, err := s.detect(img, altitude)
+// respond pushes the image through the routed model's micro-batcher and
+// writes the result.
+func (s *Server) respond(w http.ResponseWriter, h *hosted, img *imgproc.Image, altitude float64) {
+	resp, lat, err := s.detect(h, img, altitude)
 	switch {
 	case errors.Is(err, ErrOverloaded):
 		w.Header().Set("Retry-After", "1")
@@ -188,6 +253,7 @@ func (s *Server) respond(w http.ResponseWriter, img *imgproc.Image, altitude flo
 	}
 	writeJSON(w, http.StatusOK, DetectResponse{
 		Detections: toJSON(resp.dets),
+		Model:      h.name,
 		BatchSize:  resp.batch,
 		LatencyMs:  lat.Seconds() * 1e3,
 	})
@@ -203,21 +269,48 @@ func toJSON(dets []detect.Detection) []DetectionJSON {
 	return out
 }
 
-// handleHealthz serves GET /healthz.
+// handleHealthz serves GET /healthz: fleet-level liveness and configuration
+// at the top level (queue capacity, worker and workspace totals across
+// every pool; precision and batching knobs of the default route, which for
+// a single-model server makes the document identical in meaning to the
+// pre-registry one), plus one labelled block per hosted model under
+// "models".
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	queueCap := 0
+	models := make(map[string]any, len(s.order))
+	for _, h := range s.order {
+		queueCap += h.cfg.QueueDepth
+		in := h.eng.InShape()
+		models[h.name] = map[string]any{
+			"precision":       h.cfg.Precision,
+			"input":           fmt.Sprintf("%dx%d", in.W, in.H),
+			"workers":         h.eng.Workers(),
+			"max_batch":       h.cfg.MaxBatch,
+			"max_wait_ms":     h.cfg.MaxWait.Seconds() * 1e3,
+			"min_wait_ms":     h.cfg.MinWait.Seconds() * 1e3,
+			"queue_cap":       h.cfg.QueueDepth,
+			"queue_depth":     len(h.queue),
+			"max_altitude_m":  h.maxAlt,
+			"workspace_bytes": h.eng.WorkspaceBytes(),
+			"default":         h == s.def,
+		}
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status":          "ok",
-		"precision":       s.cfg.Precision,
-		"workers":         s.eng.Workers(),
-		"max_batch":       s.cfg.MaxBatch,
-		"max_wait_ms":     s.cfg.MaxWait.Seconds() * 1e3,
-		"min_wait_ms":     s.cfg.MinWait.Seconds() * 1e3,
-		"queue_cap":       s.cfg.QueueDepth,
-		"workspace_bytes": s.eng.WorkspaceBytes(),
+		"precision":       s.def.cfg.Precision,
+		"workers":         s.group.Workers(),
+		"max_batch":       s.def.cfg.MaxBatch,
+		"max_wait_ms":     s.def.cfg.MaxWait.Seconds() * 1e3,
+		"min_wait_ms":     s.def.cfg.MinWait.Seconds() * 1e3,
+		"queue_cap":       queueCap,
+		"workspace_bytes": s.group.WorkspaceBytes(),
+		"default_model":   s.def.name,
+		"models":          models,
 	})
 }
 
-// handleMetrics serves GET /metrics.
+// handleMetrics serves GET /metrics: the fleet-aggregate Stats flattened at
+// the top level plus per-model snapshots under "models".
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, s.Stats())
+	writeJSON(w, http.StatusOK, s.Report())
 }

@@ -12,14 +12,25 @@ import (
 const latWindow = 4096
 
 // Stats is the machine-readable snapshot served by /metrics and embedded in
-// BENCH_serve.json by the benchmark emitter.
+// BENCH_serve.json by the benchmark emitter. A routed server produces one
+// Stats per hosted model plus a fleet aggregate (see MetricsReport).
 type Stats struct {
 	UptimeSeconds float64 `json:"uptime_s"`
 
+	// Model is the hosted model's route name on a per-model snapshot, and
+	// empty on the fleet aggregate.
+	Model string `json:"model,omitempty"`
+
 	// Precision labels the numeric path serving these requests ("fp32" or
 	// "int8"), so metrics scraped from mixed-precision deployments stay
-	// attributable.
+	// attributable. The fleet aggregate reports "mixed" when hosted models
+	// differ.
 	Precision string `json:"precision"`
+
+	// MaxAltitude is the model's altitude-routing ceiling in metres (0 when
+	// the model takes no part in altitude routing; always 0 on the fleet
+	// aggregate).
+	MaxAltitude float64 `json:"max_altitude_m,omitempty"`
 
 	// Request counters: Received counts every admission attempt, Rejected
 	// the 429/503 turnaways, Completed successful responses, Failed
@@ -59,6 +70,15 @@ type Stats struct {
 	// with idle gaps between traffic bursts.
 	BusySeconds  float64 `json:"busy_s"`
 	AggregateFPS float64 `json:"aggregate_fps"`
+}
+
+// MetricsReport is the full /metrics document of a routed server: the
+// fleet-aggregate Stats flattened at the top level (so pre-registry
+// scrapers keep decoding the fields they know) plus every hosted model's
+// private snapshot under "models", keyed by route name.
+type MetricsReport struct {
+	Stats
+	Models map[string]Stats `json:"models"`
 }
 
 // metrics accumulates serving statistics. All methods are safe for

@@ -1,0 +1,39 @@
+package serve
+
+import "testing"
+
+// TestBuildRoutes pins the altitude-table derivation: bounded bands sorted
+// ascending, overflow preferring the first unbounded model and falling back
+// to the highest band when every model is bounded.
+func TestBuildRoutes(t *testing.T) {
+	mk := func(name string, maxAlt float64) *hosted { return &hosted{name: name, maxAlt: maxAlt} }
+
+	// Mixed: unbounded entry wins the overflow slot regardless of order.
+	routes, overflow := buildRoutes([]*hosted{mk("high", 0), mk("mid", 500), mk("low", 150)})
+	if len(routes) != 2 || routes[0].name != "low" || routes[1].name != "mid" {
+		t.Fatalf("routes not sorted ascending: %v", names(routes))
+	}
+	if overflow == nil || overflow.name != "high" {
+		t.Errorf("overflow = %v, want the unbounded model", overflow)
+	}
+
+	// All bounded: the highest band absorbs everything above it.
+	routes, overflow = buildRoutes([]*hosted{mk("low", 150), mk("mid", 500)})
+	if overflow == nil || overflow.name != "mid" {
+		t.Errorf("all-bounded overflow = %v, want the highest band", overflow)
+	}
+	_ = routes
+
+	// No altitude routing configured at all.
+	if routes, overflow = buildRoutes([]*hosted{mk("only", 0)}); len(routes) != 0 || overflow != nil {
+		t.Errorf("unconfigured routing built a table: %v / %v", names(routes), overflow)
+	}
+}
+
+func names(hs []*hosted) []string {
+	out := make([]string, len(hs))
+	for i, h := range hs {
+		out[i] = h.name
+	}
+	return out
+}

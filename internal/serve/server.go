@@ -13,9 +13,9 @@ import (
 	"repro/internal/imgproc"
 )
 
-// Config tunes the micro-batching service. The zero value of every knob
-// selects a sensible default (see the field comments); Workers comes from
-// the engine's pool.
+// Config tunes one hosted model's micro-batching. The zero value of every
+// knob selects a sensible default (see the field comments); Workers comes
+// from the model's engine pool.
 type Config struct {
 	// MaxBatch is the largest micro-batch one worker executes in a single
 	// batched Forward. Default 8.
@@ -43,11 +43,38 @@ type Config struct {
 	// replica at startup so first-request latency excludes workspace
 	// allocation.
 	Warm bool
-	// Precision labels the numeric path of the engine's model ("fp32" or
-	// "int8") on /healthz, /metrics and BENCH_serve.json. Purely
-	// informational — the engine already encapsulates the actual model —
-	// and defaults to "fp32".
+	// Precision labels the numeric path of the model ("fp32" or "int8") on
+	// /healthz, /metrics and BENCH_serve.json. Purely informational — the
+	// engine already encapsulates the actual model — and defaults to
+	// "fp32".
 	Precision string
+}
+
+// withDefaults normalizes the zero-value knobs.
+func (c Config) withDefaults() Config {
+	if c.MaxBatch < 1 {
+		c.MaxBatch = 8
+	}
+	if c.MaxWait <= 0 {
+		c.MaxWait = 2 * time.Millisecond
+	}
+	if c.MinWait <= 0 {
+		c.MinWait = 300 * time.Microsecond
+	}
+	if c.MinWait > c.MaxWait {
+		// The floor cannot exceed the ceiling: past MaxWait a batch is
+		// dispatched regardless, so a larger MinWait would silently never
+		// be honored. Clamp instead of erroring — the effective behavior
+		// (accumulate the full MaxWait) is what the caller asked for.
+		c.MinWait = c.MaxWait
+	}
+	if c.QueueDepth < 1 {
+		c.QueueDepth = 8 * c.MaxBatch
+	}
+	if c.Precision == "" {
+		c.Precision = "fp32"
+	}
+	return c
 }
 
 // ErrOverloaded is returned by submit when the admission queue is full; the
@@ -73,80 +100,115 @@ type response struct {
 	err   error
 }
 
-// Server coalesces concurrent detection requests into micro-batches and
-// executes them on an engine's worker pool. Create with New, serve with
-// ServeHTTP (it implements http.Handler), stop with Close or Shutdown.
-type Server struct {
-	eng *engine.Engine
-	cfg Config
-	mux *http.ServeMux
-	met *metrics
+// hosted is one registered model's complete serving pipeline: a private
+// admission queue, a batcher goroutine coalescing it into micro-batches,
+// one batch worker per engine pool worker, and per-model metrics. Every
+// hosted model runs these independently, so a slow large-input model can
+// saturate (and 429) without stalling its faster neighbours.
+type hosted struct {
+	name   string
+	eng    *engine.Engine
+	cfg    Config
+	met    *metrics
+	fleet  *metrics // shared server-wide aggregate
+	maxAlt float64
 
 	queue   chan *request
 	batches chan []*request
+
+	workerWG  sync.WaitGroup
+	batcherWG sync.WaitGroup
+}
+
+// Server hosts N named models behind one set of endpoints, routing each
+// request to a model (explicit ?model=/X-Model selection, else the
+// altitude default route, else the default model) and coalescing the
+// requests of each model into micro-batches on that model's engine pool.
+// Create with New (single model) or NewRouted, serve with ServeHTTP (it
+// implements http.Handler), stop with Close or Shutdown.
+type Server struct {
+	mux   *http.ServeMux
+	group *engine.Group
+
+	byName    map[string]*hosted
+	order     []*hosted // registration order; order[0] is the default route
+	def       *hosted
+	altRoutes []*hosted // maxAlt > 0, ascending ceilings
+	overflow  *hosted   // target above every bounded band (nil without routes)
+
+	fleet *metrics
 	// inflight caps concurrently-held request bodies/images at twice the
-	// queue depth. Decoding happens in the HTTP handler before admission,
-	// so without this cap N connections could each materialize a decoded
-	// image and exhaust memory before ever seeing the queue's 429; with it,
-	// excess requests are shed before their body is read.
+	// summed queue depth. Decoding happens in the HTTP handler before
+	// admission, so without this cap N connections could each materialize a
+	// decoded image and exhaust memory before ever seeing a queue's 429;
+	// with it, excess requests are shed before their body is read.
 	inflight chan struct{}
 
 	admitMu sync.RWMutex // write-held once by Close to fence late submitters
 	closed  bool
 
-	workerWG  sync.WaitGroup
-	batcherWG sync.WaitGroup
 	closeOnce sync.Once
 }
 
-// New starts the batcher and one batch worker per engine pool worker, and
-// returns a ready http.Handler. The engine must not be running a fleet
-// Run while the server is live — both sides share the replica pool.
+// New starts a single-model server — the pre-registry constructor, kept as
+// the one-liner for the common case. The model is registered under the
+// route name "default".
 func New(eng *engine.Engine, cfg Config) (*Server, error) {
-	if eng == nil {
-		return nil, fmt.Errorf("serve: nil engine")
-	}
-	if eng.Workers() < 1 {
-		return nil, fmt.Errorf("serve: engine has no workers")
-	}
-	if cfg.MaxBatch < 1 {
-		cfg.MaxBatch = 8
-	}
-	if cfg.MaxWait <= 0 {
-		cfg.MaxWait = 2 * time.Millisecond
-	}
-	if cfg.MinWait <= 0 {
-		cfg.MinWait = 300 * time.Microsecond
-	}
-	if cfg.MinWait > cfg.MaxWait {
-		// The floor cannot exceed the ceiling: past MaxWait a batch is
-		// dispatched regardless, so a larger MinWait would silently never
-		// be honored. Clamp instead of erroring — the effective behavior
-		// (accumulate the full MaxWait) is what the caller asked for.
-		cfg.MinWait = cfg.MaxWait
-	}
-	if cfg.QueueDepth < 1 {
-		cfg.QueueDepth = 8 * cfg.MaxBatch
-	}
-	if cfg.Precision == "" {
-		cfg.Precision = "fp32"
+	return NewRouted([]ModelEntry{{Name: "default", Engine: eng, Config: cfg}})
+}
+
+// NewRouted starts a routed multi-model server: one admission queue,
+// batcher and worker set per entry, all behind the shared endpoints. The
+// first entry is the default route. Each entry's engine must not be running
+// a fleet Run while the server is live — both sides share the replica pool.
+func NewRouted(entries []ModelEntry) (*Server, error) {
+	if len(entries) == 0 {
+		return nil, fmt.Errorf("serve: no models to host")
 	}
 	s := &Server{
-		eng:      eng,
-		cfg:      cfg,
-		met:      newMetrics(),
-		queue:    make(chan *request, cfg.QueueDepth),
-		batches:  make(chan []*request),
-		inflight: make(chan struct{}, 2*cfg.QueueDepth),
+		byName: make(map[string]*hosted, len(entries)),
+		group:  engine.NewGroup(),
+		fleet:  newMetrics(),
 	}
-	if cfg.Warm {
-		eng.WarmBatch(cfg.MaxBatch)
+	queueSum := 0
+	for _, e := range entries {
+		if e.Engine == nil {
+			return nil, fmt.Errorf("serve: model %q: nil engine", e.Name)
+		}
+		if e.Engine.Workers() < 1 {
+			return nil, fmt.Errorf("serve: model %q: engine has no workers", e.Name)
+		}
+		if err := s.group.Add(e.Name, e.Engine); err != nil {
+			return nil, err
+		}
+		cfg := e.Config.withDefaults()
+		h := &hosted{
+			name:    e.Name,
+			eng:     e.Engine,
+			cfg:     cfg,
+			met:     newMetrics(),
+			fleet:   s.fleet,
+			maxAlt:  e.MaxAltitude,
+			queue:   make(chan *request, cfg.QueueDepth),
+			batches: make(chan []*request),
+		}
+		s.byName[e.Name] = h
+		s.order = append(s.order, h)
+		queueSum += cfg.QueueDepth
 	}
-	s.batcherWG.Add(1)
-	go s.batchLoop()
-	for id := 0; id < eng.Workers(); id++ {
-		s.workerWG.Add(1)
-		go s.workerLoop(id)
+	s.def = s.order[0]
+	s.altRoutes, s.overflow = buildRoutes(s.order)
+	s.inflight = make(chan struct{}, 2*queueSum)
+	for _, h := range s.order {
+		if h.cfg.Warm {
+			h.eng.WarmBatch(h.cfg.MaxBatch)
+		}
+		h.batcherWG.Add(1)
+		go h.batchLoop()
+		for id := 0; id < h.eng.Workers(); id++ {
+			h.workerWG.Add(1)
+			go h.workerLoop(id)
+		}
 	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/detect", s.handleDetectJSON)
@@ -159,75 +221,132 @@ func New(eng *engine.Engine, cfg Config) (*Server, error) {
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
-// Stats returns a point-in-time snapshot of the serving metrics.
+// Models returns the hosted model names in registration order; the first is
+// the default route.
+func (s *Server) Models() []string { return s.group.Names() }
+
+// Stats returns a point-in-time snapshot of the fleet-aggregate serving
+// metrics: counters summed over every hosted model, latency percentiles
+// over the merged request stream, and busy time as the union of all
+// models' batch-execution spans. For a single-model server this is exactly
+// that model's view.
 func (s *Server) Stats() Stats {
-	st := s.met.snapshot(len(s.queue), cap(s.queue), s.eng.Workers(), s.cfg.MaxBatch)
-	st.Precision = s.cfg.Precision
+	depth, cap, maxBatch := 0, 0, 0
+	precision := ""
+	for _, h := range s.order {
+		depth += len(h.queue)
+		cap += h.cfg.QueueDepth
+		if h.cfg.MaxBatch > maxBatch {
+			maxBatch = h.cfg.MaxBatch
+		}
+		switch {
+		case precision == "":
+			precision = h.cfg.Precision
+		case precision != h.cfg.Precision:
+			precision = "mixed"
+		}
+	}
+	st := s.fleet.snapshot(depth, cap, s.group.Workers(), maxBatch)
+	st.Precision = precision
 	return st
 }
 
-// submit admits a request or rejects it without blocking. The read lock
-// spans the channel send so Close's write lock can guarantee no sender is
-// mid-flight when it closes the queue.
-func (s *Server) submit(r *request) error {
+// ModelStats returns the named model's private metrics snapshot.
+func (s *Server) ModelStats(name string) (Stats, bool) {
+	h, ok := s.byName[name]
+	if !ok {
+		return Stats{}, false
+	}
+	return h.stats(), true
+}
+
+// stats snapshots one hosted model's metrics with its routing labels.
+func (h *hosted) stats() Stats {
+	st := h.met.snapshot(len(h.queue), h.cfg.QueueDepth, h.eng.Workers(), h.cfg.MaxBatch)
+	st.Model = h.name
+	st.Precision = h.cfg.Precision
+	st.MaxAltitude = h.maxAlt
+	return st
+}
+
+// Report assembles the full /metrics document: the fleet aggregate plus
+// every hosted model's private snapshot.
+func (s *Server) Report() MetricsReport {
+	rep := MetricsReport{Stats: s.Stats(), Models: make(map[string]Stats, len(s.order))}
+	for _, h := range s.order {
+		rep.Models[h.name] = h.stats()
+	}
+	return rep
+}
+
+// submit admits a request to one model's queue or rejects it without
+// blocking. The read lock spans the channel send so Close's write lock can
+// guarantee no sender is mid-flight when it closes the queues.
+func (s *Server) submit(h *hosted, r *request) error {
 	s.admitMu.RLock()
 	defer s.admitMu.RUnlock()
 	if s.closed {
 		return ErrClosed
 	}
 	select {
-	case s.queue <- r:
+	case h.queue <- r:
 		return nil
 	default:
 		return ErrOverloaded
 	}
 }
 
-// detect runs one image through the micro-batching path end to end,
-// blocking until its batch executes.
-func (s *Server) detect(img *imgproc.Image, altitude float64) (response, time.Duration, error) {
-	s.met.admit()
+// detect runs one image through a model's micro-batching path end to end,
+// blocking until its batch executes. On a rejection the request — and with
+// it the decoded frame — is never retained: it was not enqueued, so the
+// only reference dies with this stack frame (the admission-path guarantee
+// behind the inflight cap's memory bound).
+func (s *Server) detect(h *hosted, img *imgproc.Image, altitude float64) (response, time.Duration, error) {
+	s.fleet.admit()
+	h.met.admit()
 	req := &request{img: img, altitude: altitude, enqueued: time.Now(), resp: make(chan response, 1)}
-	if err := s.submit(req); err != nil {
-		s.met.reject()
+	if err := s.submit(h, req); err != nil {
+		s.fleet.reject()
+		h.met.reject()
 		return response{}, 0, err
 	}
 	resp := <-req.resp
 	lat := time.Since(req.enqueued)
-	s.met.done(lat, resp.err == nil)
+	s.fleet.done(lat, resp.err == nil)
+	h.met.done(lat, resp.err == nil)
 	return resp, lat, nil
 }
 
-// batchLoop drains the admission queue, coalescing requests into batches of
-// up to MaxBatch images. A forming batch becomes ELIGIBLE for dispatch once
-// it is full, once MinWait has elapsed with at least two requests aboard,
-// or once MaxWait has elapsed regardless of size; an eligible non-full
-// batch is offered to the workers while STILL absorbing arrivals, so when
-// every worker is busy the batch keeps growing toward MaxBatch instead of
-// going stale at whatever size the deadline caught it (the committed
-// pre-MinWait benchmark showed exactly that: mean batch 1.67 with 53/120
-// singleton batches). Exits (closing the workers' feed) when the queue is
-// closed and drained.
-func (s *Server) batchLoop() {
-	defer s.batcherWG.Done()
-	defer close(s.batches)
-	for first := range s.queue {
-		batch := append(make([]*request, 0, s.cfg.MaxBatch), first)
-		minT := time.NewTimer(s.cfg.MinWait)
-		maxT := time.NewTimer(s.cfg.MaxWait)
+// batchLoop drains one model's admission queue, coalescing requests into
+// batches of up to MaxBatch images. A forming batch becomes ELIGIBLE for
+// dispatch once it is full, once MinWait has elapsed with at least two
+// requests aboard, or once MaxWait has elapsed regardless of size; an
+// eligible non-full batch is offered to the workers while STILL absorbing
+// arrivals, so when every worker is busy the batch keeps growing toward
+// MaxBatch instead of going stale at whatever size the deadline caught it
+// (the committed pre-MinWait benchmark showed exactly that: mean batch 1.67
+// with 53/120 singleton batches). Exits (closing the workers' feed) when
+// the queue is closed and drained.
+func (h *hosted) batchLoop() {
+	defer h.batcherWG.Done()
+	defer close(h.batches)
+	for first := range h.queue {
+		batch := append(make([]*request, 0, h.cfg.MaxBatch), first)
+		minT := time.NewTimer(h.cfg.MinWait)
+		maxT := time.NewTimer(h.cfg.MaxWait)
 		minDone, maxDone := false, false
 		sent, open := false, true
-		for !sent && open && len(batch) < s.cfg.MaxBatch {
+		for !sent && open && len(batch) < h.cfg.MaxBatch {
 			// A send on a nil channel never fires: the offer case is armed
 			// only once the batch is eligible, so one select covers both
 			// phases while always racing worker availability against new
 			// arrivals.
 			var offer chan []*request
 			if maxDone || (minDone && len(batch) >= 2) {
-				offer = s.batches
+				offer = h.batches
 			}
 			select {
-			case r, ok := <-s.queue:
+			case r, ok := <-h.queue:
 				if !ok {
 					open = false
 				} else {
@@ -246,32 +365,44 @@ func (s *Server) batchLoop() {
 		if !sent {
 			// Full batch, or the queue closed mid-collection: hand it over
 			// unconditionally (blocks until a worker frees up).
-			s.batches <- batch
+			h.batches <- batch
 		}
 	}
 }
 
-// workerLoop executes batches on this worker's pooled replica and fans the
-// per-image detections back to the waiting requests.
-func (s *Server) workerLoop(id int) {
-	defer s.workerWG.Done()
-	imgs := make([]*imgproc.Image, 0, s.cfg.MaxBatch)
-	alts := make([]float64, 0, s.cfg.MaxBatch)
-	for batch := range s.batches {
+// workerLoop executes one model's batches on this worker's pooled replica
+// and fans the per-image detections back to the waiting requests.
+func (h *hosted) workerLoop(id int) {
+	defer h.workerWG.Done()
+	imgs := make([]*imgproc.Image, 0, h.cfg.MaxBatch)
+	alts := make([]float64, 0, h.cfg.MaxBatch)
+	for batch := range h.batches {
 		imgs, alts = imgs[:0], alts[:0]
 		for _, r := range batch {
 			imgs = append(imgs, r.img)
 			alts = append(alts, r.altitude)
 		}
-		s.met.batchStart()
-		per, err := s.executeBatch(id, imgs, alts)
-		s.met.batch(len(batch))
+		h.met.batchStart()
+		h.fleet.batchStart()
+		per, err := h.executeBatch(id, imgs, alts)
+		h.met.batch(len(batch))
+		h.fleet.batch(len(batch))
 		for i, r := range batch {
 			if err != nil {
 				r.resp <- response{err: err}
 			} else {
 				r.resp <- response{dets: per[i], batch: len(batch)}
 			}
+			// The response has been delivered; drop the frame reference so a
+			// request object lingering anywhere cannot pin megabytes of
+			// pixels.
+			r.img = nil
+		}
+		// This worker's staging slice persists across batches (imgs[:0]
+		// keeps the backing array): clear the slots, or the last batch's
+		// decoded frames stay reachable through an idle worker indefinitely.
+		for i := range imgs {
+			imgs[i] = nil
 		}
 	}
 }
@@ -282,26 +413,33 @@ func (s *Server) workerLoop(id int) {
 // co-batched caller on its response channel. The panicking batch's callers
 // all get a 500; the worker keeps serving (layer workspaces are fully
 // overwritten by the next forward, so no corrupt state survives).
-func (s *Server) executeBatch(id int, imgs []*imgproc.Image, alts []float64) (per [][]detect.Detection, err error) {
+func (h *hosted) executeBatch(id int, imgs []*imgproc.Image, alts []float64) (per [][]detect.Detection, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			per, err = nil, fmt.Errorf("batch execution panicked: %v", r)
 		}
 	}()
-	return s.eng.ExecuteBatch(id, imgs, alts)
+	return h.eng.ExecuteBatch(id, imgs, alts)
 }
 
-// Close stops admission (late requests get ErrClosed/503), drains every
-// already-admitted request through the batch workers, and returns once all
-// of them have been answered. Safe to call more than once.
+// Close stops admission (late requests get ErrClosed/503) on every hosted
+// model at once, drains every already-admitted request through each
+// model's batch workers, and returns once all of them have been answered.
+// One fence covers all pools — a request racing Close is either admitted
+// to its model's queue before the fence (and will be drained) or rejected,
+// regardless of which model it routed to. Safe to call more than once.
 func (s *Server) Close() error {
 	s.closeOnce.Do(func() {
 		s.admitMu.Lock()
 		s.closed = true
-		close(s.queue)
+		for _, h := range s.order {
+			close(h.queue)
+		}
 		s.admitMu.Unlock()
-		s.batcherWG.Wait()
-		s.workerWG.Wait()
+		for _, h := range s.order {
+			h.batcherWG.Wait()
+			h.workerWG.Wait()
+		}
 	})
 	return nil
 }

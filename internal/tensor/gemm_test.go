@@ -40,15 +40,15 @@ func TestGemmPackedMatchesNaive(t *testing.T) {
 		m, n, k     int
 		alpha, beta float32
 	}{
-		{false, false, 12, 4096, 72, 1, 0},    // DroNet conv2-like
-		{false, false, 13, 1031, 67, 1, 0},    // every edge case at once
-		{false, false, 64, 640, 300, 2, 0.5},  // k > kcBlock
-		{false, false, 4, 2112, 16, 1, 1},     // n > ncBlock, beta=1
-		{true, false, 33, 129, 40, 1, 0},      // transposed A
-		{false, true, 21, 80, 64, -1, 0},      // transposed B
-		{true, true, 40, 64, 33, 0.5, 2},      // both transposed
-		{false, false, 1, 65536, 9, 1, 0},     // single row strip, huge n
-		{false, false, 257, 24, 520, 1.5, 0},  // many strips, small n
+		{false, false, 12, 4096, 72, 1, 0},   // DroNet conv2-like
+		{false, false, 13, 1031, 67, 1, 0},   // every edge case at once
+		{false, false, 64, 640, 300, 2, 0.5}, // k > kcBlock
+		{false, false, 4, 2112, 16, 1, 1},    // n > ncBlock, beta=1
+		{true, false, 33, 129, 40, 1, 0},     // transposed A
+		{false, true, 21, 80, 64, -1, 0},     // transposed B
+		{true, true, 40, 64, 33, 0.5, 2},     // both transposed
+		{false, false, 1, 65536, 9, 1, 0},    // single row strip, huge n
+		{false, false, 257, 24, 520, 1.5, 0}, // many strips, small n
 	}
 	for _, tc := range cases {
 		if int64(tc.m)*int64(tc.n)*int64(tc.k) < packThreshold {
