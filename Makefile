@@ -1,13 +1,13 @@
 GO ?= go
 
-.PHONY: ci vet build test race bench bench-smoke serve-bench serve-smoke fuzz fleet serve profile
+.PHONY: ci vet build test race bench bench-smoke serve-bench serve-smoke swap-smoke fuzz fleet serve profile
 
 ## ci: the full tier-1 + hygiene gate (what .github/workflows/ci.yml's main
 ## job runs step by step); bench-smoke runs the GEMM kernels a few iterations
 ## so a kernel regression (or an asm/portable divergence) breaks CI loudly,
 ## not just slowly. Deliberately NOT `bench`: that regenerates (and dirties)
 ## the committed BENCH_serve.json, which is a release chore, not a gate.
-ci: vet build race bench-smoke serve-smoke
+ci: vet build race bench-smoke serve-smoke swap-smoke
 
 ## bench-smoke: quick kernel-level regression tripwire over the packed GEMM
 ## benchmarks (10 iterations — catches crashes and gross slowdowns cheaply)
@@ -27,8 +27,10 @@ build:
 test:
 	$(GO) test ./...
 
+## race: the race leg also shuffles test execution order so the lifecycle
+## suite can't hide an ordering dependency behind source order
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -shuffle=on ./...
 
 ## bench: one-iteration smoke pass over every benchmark (catches bit-rot,
 ## not performance; use `go test -bench . -benchtime 1s` for real numbers),
@@ -60,10 +62,23 @@ serve-smoke:
 	$(GO) run ./examples/serveclient -server bin/dronet-serve \
 	    -models "low=dronet:64:int8:150,high=dronet:96:fp32"
 
-## fuzz: short bounded fuzz pass over the detect, kernel and quantization
-## invariants (FuzzGemmPackedVsNaive cross-checks the packed cache-blocked
-## GEMM against the naive loops: exact for int8, <=1e-4 relative for fp32).
-## FUZZTIME tunes the per-target budget (CI's parallel fuzz job uses 15s).
+## swap-smoke: boot the real dronet-serve binary with its admin listener and
+## exercise the live model lifecycle — hot add, two atomic weight swaps (one
+## on the pool carrying background traffic), remove — asserting the data
+## plane never returns anything but 200/429 (examples/serveclient -swap is
+## the driver)
+swap-smoke:
+	$(GO) build -o bin/dronet-serve ./cmd/dronet-serve
+	$(GO) run ./examples/serveclient -server bin/dronet-serve -size 64 -swap
+	$(GO) run ./examples/serveclient -server bin/dronet-serve -size 64 -swap \
+	    -models "low=dronet:64:int8:150,high=dronet:96:fp32::2"
+
+## fuzz: short bounded fuzz pass over the detect, kernel, quantization and
+## spec-grammar invariants (FuzzGemmPackedVsNaive cross-checks the packed
+## cache-blocked GEMM against the naive loops: exact for int8, <=1e-4
+## relative for fp32; FuzzParseModelSpecs holds -models parsing to a
+## no-panic + parse/format/parse fixed-point contract). FUZZTIME tunes the
+## per-target budget (CI's parallel fuzz job uses 15s).
 FUZZTIME ?= 30s
 fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzIoU -fuzztime $(FUZZTIME) ./internal/detect
@@ -71,6 +86,7 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzGemmPackedVsNaive -fuzztime $(FUZZTIME) ./internal/tensor
 	$(GO) test -run '^$$' -fuzz FuzzIm2colInt8 -fuzztime $(FUZZTIME) ./internal/tensor
 	$(GO) test -run '^$$' -fuzz FuzzQuantDequant -fuzztime $(FUZZTIME) ./internal/quant
+	$(GO) test -run '^$$' -fuzz FuzzParseModelSpecs -fuzztime $(FUZZTIME) ./internal/serve
 
 ## profile: run the serving selfbench with CPU + heap pprof capture; inspect
 ## with `go tool pprof bin/pprof/cpu.pprof` (see README "Profiling")

@@ -18,17 +18,28 @@
 //
 //	dronet-serve -addr :8080 -models "low=dronet:96:int8:150,high=dronet:128:fp32"
 //
-// Each comma-separated entry is name=model:size:precision[:maxalt]; the
-// first entry is the default route. Requests pick a model explicitly with
-// ?model= or the X-Model header; otherwise a request carrying an altitude
-// is routed to the model whose maxalt band covers it (the paper's
+// Each comma-separated entry is name=model:size:precision[:maxalt][:weight];
+// the first entry is the default route. Requests pick a model explicitly
+// with ?model= or the X-Model header; otherwise a request carrying an
+// altitude is routed to the model whose maxalt band covers it (the paper's
 // operating-scenario trade-off: low flight ⇒ large targets ⇒ the small
-// fast model; high flight ⇒ the larger-input one). /healthz and /metrics
-// carry per-model labelled blocks plus fleet aggregates.
+// fast model; high flight ⇒ the larger-input one). The optional weight is
+// the pool's fair share of borrowed workers under idle-worker lending.
+// /healthz and /metrics carry per-model labelled blocks plus fleet
+// aggregates.
+//
+// With -admin HOST:PORT a second, operations-only listener exposes the
+// live model lifecycle (GET/POST /admin/models, PUT/DELETE
+// /admin/models/{name}): models can be added, weight-swapped and removed
+// under traffic with zero dropped requests — new pools are built off the
+// request path and the routing table flips atomically. Keep this listener
+// on loopback or an ops network; it is deliberately not part of the data
+// plane handler.
 //
 // The server prints "listening on HOST:PORT" once the socket is bound (so
-// -addr 127.0.0.1:0 picks a free port scripts can parse) and drains
-// in-flight requests on SIGINT/SIGTERM across every model's pool.
+// -addr 127.0.0.1:0 picks a free port scripts can parse; with -admin the
+// second line is "admin listening on HOST:PORT") and drains in-flight
+// requests on SIGINT/SIGTERM across every model's pool.
 //
 // With -selfbench the command instead boots the server in-process — once
 // per precision — drives each with the same concurrent synthetic clients,
@@ -78,12 +89,13 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("dronet-serve: ")
 	addr := flag.String("addr", ":8080", "listen address (host:0 picks a free port)")
+	adminAddr := flag.String("admin", "", "admin listen address for the model-lifecycle endpoints (disabled when empty; keep on loopback)")
 	model := flag.String("model", models.DroNet, "model name")
 	size := flag.Int("size", 128, "network input resolution")
 	scale := flag.Float64("scale", 0.5, "filter-count scale (1.0 = paper-size model)")
 	weightsPath := flag.String("weights", "", "trained weights file (random init when empty)")
 	precision := flag.String("precision", "fp32", "inference precision: fp32 or int8 (post-training quantized)")
-	modelsFlag := flag.String("models", "", `routed multi-model registry: "name=model:size:precision[:maxalt],..." (first entry is the default route; overrides -model/-size/-precision)`)
+	modelsFlag := flag.String("models", "", `routed multi-model registry: "name=model:size:precision[:maxalt][:weight],..." (first entry is the default route; overrides -model/-size/-precision)`)
 	calibFrames := flag.Int("calib-frames", 8, "int8: synthetic sample frames for activation-scale calibration")
 	workers := flag.Int("workers", runtime.NumCPU(), "batch worker pool size (model replicas)")
 	maxBatch := flag.Int("max-batch", 8, "maximum images per micro-batch")
@@ -151,6 +163,13 @@ func main() {
 		return
 	}
 
+	// builder backs the admin endpoints: specs posted at runtime are built
+	// with the same command-level scale, calibration budget and engine/batch
+	// knobs as the startup -models entries, off the serving path.
+	builder := func(spec serve.ModelSpec) (serve.ModelEntry, error) {
+		return buildEntry(spec, *scale, *calibFrames, cfg, scfg)
+	}
+
 	var srv *serve.Server
 	if specs != nil {
 		entries, err := buildEntries(specs, *scale, *calibFrames, cfg, scfg)
@@ -182,11 +201,27 @@ func main() {
 		}
 	}
 
+	srv.SetModelBuilder(builder)
+
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("listening on %s\n", ln.Addr())
+	var adminHTTP *http.Server
+	if *adminAddr != "" {
+		aln, err := net.Listen("tcp", *adminAddr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("admin listening on %s\n", aln.Addr())
+		adminHTTP = &http.Server{Handler: srv.AdminHandler()}
+		go func() {
+			if err := adminHTTP.Serve(aln); err != nil && err != http.ErrServerClosed {
+				log.Printf("admin: %v", err)
+			}
+		}()
+	}
 	if specs != nil {
 		log.Printf("routed models %v (default %s), %d workers per pool, max-batch %d, max-wait %s",
 			srv.Models(), srv.Models()[0], *workers, *maxBatch, *maxWait)
@@ -209,6 +244,13 @@ func main() {
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
+	if adminHTTP != nil {
+		// Stop lifecycle mutations before draining the data plane, so the
+		// drain isn't racing an in-flight swap's pool churn.
+		if err := adminHTTP.Shutdown(ctx); err != nil {
+			log.Printf("admin shutdown: %v", err)
+		}
+	}
 	if err := httpSrv.Shutdown(ctx); err != nil {
 		log.Printf("http shutdown: %v", err)
 	}
@@ -235,38 +277,50 @@ func buildDetector(model string, size int, scale float64, weightsPath string) (*
 	return det, nil
 }
 
-// buildEntries turns parsed -models specs into hosted entries: one scaled
-// detector (quantized when the spec says int8), one engine replica pool and
-// one batching config per spec. Every pool inherits the command-level
-// worker count and batching knobs; precision and input size come from the
-// spec.
+// buildEntry turns one parsed model spec into a hosted entry: a scaled
+// detector (quantized when the spec says int8), an engine replica pool and
+// a batching config. The pool inherits the command-level worker count and
+// batching knobs; precision, input size, altitude band and lending weight
+// come from the spec. This is also the admin endpoints' ModelBuilder, so
+// hot-added and hot-swapped models are constructed exactly like startup
+// ones.
+func buildEntry(spec serve.ModelSpec, scale float64, calibFrames int, cfg engine.Config, scfg serve.Config) (serve.ModelEntry, error) {
+	det, err := core.NewScaledDetector(spec.Model, spec.Size, scale, 1)
+	if err != nil {
+		return serve.ModelEntry{}, fmt.Errorf("model %s: %w", spec.Name, err)
+	}
+	mdl, err := buildModel(det, spec.Precision, spec.Size, calibFrames)
+	if err != nil {
+		return serve.ModelEntry{}, fmt.Errorf("model %s: %w", spec.Name, err)
+	}
+	ecfg := cfg
+	ecfg.NMSThresh = det.NMSThresh
+	eng, err := engine.New(mdl, ecfg)
+	if err != nil {
+		return serve.ModelEntry{}, fmt.Errorf("model %s: %w", spec.Name, err)
+	}
+	mcfg := scfg
+	mcfg.Precision = spec.Precision
+	log.Printf("registered %s (input %dx%d, %s%s%s)", spec.Name, spec.Size, spec.Size, spec.Precision,
+		altLabel(spec.MaxAltitude), weightLabel(spec.Weight))
+	return serve.ModelEntry{
+		Name:        spec.Name,
+		Engine:      eng,
+		Config:      mcfg,
+		MaxAltitude: spec.MaxAltitude,
+		Weight:      spec.Weight,
+	}, nil
+}
+
+// buildEntries maps buildEntry over every startup -models spec.
 func buildEntries(specs []serve.ModelSpec, scale float64, calibFrames int, cfg engine.Config, scfg serve.Config) ([]serve.ModelEntry, error) {
 	entries := make([]serve.ModelEntry, 0, len(specs))
 	for _, spec := range specs {
-		det, err := core.NewScaledDetector(spec.Model, spec.Size, scale, 1)
+		e, err := buildEntry(spec, scale, calibFrames, cfg, scfg)
 		if err != nil {
-			return nil, fmt.Errorf("model %s: %w", spec.Name, err)
+			return nil, err
 		}
-		mdl, err := buildModel(det, spec.Precision, spec.Size, calibFrames)
-		if err != nil {
-			return nil, fmt.Errorf("model %s: %w", spec.Name, err)
-		}
-		ecfg := cfg
-		ecfg.NMSThresh = det.NMSThresh
-		eng, err := engine.New(mdl, ecfg)
-		if err != nil {
-			return nil, fmt.Errorf("model %s: %w", spec.Name, err)
-		}
-		mcfg := scfg
-		mcfg.Precision = spec.Precision
-		entries = append(entries, serve.ModelEntry{
-			Name:        spec.Name,
-			Engine:      eng,
-			Config:      mcfg,
-			MaxAltitude: spec.MaxAltitude,
-		})
-		log.Printf("registered %s (input %dx%d, %s%s)", spec.Name, spec.Size, spec.Size, spec.Precision,
-			altLabel(spec.MaxAltitude))
+		entries = append(entries, e)
 	}
 	return entries, nil
 }
@@ -276,6 +330,13 @@ func altLabel(maxAlt float64) string {
 		return ""
 	}
 	return fmt.Sprintf(", altitude <= %gm", maxAlt)
+}
+
+func weightLabel(w float64) string {
+	if w == 0 || w == 1 {
+		return ""
+	}
+	return fmt.Sprintf(", weight %g", w)
 }
 
 // buildModel returns the inference model for the requested precision. For

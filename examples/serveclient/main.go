@@ -8,10 +8,17 @@
 // precision label on /healthz, smoke-testing the whole quantized path.
 //
 // With -models the spawned server hosts a routed registry
-// (name=model:size:precision[:maxalt] entries) and the client walks the
-// routing matrix instead: explicit ?model= and X-Model selection, the
-// altitude default route, the 404 on an unknown model, and the per-model
-// blocks on /healthz and /metrics.
+// (name=model:size:precision[:maxalt][:weight] entries) and the client
+// walks the routing matrix instead: explicit ?model= and X-Model
+// selection, the altitude default route, the 404 on an unknown model, and
+// the per-model blocks on /healthz and /metrics.
+//
+// With -swap (the driver behind `make swap-smoke`) the spawned server
+// additionally binds its admin listener and the client exercises the live
+// model lifecycle under background traffic: hot-add a model, serve from
+// it, atomically swap its weights (the response generation must advance),
+// swap the primary model while requests are in flight, then remove the
+// added model — all without a single non-2xx/429 data-plane response.
 //
 // Usage:
 //
@@ -19,6 +26,7 @@
 //	go run ./examples/serveclient -server bin/dronet-serve
 //	go run ./examples/serveclient -server bin/dronet-serve \
 //	    -models "low=dronet:64:int8:150,high=dronet:96:fp32"
+//	go run ./examples/serveclient -server bin/dronet-serve -size 64 -swap
 //
 // or against a running server:
 //
@@ -38,6 +46,8 @@ import (
 	"os/exec"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -56,7 +66,27 @@ func main() {
 	frames := flag.Int("frames", 4, "number of JSON frames to send")
 	precision := flag.String("precision", "fp32", "server precision to spawn (fp32 or int8)")
 	modelsFlag := flag.String("models", "", "spawn a routed multi-model server with this -models spec and walk the routing matrix")
+	swapFlag := flag.Bool("swap", false, "exercise the live model lifecycle (hot add/swap/remove under traffic) via the spawned server's admin listener")
 	flag.Parse()
+
+	if *swapFlag {
+		if *server == "" {
+			log.Fatal("-swap needs -server (it drives the spawned server's admin listener)")
+		}
+		spec := *modelsFlag
+		if spec == "" {
+			spec = fmt.Sprintf("default=dronet:%d:%s", *size, *precision)
+		}
+		cmd, dataURL, adminURL, err := spawnAdmin(*server, *size, *precision, spec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer func() { _ = cmd.Process.Kill() }()
+		swapWalk(dataURL, adminURL, spec)
+		drain(cmd)
+		fmt.Println("OK")
+		return
+	}
 
 	var cmd *exec.Cmd
 	if *url == "" {
@@ -240,6 +270,146 @@ func walkRouted(url, spec string) {
 	}
 }
 
+// swapWalk drives one full live-lifecycle pass against the admin listener
+// while a background client hammers the data plane: every data-plane
+// response throughout must be 200 or 429 — an add, two weight swaps, and a
+// remove may never surface as a 5xx or a dropped connection.
+func swapWalk(dataURL, adminURL, spec string) {
+	specs, err := serve.ParseModelSpecs(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	primary := specs[0]
+	cam := pipeline.NewSimCamera(dataset.DefaultConfig(primary.Size), 1, 70)
+	f, _ := cam.Next()
+	body := marshalFrame(f.Image, 0)
+
+	var served, shed atomic.Int64
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			resp, err := http.Post(dataURL+"/detect", "application/json", bytes.NewReader(body))
+			if err != nil {
+				log.Fatalf("traffic during lifecycle churn: %v", err)
+			}
+			resp.Body.Close()
+			switch resp.StatusCode {
+			case http.StatusOK:
+				served.Add(1)
+			case http.StatusTooManyRequests:
+				shed.Add(1)
+			default:
+				log.Fatalf("traffic during lifecycle churn: status %d (want 200 or 429)", resp.StatusCode)
+			}
+		}
+	}()
+
+	var list struct {
+		Models []struct {
+			Name       string `json:"name"`
+			Generation uint64 `json:"generation"`
+		} `json:"models"`
+	}
+	if code := adminJSON(http.MethodGet, adminURL+"/admin/models", "", &list); code != http.StatusOK {
+		log.Fatalf("admin list: status %d", code)
+	}
+	if len(list.Models) != len(specs) {
+		log.Fatalf("admin list: %d models, spawned with %d", len(list.Models), len(specs))
+	}
+	fmt.Printf("admin: %d models hosted\n", len(list.Models))
+
+	// Hot add, then serve from the new pool by explicit selection.
+	hotSpec := fmt.Sprintf("hot=dronet:%d:fp32::2", primary.Size)
+	var added struct {
+		Name       string `json:"name"`
+		Generation uint64 `json:"generation"`
+	}
+	if code := adminJSON(http.MethodPost, adminURL+"/admin/models", `{"spec": "`+hotSpec+`"}`, &added); code != http.StatusCreated {
+		log.Fatalf("hot add: status %d", code)
+	}
+	resp := post(dataURL+"/detect?model=hot", "application/json", body)
+	if resp.Model != "hot" || resp.Generation != added.Generation {
+		log.Fatalf("hot-added model served model=%q gen=%d, want hot gen %d", resp.Model, resp.Generation, added.Generation)
+	}
+	fmt.Printf("hot add: model %s serving at generation %d\n", added.Name, added.Generation)
+
+	// Atomic weight swap of the added model: generation must advance and
+	// the data plane must serve the new pool.
+	var swapped struct {
+		Generation    uint64 `json:"generation"`
+		OldGeneration uint64 `json:"old_generation"`
+	}
+	if code := adminJSON(http.MethodPut, adminURL+"/admin/models/hot", `{"spec": "`+hotSpec+`"}`, &swapped); code != http.StatusOK {
+		log.Fatalf("swap hot: status %d", code)
+	}
+	if swapped.OldGeneration != added.Generation || swapped.Generation <= swapped.OldGeneration {
+		log.Fatalf("swap hot: generations %+v (added at %d)", swapped, added.Generation)
+	}
+	resp = post(dataURL+"/detect?model=hot", "application/json", body)
+	if resp.Generation != swapped.Generation {
+		log.Fatalf("post-swap response generation %d, want %d", resp.Generation, swapped.Generation)
+	}
+	fmt.Printf("swap: hot advanced generation %d -> %d\n", swapped.OldGeneration, swapped.Generation)
+
+	// Swap the primary model too — this is the pool the background traffic
+	// is riding, so it proves drain-then-retire under live load.
+	if code := adminJSON(http.MethodPut, adminURL+"/admin/models/"+primary.Name, `{"spec": "`+primary.String()+`"}`, &swapped); code != http.StatusOK {
+		log.Fatalf("swap %s: status %d", primary.Name, code)
+	}
+	fmt.Printf("swap: %s advanced generation %d -> %d under traffic\n", primary.Name, swapped.OldGeneration, swapped.Generation)
+
+	// Retire the added model; explicit selection must 404 afterwards.
+	if code := adminJSON(http.MethodDelete, adminURL+"/admin/models/hot", "", nil); code != http.StatusOK {
+		log.Fatalf("remove hot: status %d", code)
+	}
+	r, err := http.Post(dataURL+"/detect?model=hot", "application/json", bytes.NewReader(body))
+	if err != nil {
+		log.Fatal(err)
+	}
+	r.Body.Close()
+	if r.StatusCode != http.StatusNotFound {
+		log.Fatalf("removed model still routable: status %d, want 404", r.StatusCode)
+	}
+
+	close(stop)
+	wg.Wait()
+	if served.Load() == 0 {
+		log.Fatal("background traffic served zero requests during the lifecycle walk")
+	}
+	fmt.Printf("swap smoke: %d served, %d shed, zero failures across the lifecycle\n", served.Load(), shed.Load())
+}
+
+// adminJSON issues one admin request with an optional JSON body, decodes
+// the response into out when non-nil, and returns the status code.
+func adminJSON(method, url, body string, out any) int {
+	req, err := http.NewRequest(method, url, strings.NewReader(body))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if body != "" {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil && resp.StatusCode < 300 {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			log.Fatalf("%s %s: bad response JSON: %v", method, url, err)
+		}
+	}
+	return resp.StatusCode
+}
+
 func marshalFrame(img *imgproc.Image, altitude float64) []byte {
 	body, err := json.Marshal(serve.DetectRequest{
 		Width: img.W, Height: img.H, Pixels: img.Pix, Altitude: altitude,
@@ -255,6 +425,17 @@ func marshalFrame(img *imgproc.Image, altitude float64) []byte {
 // and returns the process plus the base URL parsed from its "listening on"
 // line.
 func spawn(bin string, size int, precision, modelsSpec string) (*exec.Cmd, string, error) {
+	cmd, dataURL, _, err := spawnAddrs(bin, size, precision, modelsSpec, false)
+	return cmd, dataURL, err
+}
+
+// spawnAdmin boots the server with its admin listener bound on a second
+// random loopback port, returning both base URLs.
+func spawnAdmin(bin string, size int, precision, modelsSpec string) (*exec.Cmd, string, string, error) {
+	return spawnAddrs(bin, size, precision, modelsSpec, true)
+}
+
+func spawnAddrs(bin string, size int, precision, modelsSpec string, admin bool) (*exec.Cmd, string, string, error) {
 	args := []string{
 		"-addr", "127.0.0.1:0",
 		"-size", fmt.Sprint(size),
@@ -267,37 +448,54 @@ func spawn(bin string, size int, precision, modelsSpec string) (*exec.Cmd, strin
 	if modelsSpec != "" {
 		args = append(args, "-models", modelsSpec)
 	}
+	if admin {
+		args = append(args, "-admin", "127.0.0.1:0")
+	}
 	cmd := exec.Command(bin, args...)
 	cmd.Stderr = os.Stderr
 	stdout, err := cmd.StdoutPipe()
 	if err != nil {
-		return nil, "", err
+		return nil, "", "", err
 	}
 	if err := cmd.Start(); err != nil {
-		return nil, "", err
+		return nil, "", "", err
 	}
 	sc := bufio.NewScanner(stdout)
 	deadline := time.After(30 * time.Second)
-	lineCh := make(chan string, 1)
+	lineCh := make(chan [2]string, 1)
 	go func() {
+		// The server announces the data listener first, then (when bound)
+		// the admin listener on the next line.
+		var dataAddr, adminAddr string
 		for sc.Scan() {
-			if strings.HasPrefix(sc.Text(), "listening on ") {
-				lineCh <- strings.TrimPrefix(sc.Text(), "listening on ")
+			line := sc.Text()
+			switch {
+			case strings.HasPrefix(line, "listening on "):
+				dataAddr = strings.TrimPrefix(line, "listening on ")
+			case strings.HasPrefix(line, "admin listening on "):
+				adminAddr = strings.TrimPrefix(line, "admin listening on ")
+			}
+			if dataAddr != "" && (!admin || adminAddr != "") {
+				lineCh <- [2]string{dataAddr, adminAddr}
 				break
 			}
 		}
 		close(lineCh)
 	}()
 	select {
-	case addr, ok := <-lineCh:
-		if !ok || addr == "" {
+	case addrs, ok := <-lineCh:
+		if !ok || addrs[0] == "" {
 			_ = cmd.Process.Kill()
-			return nil, "", fmt.Errorf("server exited before announcing its port")
+			return nil, "", "", fmt.Errorf("server exited before announcing its port")
 		}
-		return cmd, "http://" + addr, nil
+		adminURL := ""
+		if addrs[1] != "" {
+			adminURL = "http://" + addrs[1]
+		}
+		return cmd, "http://" + addrs[0], adminURL, nil
 	case <-deadline:
 		_ = cmd.Process.Kill()
-		return nil, "", fmt.Errorf("timed out waiting for the server to listen")
+		return nil, "", "", fmt.Errorf("timed out waiting for the server to listen")
 	}
 }
 

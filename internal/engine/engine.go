@@ -97,9 +97,10 @@ type Engine struct {
 	base network.Model
 	cfg  Config
 
-	mu       sync.Mutex         // guards lazy pool growth only
-	runners  []*pipeline.Runner // pooled worker replicas, grown lazily
-	batchers []*pipeline.BatchRunner
+	mu        sync.Mutex         // guards lazy pool growth, workerCap and Free
+	runners   []*pipeline.Runner // pooled worker replicas, grown lazily
+	batchers  []*pipeline.BatchRunner
+	workerCap int // ExecuteBatch id bound when > Workers (idle-worker lending)
 }
 
 // New creates an engine around a base model — a float32 *network.Network or
@@ -222,6 +223,44 @@ func (e *Engine) runner(id int) *pipeline.Runner {
 // Workers returns the configured worker-pool size.
 func (e *Engine) Workers() int { return e.cfg.Workers }
 
+// SetWorkerCap raises the number of worker ids ExecuteBatch accepts beyond
+// the nominal pool size — the lending hook behind the serving scheduler's
+// idle-worker borrowing: a borrowed execution runs on an extra replica of
+// THIS engine's model (replicas are weight-sharing and created lazily on
+// first use), so lending capacity never executes a batch on the wrong
+// weights. The cap only ever grows; in-flight borrowed ids stay valid when
+// fleet capacity later shrinks.
+func (e *Engine) SetWorkerCap(n int) {
+	e.mu.Lock()
+	if n > e.workerCap {
+		e.workerCap = n
+	}
+	e.mu.Unlock()
+}
+
+// WorkerCap returns the current ExecuteBatch id bound: the nominal pool
+// size, or the raised lending cap when SetWorkerCap extended it.
+func (e *Engine) WorkerCap() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.workerCap > e.cfg.Workers {
+		return e.workerCap
+	}
+	return e.cfg.Workers
+}
+
+// Free releases every pooled replica (and with them their workspace
+// arenas) so a drained, retired pool returns its steady-state memory to the
+// GC. The caller must have quiesced the pool: no Run or ExecuteBatch may be
+// in flight or arrive afterwards — a stale ExecuteBatch would silently
+// re-instantiate a replica. Retiring a model during a live swap is the
+// intended caller (internal/serve).
+func (e *Engine) Free() {
+	e.mu.Lock()
+	e.runners, e.batchers = nil, nil
+	e.mu.Unlock()
+}
+
 // WorkspaceBytes sums the scratch-arena footprint of every instantiated
 // worker replica (models expose it via an optional ScratchBytes method).
 // Each replica owns exactly one grow-once arena for its transient
@@ -278,8 +317,8 @@ func (e *Engine) WarmBatch(batch int) {
 // as must ExecuteBatch against a concurrent Run. This is the executor the
 // serving subsystem's batch workers drive.
 func (e *Engine) ExecuteBatch(id int, imgs []*imgproc.Image, altitudes []float64) ([][]detect.Detection, error) {
-	if id < 0 || id >= e.cfg.Workers {
-		return nil, fmt.Errorf("engine: worker id %d outside pool of %d", id, e.cfg.Workers)
+	if cap := e.WorkerCap(); id < 0 || id >= cap {
+		return nil, fmt.Errorf("engine: worker id %d outside pool cap of %d", id, cap)
 	}
 	return e.batcher(id).Detect(imgs, altitudes)
 }

@@ -2,6 +2,7 @@ package engine
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/layers"
 )
@@ -14,10 +15,13 @@ import (
 // total, and the aggregate steady-state workspace footprint across every
 // pool.
 //
-// A Group is populated once at construction time (Add) and read-only
-// afterwards; concurrent reads (Get, Names, WorkspaceBytes) are safe
-// because the underlying engines guard their own mutable state.
+// Since the live model lifecycle work the Group is mutable at runtime:
+// Add, Remove and Replace may race with reads (Get, Names, Workers,
+// WorkspaceBytes), so all access goes through an internal RWMutex. The
+// Group only tracks membership — draining a retired pool's in-flight work
+// is the caller's job before (or after) unregistering it here.
 type Group struct {
+	mu     sync.RWMutex
 	names  []string
 	byName map[string]*Engine
 }
@@ -36,6 +40,8 @@ func (g *Group) Add(name string, e *Engine) error {
 	if e == nil {
 		return fmt.Errorf("engine: nil engine for model %q", name)
 	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
 	if _, dup := g.byName[name]; dup {
 		return fmt.Errorf("engine: duplicate model name %q", name)
 	}
@@ -44,25 +50,72 @@ func (g *Group) Add(name string, e *Engine) error {
 	return nil
 }
 
+// Remove unregisters the named engine, preserving the registration order of
+// the remaining pools. The engine itself is untouched — the caller drains
+// and frees it.
+func (g *Group) Remove(name string) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if _, ok := g.byName[name]; !ok {
+		return fmt.Errorf("engine: unknown model %q", name)
+	}
+	delete(g.byName, name)
+	for i, n := range g.names {
+		if n == name {
+			g.names = append(g.names[:i], g.names[i+1:]...)
+			break
+		}
+	}
+	return nil
+}
+
+// Replace swaps the engine registered under name for a new one, keeping the
+// name's position in registration order (so the default-route slot of a
+// serving registry survives a weight swap). The old engine is returned for
+// the caller to drain and free.
+func (g *Group) Replace(name string, e *Engine) (*Engine, error) {
+	if e == nil {
+		return nil, fmt.Errorf("engine: nil engine for model %q", name)
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	old, ok := g.byName[name]
+	if !ok {
+		return nil, fmt.Errorf("engine: unknown model %q", name)
+	}
+	g.byName[name] = e
+	return old, nil
+}
+
 // Get returns the named engine.
 func (g *Group) Get(name string) (*Engine, bool) {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
 	e, ok := g.byName[name]
 	return e, ok
 }
 
 // Names returns the model names in registration order (a copy).
 func (g *Group) Names() []string {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
 	out := make([]string, len(g.names))
 	copy(out, g.names)
 	return out
 }
 
 // Len returns the number of registered pools.
-func (g *Group) Len() int { return len(g.names) }
+func (g *Group) Len() int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return len(g.names)
+}
 
 // Workers sums the worker-pool sizes across every registered engine — the
 // fleet's total replica count.
 func (g *Group) Workers() int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
 	total := 0
 	for _, e := range g.byName {
 		total += e.Workers()
@@ -74,6 +127,8 @@ func (g *Group) Workers() int {
 // across every pool — the fleet-wide counterpart of Engine.WorkspaceBytes
 // that /healthz reports for a routed server.
 func (g *Group) WorkspaceBytes() int64 {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
 	var total int64
 	for _, e := range g.byName {
 		total += e.WorkspaceBytes()

@@ -13,6 +13,22 @@
 // batch worker per engine pool worker, so a slow large-input model
 // saturates (and sheds load) without stalling its faster neighbours.
 //
+// The registry is MUTABLE UNDER TRAFFIC. AddModel registers a new entry,
+// SwapModel atomically replaces a hosted model's weights (a fresh engine
+// and replica pool are built and warmed off-path, the route table flips in
+// one atomic pointer store, and the displaced pool drains its admitted
+// requests before its engine is freed), and RemoveModel drains and
+// retires a pool outright. Route tables are immutable snapshots behind an
+// atomic pointer, so the data plane never takes a lock to resolve; a
+// request that loses the race — it resolved the old table and reached a
+// retiring pool mid-swap — is transparently re-resolved against the fresh
+// table rather than failed. Every pool carries a server-unique GENERATION
+// tag minted when it starts; /detect responses and per-model metrics echo
+// it, so operators (and the swap-hammer tests) can prove exactly which
+// weights served each request. Lifecycle mutations are exposed over HTTP
+// by AdminHandler (see "Admin endpoints" below), which builds entries
+// from -models-grammar specs via a pluggable ModelBuilder.
+//
 // Each request resolves to one model, in precedence order:
 //
 //  1. Explicit selection — the ?model= query parameter, then the X-Model
@@ -44,7 +60,25 @@
 // waited Config.MaxWait, whichever comes first. Each batch becomes one
 // N-image batched forward on that model's pooled worker replica
 // (engine.ExecuteBatch); the per-image detections are then fanned back to
-// the waiting callers.
+// the waiting callers. Requests whose client context is already done when
+// the batcher reaches them are dropped at assembly — answered with a 499
+// and counted in cancelled_total — instead of wasting a batch slot on an
+// answer nobody reads.
+//
+// # Idle-worker lending
+//
+// Strict per-model pools waste capacity when load is uneven, so pools
+// share it through a work-stealing scheduler: when a pool's eligible
+// batch finds every local worker busy and the fleet has idle capacity,
+// the scheduler grants a BORROWED slot — one extra concurrent batch on a
+// lazily-grown replica of the pool's own engine. Spare slots go to the
+// hungriest pool by weighted fair share (ModelEntry.Weight, the optional
+// fifth -models field), and a pool's own workers never consult the
+// scheduler, so a lender whose traffic returns starts executing
+// immediately — the no-starvation guarantee costs at most a transient
+// overshoot above nominal fleet capacity while borrowed batches finish.
+// The borrowed_workers gauge and borrows_total counter in /metrics track
+// lending per model and fleet-wide.
 //
 // Batching is invisible to correctness: a batched forward produces
 // byte-identical per-image detections to single-image inference
@@ -75,9 +109,28 @@
 //
 // where boxes are center-format in normalized image coordinates, model
 // names the entry that served the request (so callers can observe the
-// altitude route), batch_size is the micro-batch the request rode in (an
+// altitude route), generation tags the serving pool's lifecycle
+// incarnation, batch_size is the micro-batch the request rode in (an
 // observability aid for tuning MaxWait), and latency_ms is
 // queue+inference time.
+//
+// # Admin endpoints
+//
+// AdminHandler returns a SEPARATE handler — bind it to a loopback or
+// otherwise-guarded listener, never the data port — exposing the registry
+// over HTTP:
+//
+//	GET    /admin/models         list hosted models with generations
+//	POST   /admin/models         {"spec":"name=model:size:precision[:maxalt][:weight]"}
+//	                             hot-add → 201 with the minted generation
+//	PUT    /admin/models/{name}  atomic weight swap → 200 with old and new
+//	                             generations (the spec may omit "name=")
+//	DELETE /admin/models/{name}  drain-then-retire → 200; removing the
+//	                             last hosted model is a 409
+//
+// Specs are built into live entries by the ModelBuilder installed with
+// SetModelBuilder (cmd/dronet-serve wires its startup constructor,
+// including int8 calibration); without one, mutating requests get 501.
 //
 // # Shutdown
 //

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -29,6 +30,12 @@ const maxBodyBytes = 64 << 20
 // pixels array).
 const maxImageDim = 2048
 
+// statusClientClosedRequest is nginx's de-facto-standard status for a
+// request whose client went away before the response: the admission path
+// drops context-cancelled requests at batch assembly, and nobody is
+// usually listening for this code — it exists for access logs.
+const statusClientClosedRequest = 499
+
 // DetectRequest is the body of POST /detect: a planar CHW float RGB image
 // (Pixels has length 3*Width*Height, channel-major, values in [0,1] — the
 // same layout imgproc.Image uses) plus an optional UAV altitude in metres
@@ -53,12 +60,16 @@ type DetectionJSON struct {
 
 // DetectResponse is the body of a successful detection response. Model
 // names the hosted model that served the request (so callers can observe
-// where the altitude route sent them), BatchSize reports the micro-batch
-// this request was executed in, and LatencyMs the end-to-end
-// queue+inference time — observability aids for tuning the batching knobs.
+// where the altitude route sent them), Generation tags the exact serving
+// pool that computed it — across a hot swap the route name stays and the
+// generation changes, so a client can prove which weights answered.
+// BatchSize reports the micro-batch this request was executed in, and
+// LatencyMs the end-to-end queue+inference time — observability aids for
+// tuning the batching knobs.
 type DetectResponse struct {
 	Detections []DetectionJSON `json:"detections"`
 	Model      string          `json:"model,omitempty"`
+	Generation uint64          `json:"generation,omitempty"`
 	BatchSize  int             `json:"batch_size"`
 	LatencyMs  float64         `json:"latency_ms"`
 }
@@ -80,12 +91,12 @@ func writeError(w http.ResponseWriter, status int, format string, args ...any) {
 
 // acquire reserves an in-flight slot before a request body is read,
 // writing a 429 and returning false when the server already holds its
-// maximum number of request images. Callers must release() when done.
+// maximum number of request images. The limit is recomputed on every
+// registry change (twice the summed queue depth), which is why this is an
+// atomic counter rather than a fixed-capacity channel.
 func (s *Server) acquire(w http.ResponseWriter) bool {
-	select {
-	case s.inflight <- struct{}{}:
-		return true
-	default:
+	if s.inflight.Add(1) > s.inflightLimit.Load() {
+		s.inflight.Add(-1)
 		// Shed before any model is even resolved: the turnaway is visible
 		// on the fleet aggregate only.
 		s.fleet.admit()
@@ -94,47 +105,66 @@ func (s *Server) acquire(w http.ResponseWriter) bool {
 		writeError(w, http.StatusTooManyRequests, "server overloaded: too many requests in flight")
 		return false
 	}
+	return true
 }
 
-func (s *Server) release() { <-s.inflight }
+func (s *Server) release() { s.inflight.Add(-1) }
 
-// routeExplicit resolves an explicit model selection (?model= query
-// parameter, then the X-Model header) — it wins outright over every other
-// routing rule, and an unknown name is a 404, never silently rerouted.
-// Returns a nil hosted when the request carries no selection. Explicit
-// selection needs nothing from the request body, so handlers call this
-// BEFORE decoding: a misrouted 64MB upload is answered without ever
-// parsing it.
-func (s *Server) routeExplicit(r *http.Request) (*hosted, int, error) {
-	name := r.URL.Query().Get("model")
-	if name == "" {
-		name = r.Header.Get("X-Model")
-	}
-	if name == "" {
-		return nil, 0, nil
-	}
-	h, ok := s.byName[name]
-	if !ok {
-		return nil, http.StatusNotFound, fmt.Errorf("unknown model %q (hosted: %s)", name, strings.Join(s.Models(), ", "))
-	}
-	return h, 0, nil
+// routeSel is a request's routing inputs, kept so the dispatch loop can
+// RE-resolve against a fresh table when a submit races a swap/remove:
+// explicit ?model=/X-Model selection wins outright, else a positive
+// altitude walks the bounded bands, else the default model.
+type routeSel struct {
+	explicit string
+	altitude float64
 }
 
-// routeDefault picks the model for a request without an explicit
-// selection: a positive altitude walks the bounded altitude bands
-// (smallest ceiling at or above the request's altitude, overflowing to
-// the catch-all above every band); everything else lands on the default
-// model (the first registered entry).
-func (s *Server) routeDefault(altitude float64) *hosted {
-	if altitude > 0 && len(s.altRoutes) > 0 {
-		for _, h := range s.altRoutes {
-			if altitude <= h.maxAlt {
-				return h
+// explicitName extracts the explicit model selection (?model= query
+// parameter, then the X-Model header); empty means no selection.
+func explicitName(r *http.Request) string {
+	if name := r.URL.Query().Get("model"); name != "" {
+		return name
+	}
+	return r.Header.Get("X-Model")
+}
+
+// resolve maps a selection to a hosted pool against the CURRENT table. An
+// unknown explicit name is a 404, never silently rerouted — including the
+// case where the name was just hot-removed mid-request.
+func (s *Server) resolve(sel routeSel) (*hosted, int, error) {
+	t := s.table.Load()
+	if sel.explicit != "" {
+		h, ok := t.byName[sel.explicit]
+		if !ok {
+			return nil, http.StatusNotFound, fmt.Errorf("unknown model %q (hosted: %s)", sel.explicit, strings.Join(s.Models(), ", "))
+		}
+		return h, 0, nil
+	}
+	if sel.altitude > 0 && len(t.altRoutes) > 0 {
+		for _, h := range t.altRoutes {
+			if sel.altitude <= h.maxAlt {
+				return h, 0, nil
 			}
 		}
-		return s.overflow
+		return t.overflow, 0, nil
 	}
-	return s.def
+	return t.def, 0, nil
+}
+
+// checkExplicit pre-validates an explicit selection before the body is
+// decoded, so a misrouted 64MB upload is answered without ever parsing it.
+// The dispatch loop still re-resolves after decode — the registry may have
+// changed — but the common-case typo fails fast here.
+func (s *Server) checkExplicit(w http.ResponseWriter, r *http.Request) (string, bool) {
+	name := explicitName(r)
+	if name == "" {
+		return "", true
+	}
+	if _, code, err := s.resolve(routeSel{explicit: name}); err != nil {
+		writeError(w, code, "%v", err)
+		return "", false
+	}
+	return name, true
 }
 
 // handleDetectJSON serves POST /detect.
@@ -143,9 +173,8 @@ func (s *Server) handleDetectJSON(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, "POST required")
 		return
 	}
-	h, code, err := s.routeExplicit(r)
-	if err != nil {
-		writeError(w, code, "%v", err)
+	name, ok := s.checkExplicit(w, r)
+	if !ok {
 		return
 	}
 	if !s.acquire(w) {
@@ -166,16 +195,11 @@ func (s *Server) handleDetectJSON(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "pixels length %d != 3*%d*%d", len(req.Pixels), req.Width, req.Height)
 		return
 	}
-	if h == nil {
-		// No explicit selection: only now, with the body decoded, is the
-		// altitude available for the default route.
-		h = s.routeDefault(req.Altitude)
-	}
 	// req.Pixels is a private, just-decoded slice of exactly 3*W*H floats in
 	// the Image's own planar layout — adopt it rather than copying ~50MB at
 	// max dimensions on the hot path.
 	img := &imgproc.Image{W: req.Width, H: req.Height, Pix: req.Pixels}
-	s.respond(w, h, img, req.Altitude)
+	s.respond(w, r.Context(), routeSel{explicit: name, altitude: req.Altitude}, img, req.Altitude)
 }
 
 // handleDetectRaw serves POST /detect/raw: the body is a PNG or JPEG image,
@@ -198,15 +222,9 @@ func (s *Server) handleDetectRaw(w http.ResponseWriter, r *http.Request) {
 		}
 		altitude = v
 	}
-	h, code, err := s.routeExplicit(r)
-	if err != nil {
-		writeError(w, code, "%v", err)
+	name, ok := s.checkExplicit(w, r)
+	if !ok {
 		return
-	}
-	if h == nil {
-		// The raw endpoint carries its altitude in the query string, so the
-		// default route resolves before the body is read too.
-		h = s.routeDefault(altitude)
 	}
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
 	if err != nil {
@@ -229,34 +247,53 @@ func (s *Server) handleDetectRaw(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "decode image: %v", err)
 		return
 	}
-	s.respond(w, h, imgproc.FromGoImage(src), altitude)
+	s.respond(w, r.Context(), routeSel{explicit: name, altitude: altitude}, imgproc.FromGoImage(src), altitude)
 }
 
-// respond pushes the image through the routed model's micro-batcher and
-// writes the result.
-func (s *Server) respond(w http.ResponseWriter, h *hosted, img *imgproc.Image, altitude float64) {
-	resp, lat, err := s.detect(h, img, altitude)
-	switch {
-	case errors.Is(err, ErrOverloaded):
-		w.Header().Set("Retry-After", "1")
-		writeError(w, http.StatusTooManyRequests, "server overloaded: admission queue full")
-		return
-	case errors.Is(err, ErrClosed):
-		writeError(w, http.StatusServiceUnavailable, "server shutting down")
-		return
-	case err != nil:
-		writeError(w, http.StatusInternalServerError, "%v", err)
-		return
-	case resp.err != nil:
-		writeError(w, http.StatusInternalServerError, "inference: %v", resp.err)
+// respond resolves the route, pushes the image through the routed model's
+// micro-batcher and writes the result. The loop re-resolves and retries
+// when the resolved pool retired between resolution and submit (a
+// swap/remove raced this request) — each retry reads the freshly-published
+// table, so it terminates unless registry mutations outpace the request
+// forever; the retry is what turns a lifecycle race into "served by the
+// new generation" instead of an error.
+func (s *Server) respond(w http.ResponseWriter, ctx context.Context, sel routeSel, img *imgproc.Image, altitude float64) {
+	for {
+		h, code, err := s.resolve(sel)
+		if err != nil {
+			writeError(w, code, "%v", err)
+			return
+		}
+		resp, lat, err := s.detect(ctx, h, img, altitude)
+		switch {
+		case errors.Is(err, errRetired):
+			continue
+		case errors.Is(err, errCancelled):
+			writeError(w, statusClientClosedRequest, "client closed request before batch assembly")
+			return
+		case errors.Is(err, ErrOverloaded):
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusTooManyRequests, "server overloaded: admission queue full")
+			return
+		case errors.Is(err, ErrClosed):
+			writeError(w, http.StatusServiceUnavailable, "server shutting down")
+			return
+		case err != nil:
+			writeError(w, http.StatusInternalServerError, "%v", err)
+			return
+		case resp.err != nil:
+			writeError(w, http.StatusInternalServerError, "inference: %v", resp.err)
+			return
+		}
+		writeJSON(w, http.StatusOK, DetectResponse{
+			Detections: toJSON(resp.dets),
+			Model:      h.name,
+			Generation: h.gen,
+			BatchSize:  resp.batch,
+			LatencyMs:  lat.Seconds() * 1e3,
+		})
 		return
 	}
-	writeJSON(w, http.StatusOK, DetectResponse{
-		Detections: toJSON(resp.dets),
-		Model:      h.name,
-		BatchSize:  resp.batch,
-		LatencyMs:  lat.Seconds() * 1e3,
-	})
 }
 
 // toJSON converts detections to the wire format (never nil, so the JSON is
@@ -274,37 +311,42 @@ func toJSON(dets []detect.Detection) []DetectionJSON {
 // every pool; precision and batching knobs of the default route, which for
 // a single-model server makes the document identical in meaning to the
 // pre-registry one), plus one labelled block per hosted model under
-// "models".
+// "models" — now including the pool generation, lending weight and
+// currently-borrowed worker count.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	t := s.table.Load()
 	queueCap := 0
-	models := make(map[string]any, len(s.order))
-	for _, h := range s.order {
+	models := make(map[string]any, len(t.order))
+	for _, h := range t.order {
 		queueCap += h.cfg.QueueDepth
 		in := h.eng.InShape()
 		models[h.name] = map[string]any{
-			"precision":       h.cfg.Precision,
-			"input":           fmt.Sprintf("%dx%d", in.W, in.H),
-			"workers":         h.eng.Workers(),
-			"max_batch":       h.cfg.MaxBatch,
-			"max_wait_ms":     h.cfg.MaxWait.Seconds() * 1e3,
-			"min_wait_ms":     h.cfg.MinWait.Seconds() * 1e3,
-			"queue_cap":       h.cfg.QueueDepth,
-			"queue_depth":     len(h.queue),
-			"max_altitude_m":  h.maxAlt,
-			"workspace_bytes": h.eng.WorkspaceBytes(),
-			"default":         h == s.def,
+			"precision":        h.cfg.Precision,
+			"input":            fmt.Sprintf("%dx%d", in.W, in.H),
+			"workers":          h.eng.Workers(),
+			"max_batch":        h.cfg.MaxBatch,
+			"max_wait_ms":      h.cfg.MaxWait.Seconds() * 1e3,
+			"min_wait_ms":      h.cfg.MinWait.Seconds() * 1e3,
+			"queue_cap":        h.cfg.QueueDepth,
+			"queue_depth":      len(h.queue),
+			"max_altitude_m":   h.maxAlt,
+			"workspace_bytes":  h.eng.WorkspaceBytes(),
+			"default":          h == t.def,
+			"generation":       h.gen,
+			"weight":           h.weight,
+			"borrowed_workers": s.sched.borrowedNow(h),
 		}
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status":          "ok",
-		"precision":       s.def.cfg.Precision,
+		"precision":       t.def.cfg.Precision,
 		"workers":         s.group.Workers(),
-		"max_batch":       s.def.cfg.MaxBatch,
-		"max_wait_ms":     s.def.cfg.MaxWait.Seconds() * 1e3,
-		"min_wait_ms":     s.def.cfg.MinWait.Seconds() * 1e3,
+		"max_batch":       t.def.cfg.MaxBatch,
+		"max_wait_ms":     t.def.cfg.MaxWait.Seconds() * 1e3,
+		"min_wait_ms":     t.def.cfg.MinWait.Seconds() * 1e3,
 		"queue_cap":       queueCap,
 		"workspace_bytes": s.group.WorkspaceBytes(),
-		"default_model":   s.def.name,
+		"default_model":   t.def.name,
 		"models":          models,
 	})
 }

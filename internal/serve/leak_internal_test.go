@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"runtime"
 	"testing"
 	"time"
@@ -58,12 +59,12 @@ func awaitCollected(t *testing.T, collected chan struct{}, what string) {
 func TestServedFrameNotRetained(t *testing.T) {
 	srv := newTestServer(t)
 	defer srv.Close()
-	h := srv.byName["only"]
+	h := srv.table.Load().byName["only"]
 
 	img := testImage()
 	collected := make(chan struct{})
 	runtime.SetFinalizer(img, func(*imgproc.Image) { close(collected) })
-	resp, _, err := srv.detect(h, img, 0)
+	resp, _, err := srv.detect(context.Background(), h, img, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -79,13 +80,13 @@ func TestServedFrameNotRetained(t *testing.T) {
 // must not leave any reference to the decoded frame behind.
 func TestRejectedFrameNotRetained(t *testing.T) {
 	srv := newTestServer(t)
-	h := srv.byName["only"]
+	h := srv.table.Load().byName["only"]
 	srv.Close()
 
 	img := testImage()
 	collected := make(chan struct{})
 	runtime.SetFinalizer(img, func(*imgproc.Image) { close(collected) })
-	if _, _, err := srv.detect(h, img, 0); err != ErrClosed {
+	if _, _, err := srv.detect(context.Background(), h, img, 0); err != ErrClosed {
 		t.Fatalf("detect on closed server: err=%v, want ErrClosed", err)
 	}
 	img = nil

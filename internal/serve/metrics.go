@@ -32,6 +32,13 @@ type Stats struct {
 	// aggregate).
 	MaxAltitude float64 `json:"max_altitude_m,omitempty"`
 
+	// Generation is the serving pool's lifecycle tag on a per-model
+	// snapshot (absent on the fleet aggregate): every pool start — initial
+	// registration, hot add, or swap replacement — mints a fresh
+	// server-unique generation, and /detect responses echo the tag of the
+	// pool that computed them.
+	Generation uint64 `json:"generation,omitempty"`
+
 	// Request counters: Received counts every admission attempt, Rejected
 	// the 429/503 turnaways, Completed successful responses, Failed
 	// responses that errored during inference.
@@ -39,6 +46,18 @@ type Stats struct {
 	Rejected  uint64 `json:"rejected"`
 	Completed uint64 `json:"completed"`
 	Failed    uint64 `json:"failed"`
+
+	// CancelledTotal counts admitted requests dropped at batch-assembly
+	// time because the client's context was already done — work the server
+	// declined to waste a batch slot on. Disjoint from Completed/Failed.
+	CancelledTotal uint64 `json:"cancelled_total"`
+
+	// BorrowedWorkers is the number of borrowed batch executions in flight
+	// at snapshot time (idle-worker lending), and BorrowsTotal the all-time
+	// count of granted borrows. On the fleet aggregate they sum over every
+	// pool.
+	BorrowedWorkers int    `json:"borrowed_workers"`
+	BorrowsTotal    uint64 `json:"borrows_total"`
 
 	// QueueDepth is the number of requests waiting at snapshot time;
 	// QueueCap the bounded queue's capacity (the 429 threshold).
@@ -91,6 +110,10 @@ type metrics struct {
 	rejected  uint64
 	completed uint64
 	failed    uint64
+	cancelled uint64
+
+	borrowedNow  int    // borrowed batch executions in flight
+	borrowsTotal uint64 // granted borrows, all-time
 
 	batches     int
 	batchImages int
@@ -119,6 +142,29 @@ func (m *metrics) admit() {
 func (m *metrics) reject() {
 	m.mu.Lock()
 	m.rejected++
+	m.mu.Unlock()
+}
+
+// cancel records one admitted request dropped at batch assembly because
+// its client context was already done.
+func (m *metrics) cancel() {
+	m.mu.Lock()
+	m.cancelled++
+	m.mu.Unlock()
+}
+
+// borrowStart / borrowEnd bracket one borrowed batch execution, maintaining
+// the borrowed_workers gauge and borrows_total counter.
+func (m *metrics) borrowStart() {
+	m.mu.Lock()
+	m.borrowedNow++
+	m.borrowsTotal++
+	m.mu.Unlock()
+}
+
+func (m *metrics) borrowEnd() {
+	m.mu.Lock()
+	m.borrowedNow--
 	m.mu.Unlock()
 }
 
@@ -175,18 +221,21 @@ func (m *metrics) snapshot(queueDepth, queueCap, workers, maxBatch int) Stats {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	s := Stats{
-		UptimeSeconds: time.Since(m.start).Seconds(),
-		Received:      m.received,
-		Rejected:      m.rejected,
-		Completed:     m.completed,
-		Failed:        m.failed,
-		QueueDepth:    queueDepth,
-		QueueCap:      queueCap,
-		Workers:       workers,
-		MaxBatch:      maxBatch,
-		Batches:       m.batches,
-		BatchHist:     make(map[int]int, len(m.batchHist)),
-		LatencyMaxMs:  m.latMax * 1e3,
+		UptimeSeconds:   time.Since(m.start).Seconds(),
+		Received:        m.received,
+		Rejected:        m.rejected,
+		Completed:       m.completed,
+		Failed:          m.failed,
+		CancelledTotal:  m.cancelled,
+		BorrowedWorkers: m.borrowedNow,
+		BorrowsTotal:    m.borrowsTotal,
+		QueueDepth:      queueDepth,
+		QueueCap:        queueCap,
+		Workers:         workers,
+		MaxBatch:        maxBatch,
+		Batches:         m.batches,
+		BatchHist:       make(map[int]int, len(m.batchHist)),
+		LatencyMaxMs:    m.latMax * 1e3,
 	}
 	for k, v := range m.batchHist {
 		s.BatchHist[k] = v

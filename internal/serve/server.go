@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net/http"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/detect"
@@ -85,8 +86,29 @@ var ErrOverloaded = errors.New("serve: admission queue full")
 // it to 503 Service Unavailable.
 var ErrClosed = errors.New("serve: server is shutting down")
 
+// Lifecycle sentinels for the mutable registry; the admin HTTP layer maps
+// them to 404 (unknown) and 409 (duplicate, last-model) respectively.
+var (
+	ErrUnknownModel   = errors.New("serve: unknown model")
+	ErrDuplicateModel = errors.New("serve: duplicate model name")
+	ErrLastModel      = errors.New("serve: cannot remove the last hosted model")
+)
+
+// errRetired is the internal signal that a request raced a swap/remove and
+// reached a pool that stopped admitting between route resolution and
+// submit. It never escapes the package: the HTTP layer re-resolves the
+// route against the fresh table and retries, so the caller sees the NEW
+// generation, not an error.
+var errRetired = errors.New("serve: pool retired")
+
+// errCancelled is the internal signal that a request's client context was
+// already done when its batch was assembled; the HTTP layer maps it to 499
+// (client closed request) and /metrics counts it as cancelled_total.
+var errCancelled = errors.New("serve: request context cancelled")
+
 // request is one admitted detection job awaiting a micro-batch slot.
 type request struct {
+	ctx      context.Context
 	img      *imgproc.Image
 	altitude float64
 	enqueued time.Time
@@ -105,47 +127,108 @@ type response struct {
 // one batch worker per engine pool worker, and per-model metrics. Every
 // hosted model runs these independently, so a slow large-input model can
 // saturate (and 429) without stalling its faster neighbours.
+//
+// A hosted is immutable after start; swapping a model's weights creates a
+// NEW hosted (fresh engine pool, fresh generation, carried-over metrics)
+// and retires this one. gen is the server-unique generation tag clients
+// see on responses, the proof a result was computed by the pool they think
+// it was.
 type hosted struct {
 	name   string
 	eng    *engine.Engine
 	cfg    Config
 	met    *metrics
 	fleet  *metrics // shared server-wide aggregate
+	sched  *scheduler
 	maxAlt float64
+	weight float64
+	gen    uint64
 
 	queue   chan *request
 	batches chan []*request
 
+	// retired is written under the server's admitMu write lock alongside
+	// close(queue); submit reads it under the read lock, so no sender can
+	// race the close.
+	retired bool
+
 	workerWG  sync.WaitGroup
 	batcherWG sync.WaitGroup
+	execWG    sync.WaitGroup // borrowed one-shot batch executions
+}
+
+// routeTable is one immutable snapshot of the routing state. Registry
+// mutations build a fresh table and publish it with a single atomic store,
+// so the request path reads a consistent view without ever taking a lock.
+type routeTable struct {
+	byName    map[string]*hosted
+	order     []*hosted // registration order; order[0] is the default route
+	def       *hosted
+	altRoutes []*hosted // maxAlt > 0, ascending ceilings
+	overflow  *hosted   // target above every bounded band (nil without routes)
+	queueSum  int       // summed queue depths, the inflight-limit input
+}
+
+// newTable derives a routeTable from a registration-ordered pool list.
+func newTable(order []*hosted) *routeTable {
+	t := &routeTable{order: order, byName: make(map[string]*hosted, len(order))}
+	for _, h := range order {
+		t.byName[h.name] = h
+		t.queueSum += h.cfg.QueueDepth
+	}
+	if len(order) > 0 {
+		t.def = order[0]
+	}
+	t.altRoutes, t.overflow = buildRoutes(order)
+	return t
 }
 
 // Server hosts N named models behind one set of endpoints, routing each
 // request to a model (explicit ?model=/X-Model selection, else the
 // altitude default route, else the default model) and coalescing the
 // requests of each model into micro-batches on that model's engine pool.
-// Create with New (single model) or NewRouted, serve with ServeHTTP (it
-// implements http.Handler), stop with Close or Shutdown.
+//
+// The registry is mutable under traffic: AddModel, SwapModel and
+// RemoveModel (and the admin endpoints wrapping them, see AdminHandler)
+// re-publish the routing table atomically while in-flight requests drain
+// on whichever pool admitted them. Create with New (single model) or
+// NewRouted, serve with ServeHTTP (it implements http.Handler), stop with
+// Close or Shutdown.
 type Server struct {
 	mux   *http.ServeMux
+	adm   *http.ServeMux
 	group *engine.Group
+	sched *scheduler
 
-	byName    map[string]*hosted
-	order     []*hosted // registration order; order[0] is the default route
-	def       *hosted
-	altRoutes []*hosted // maxAlt > 0, ascending ceilings
-	overflow  *hosted   // target above every bounded band (nil without routes)
+	table atomic.Pointer[routeTable]
 
 	fleet *metrics
-	// inflight caps concurrently-held request bodies/images at twice the
-	// summed queue depth. Decoding happens in the HTTP handler before
+
+	// inflight counts concurrently-held request bodies/images against
+	// inflightLimit (twice the summed queue depth, recomputed on every
+	// registry change). Decoding happens in the HTTP handler before
 	// admission, so without this cap N connections could each materialize a
 	// decoded image and exhaust memory before ever seeing a queue's 429;
 	// with it, excess requests are shed before their body is read.
-	inflight chan struct{}
+	inflight      atomic.Int64
+	inflightLimit atomic.Int64
 
-	admitMu sync.RWMutex // write-held once by Close to fence late submitters
+	// genCounter mints server-unique pool generations; every started pool
+	// (initial, added, or swap replacement) gets the next value.
+	genCounter atomic.Uint64
+
+	// adminMu serializes registry mutations (AddModel/SwapModel/RemoveModel/
+	// Close). The request path never takes it.
+	adminMu sync.Mutex
+
+	// admitMu write-fences queue closes against in-flight submits: submit
+	// holds the read lock across its channel send, retirement holds the
+	// write lock while marking the pool retired and closing its queue.
+	admitMu sync.RWMutex
 	closed  bool
+
+	builderMu sync.RWMutex
+	builder   ModelBuilder
 
 	closeOnce sync.Once
 }
@@ -166,48 +249,15 @@ func NewRouted(entries []ModelEntry) (*Server, error) {
 		return nil, fmt.Errorf("serve: no models to host")
 	}
 	s := &Server{
-		byName: make(map[string]*hosted, len(entries)),
-		group:  engine.NewGroup(),
-		fleet:  newMetrics(),
+		group: engine.NewGroup(),
+		sched: newScheduler(),
+		fleet: newMetrics(),
 	}
-	queueSum := 0
+	s.table.Store(newTable(nil))
 	for _, e := range entries {
-		if e.Engine == nil {
-			return nil, fmt.Errorf("serve: model %q: nil engine", e.Name)
-		}
-		if e.Engine.Workers() < 1 {
-			return nil, fmt.Errorf("serve: model %q: engine has no workers", e.Name)
-		}
-		if err := s.group.Add(e.Name, e.Engine); err != nil {
+		if _, err := s.AddModel(e); err != nil {
+			s.Close()
 			return nil, err
-		}
-		cfg := e.Config.withDefaults()
-		h := &hosted{
-			name:    e.Name,
-			eng:     e.Engine,
-			cfg:     cfg,
-			met:     newMetrics(),
-			fleet:   s.fleet,
-			maxAlt:  e.MaxAltitude,
-			queue:   make(chan *request, cfg.QueueDepth),
-			batches: make(chan []*request),
-		}
-		s.byName[e.Name] = h
-		s.order = append(s.order, h)
-		queueSum += cfg.QueueDepth
-	}
-	s.def = s.order[0]
-	s.altRoutes, s.overflow = buildRoutes(s.order)
-	s.inflight = make(chan struct{}, 2*queueSum)
-	for _, h := range s.order {
-		if h.cfg.Warm {
-			h.eng.WarmBatch(h.cfg.MaxBatch)
-		}
-		h.batcherWG.Add(1)
-		go h.batchLoop()
-		for id := 0; id < h.eng.Workers(); id++ {
-			h.workerWG.Add(1)
-			go h.workerLoop(id)
 		}
 	}
 	s.mux = http.NewServeMux()
@@ -223,7 +273,198 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.Serve
 
 // Models returns the hosted model names in registration order; the first is
 // the default route.
-func (s *Server) Models() []string { return s.group.Names() }
+func (s *Server) Models() []string {
+	t := s.table.Load()
+	out := make([]string, len(t.order))
+	for i, h := range t.order {
+		out[i] = h.name
+	}
+	return out
+}
+
+// startHosted validates an entry, mints a generation, and spins up the
+// pool's batcher and workers. met is the carried-over metrics object on a
+// swap (continuity of counters across generations of the same route name)
+// or nil for a brand-new route.
+func (s *Server) startHosted(e ModelEntry, met *metrics) (*hosted, error) {
+	if e.Engine == nil {
+		return nil, fmt.Errorf("serve: model %q: nil engine", e.Name)
+	}
+	if e.Engine.Workers() < 1 {
+		return nil, fmt.Errorf("serve: model %q: engine has no workers", e.Name)
+	}
+	if e.Name == "" {
+		return nil, fmt.Errorf("serve: model entry needs a name")
+	}
+	cfg := e.Config.withDefaults()
+	weight := e.Weight
+	if weight <= 0 {
+		weight = 1
+	}
+	if met == nil {
+		met = newMetrics()
+	}
+	h := &hosted{
+		name:    e.Name,
+		eng:     e.Engine,
+		cfg:     cfg,
+		met:     met,
+		fleet:   s.fleet,
+		sched:   s.sched,
+		maxAlt:  e.MaxAltitude,
+		weight:  weight,
+		gen:     s.genCounter.Add(1),
+		queue:   make(chan *request, cfg.QueueDepth),
+		batches: make(chan []*request),
+	}
+	if cfg.Warm {
+		h.eng.WarmBatch(cfg.MaxBatch)
+	}
+	s.sched.register(h)
+	h.batcherWG.Add(1)
+	go h.batchLoop()
+	for id := 0; id < h.eng.Workers(); id++ {
+		h.workerWG.Add(1)
+		go h.workerLoop(id)
+	}
+	return h, nil
+}
+
+// install publishes a new routing table and recomputes the inflight cap.
+// Callers hold adminMu.
+func (s *Server) install(order []*hosted) {
+	t := newTable(order)
+	s.table.Store(t)
+	s.inflightLimit.Store(int64(2 * t.queueSum))
+}
+
+// isClosed reports whether Close has begun. Callers hold adminMu (so the
+// answer cannot change under them).
+func (s *Server) isClosed() bool {
+	s.admitMu.RLock()
+	defer s.admitMu.RUnlock()
+	return s.closed
+}
+
+// AddModel registers and starts a new hosted model under live traffic,
+// returning its generation tag. The new pool participates in routing (and
+// idle-worker lending) from the moment the fresh table is published; no
+// in-flight request is disturbed. Fails with ErrDuplicateModel if the route
+// name is taken.
+func (s *Server) AddModel(e ModelEntry) (uint64, error) {
+	s.adminMu.Lock()
+	defer s.adminMu.Unlock()
+	if s.isClosed() {
+		return 0, ErrClosed
+	}
+	t := s.table.Load()
+	if _, dup := t.byName[e.Name]; dup {
+		return 0, fmt.Errorf("%w: %q", ErrDuplicateModel, e.Name)
+	}
+	if err := s.group.Add(e.Name, e.Engine); err != nil {
+		return 0, err
+	}
+	h, err := s.startHosted(e, nil)
+	if err != nil {
+		_ = s.group.Remove(e.Name)
+		return 0, err
+	}
+	order := append(append([]*hosted(nil), t.order...), h)
+	s.install(order)
+	return h.gen, nil
+}
+
+// SwapModel atomically replaces the named model's serving pool with a new
+// one (typically freshly-built weights at the same route name): the new
+// pool is started off-path, the routing table is flipped in one atomic
+// store, and only then is the old pool drained — every request the old
+// generation admitted is answered by the old generation, every request
+// resolved after the flip lands on the new one, and none are dropped.
+// Returns the retired and fresh generation tags. The swapped-out engine's
+// replicas are freed once its last batch completes. Metrics counters carry
+// over (same route, same history); the generation tag is what changes.
+func (s *Server) SwapModel(e ModelEntry) (oldGen, newGen uint64, err error) {
+	s.adminMu.Lock()
+	defer s.adminMu.Unlock()
+	if s.isClosed() {
+		return 0, 0, ErrClosed
+	}
+	t := s.table.Load()
+	old, ok := t.byName[e.Name]
+	if !ok {
+		return 0, 0, fmt.Errorf("%w: %q", ErrUnknownModel, e.Name)
+	}
+	h, err := s.startHosted(e, old.met)
+	if err != nil {
+		return 0, 0, err
+	}
+	if _, err := s.group.Replace(e.Name, e.Engine); err != nil {
+		// Unreachable while the table and group agree; surface it anyway.
+		return 0, 0, err
+	}
+	order := append([]*hosted(nil), t.order...)
+	for i, cur := range order {
+		if cur == old {
+			order[i] = h
+		}
+	}
+	s.install(order)
+	s.retire(old)
+	return old.gen, h.gen, nil
+}
+
+// RemoveModel drains and retires the named model's pool and drops it from
+// every route. Explicit selections of the name 404 from the moment the new
+// table is published; altitude/default traffic re-resolves onto the
+// remaining models. Requests already admitted to the retiring pool are
+// answered before RemoveModel returns. The last hosted model cannot be
+// removed (ErrLastModel) — a server with nothing to route to is a worse
+// failure mode than a refused delete.
+func (s *Server) RemoveModel(name string) error {
+	s.adminMu.Lock()
+	defer s.adminMu.Unlock()
+	if s.isClosed() {
+		return ErrClosed
+	}
+	t := s.table.Load()
+	h, ok := t.byName[name]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownModel, name)
+	}
+	if len(t.order) == 1 {
+		return fmt.Errorf("%w: %q", ErrLastModel, name)
+	}
+	order := make([]*hosted, 0, len(t.order)-1)
+	for _, cur := range t.order {
+		if cur != h {
+			order = append(order, cur)
+		}
+	}
+	if err := s.group.Remove(name); err != nil {
+		return err
+	}
+	s.install(order)
+	s.retire(h)
+	return nil
+}
+
+// retire fences, drains and frees one pool that is no longer routable.
+// Callers hold adminMu and have already published a table that excludes h,
+// so no new resolution can reach it; the write fence catches requests that
+// resolved the OLD table and are mid-submit — they get errRetired and the
+// HTTP layer re-resolves. Returns only when every admitted request has been
+// answered and the pool's replicas are freed.
+func (s *Server) retire(h *hosted) {
+	s.admitMu.Lock()
+	h.retired = true
+	close(h.queue)
+	s.admitMu.Unlock()
+	h.batcherWG.Wait()
+	h.workerWG.Wait()
+	h.execWG.Wait()
+	s.sched.unregister(h)
+	h.eng.Free()
+}
 
 // Stats returns a point-in-time snapshot of the fleet-aggregate serving
 // metrics: counters summed over every hosted model, latency percentiles
@@ -231,11 +472,14 @@ func (s *Server) Models() []string { return s.group.Names() }
 // models' batch-execution spans. For a single-model server this is exactly
 // that model's view.
 func (s *Server) Stats() Stats {
+	t := s.table.Load()
 	depth, cap, maxBatch := 0, 0, 0
+	workers := 0
 	precision := ""
-	for _, h := range s.order {
+	for _, h := range t.order {
 		depth += len(h.queue)
 		cap += h.cfg.QueueDepth
+		workers += h.eng.Workers()
 		if h.cfg.MaxBatch > maxBatch {
 			maxBatch = h.cfg.MaxBatch
 		}
@@ -246,14 +490,14 @@ func (s *Server) Stats() Stats {
 			precision = "mixed"
 		}
 	}
-	st := s.fleet.snapshot(depth, cap, s.group.Workers(), maxBatch)
+	st := s.fleet.snapshot(depth, cap, workers, maxBatch)
 	st.Precision = precision
 	return st
 }
 
 // ModelStats returns the named model's private metrics snapshot.
 func (s *Server) ModelStats(name string) (Stats, bool) {
-	h, ok := s.byName[name]
+	h, ok := s.table.Load().byName[name]
 	if !ok {
 		return Stats{}, false
 	}
@@ -266,27 +510,33 @@ func (h *hosted) stats() Stats {
 	st.Model = h.name
 	st.Precision = h.cfg.Precision
 	st.MaxAltitude = h.maxAlt
+	st.Generation = h.gen
 	return st
 }
 
 // Report assembles the full /metrics document: the fleet aggregate plus
 // every hosted model's private snapshot.
 func (s *Server) Report() MetricsReport {
-	rep := MetricsReport{Stats: s.Stats(), Models: make(map[string]Stats, len(s.order))}
-	for _, h := range s.order {
+	t := s.table.Load()
+	rep := MetricsReport{Stats: s.Stats(), Models: make(map[string]Stats, len(t.order))}
+	for _, h := range t.order {
 		rep.Models[h.name] = h.stats()
 	}
 	return rep
 }
 
 // submit admits a request to one model's queue or rejects it without
-// blocking. The read lock spans the channel send so Close's write lock can
-// guarantee no sender is mid-flight when it closes the queues.
+// blocking. The read lock spans the channel send so a retiring pool's (or
+// Close's) write lock can guarantee no sender is mid-flight when the queue
+// closes; errRetired tells the caller its route resolution went stale.
 func (s *Server) submit(h *hosted, r *request) error {
 	s.admitMu.RLock()
 	defer s.admitMu.RUnlock()
 	if s.closed {
 		return ErrClosed
+	}
+	if h.retired {
+		return errRetired
 	}
 	select {
 	case h.queue <- r:
@@ -300,21 +550,56 @@ func (s *Server) submit(h *hosted, r *request) error {
 // blocking until its batch executes. On a rejection the request — and with
 // it the decoded frame — is never retained: it was not enqueued, so the
 // only reference dies with this stack frame (the admission-path guarantee
-// behind the inflight cap's memory bound).
-func (s *Server) detect(h *hosted, img *imgproc.Image, altitude float64) (response, time.Duration, error) {
-	s.fleet.admit()
-	h.met.admit()
-	req := &request{img: img, altitude: altitude, enqueued: time.Now(), resp: make(chan response, 1)}
+// behind the inflight cap's memory bound). An errRetired return is
+// metrics-silent: the caller re-resolves and the retry is the admission
+// attempt that counts.
+func (s *Server) detect(ctx context.Context, h *hosted, img *imgproc.Image, altitude float64) (response, time.Duration, error) {
+	req := &request{ctx: ctx, img: img, altitude: altitude, enqueued: time.Now(), resp: make(chan response, 1)}
 	if err := s.submit(h, req); err != nil {
+		if errors.Is(err, errRetired) {
+			return response{}, 0, err
+		}
+		s.fleet.admit()
+		h.met.admit()
 		s.fleet.reject()
 		h.met.reject()
 		return response{}, 0, err
 	}
+	s.fleet.admit()
+	h.met.admit()
 	resp := <-req.resp
+	if errors.Is(resp.err, errCancelled) {
+		// Dropped at batch assembly; already counted in cancelled_total.
+		// Not a completion, not a failure — the client had hung up.
+		return response{}, 0, errCancelled
+	}
 	lat := time.Since(req.enqueued)
 	s.fleet.done(lat, resp.err == nil)
 	h.met.done(lat, resp.err == nil)
 	return resp, lat, nil
+}
+
+// cancelled reports whether the request's client context is already done —
+// the batch-assembly drop test. A nil context (internal callers) never
+// cancels.
+func (r *request) cancelled() bool {
+	if r.ctx == nil {
+		return false
+	}
+	select {
+	case <-r.ctx.Done():
+		return true
+	default:
+		return false
+	}
+}
+
+// drop answers a cancelled request without spending a batch slot on it.
+func (h *hosted) drop(r *request) {
+	h.met.cancel()
+	h.fleet.cancel()
+	r.img = nil
+	r.resp <- response{err: errCancelled}
 }
 
 // batchLoop drains one model's admission queue, coalescing requests into
@@ -325,12 +610,21 @@ func (s *Server) detect(h *hosted, img *imgproc.Image, altitude float64) (respon
 // arrivals, so when every worker is busy the batch keeps growing toward
 // MaxBatch instead of going stale at whatever size the deadline caught it
 // (the committed pre-MinWait benchmark showed exactly that: mean batch 1.67
-// with 53/120 singleton batches). Exits (closing the workers' feed) when
-// the queue is closed and drained.
+// with 53/120 singleton batches). Requests whose client context is already
+// done are dropped AT ASSEMBLY — a dead request in a batch slot wastes
+// inference on an answer nobody reads. When an eligible batch finds every
+// local worker busy, the loop asks the scheduler for a borrowed slot
+// (idle-worker lending) and hands the batch directly to a one-shot
+// borrowed executor. Exits (closing the workers' feed) when the queue is
+// closed and drained.
 func (h *hosted) batchLoop() {
 	defer h.batcherWG.Done()
 	defer close(h.batches)
 	for first := range h.queue {
+		if first.cancelled() {
+			h.drop(first)
+			continue
+		}
 		batch := append(make([]*request, 0, h.cfg.MaxBatch), first)
 		minT := time.NewTimer(h.cfg.MinWait)
 		maxT := time.NewTimer(h.cfg.MaxWait)
@@ -344,12 +638,30 @@ func (h *hosted) batchLoop() {
 			var offer chan []*request
 			if maxDone || (minDone && len(batch) >= 2) {
 				offer = h.batches
+				// Eligible: prefer an idle local worker, else try to borrow
+				// fleet capacity. Both probes are non-blocking; on a miss the
+				// select below parks until the next event, so a denied borrow
+				// never spins.
+				select {
+				case h.batches <- batch:
+					sent = true
+					continue
+				default:
+				}
+				if id, ok := h.sched.tryBorrow(h); ok {
+					h.runBorrowed(id, batch)
+					sent = true
+					continue
+				}
 			}
 			select {
 			case r, ok := <-h.queue:
-				if !ok {
+				switch {
+				case !ok:
 					open = false
-				} else {
+				case r.cancelled():
+					h.drop(r)
+				default:
 					batch = append(batch, r)
 				}
 			case <-minT.C:
@@ -363,48 +675,95 @@ func (h *hosted) batchLoop() {
 		minT.Stop()
 		maxT.Stop()
 		if !sent {
-			// Full batch, or the queue closed mid-collection: hand it over
-			// unconditionally (blocks until a worker frees up).
-			h.batches <- batch
+			// Full batch, or the queue closed mid-collection: prefer an idle
+			// local worker, else try to borrow fleet capacity (under
+			// saturation batches fill before the eligibility window above
+			// ever probes the scheduler, so this is the hot borrow path),
+			// else block until a local worker frees up.
+			select {
+			case h.batches <- batch:
+			default:
+				if id, ok := h.sched.tryBorrow(h); ok {
+					h.runBorrowed(id, batch)
+				} else {
+					h.batches <- batch
+				}
+			}
 		}
+		h.sched.dispatched(h)
 	}
 }
 
+// runBorrowed executes one batch on a borrowed engine replica (worker ids
+// at or above the nominal pool size) in a one-shot goroutine — the direct
+// handoff means the batch cannot be lost between the grant and a worker
+// picking it up. Tracked by execWG so retire/Close wait for it.
+func (h *hosted) runBorrowed(id int, batch []*request) {
+	h.execWG.Add(1)
+	go func() {
+		defer h.execWG.Done()
+		h.met.borrowStart()
+		h.fleet.borrowStart()
+		h.runBatch(id, batch, nil, nil)
+		h.met.borrowEnd()
+		h.fleet.borrowEnd()
+		h.sched.endBorrow(h, id)
+	}()
+}
+
 // workerLoop executes one model's batches on this worker's pooled replica
-// and fans the per-image detections back to the waiting requests.
+// and fans the per-image detections back to the waiting requests. The
+// begin/endLocal brackets keep the scheduler's fleet-occupancy counters
+// honest without ever gating local execution on it.
 func (h *hosted) workerLoop(id int) {
 	defer h.workerWG.Done()
 	imgs := make([]*imgproc.Image, 0, h.cfg.MaxBatch)
 	alts := make([]float64, 0, h.cfg.MaxBatch)
 	for batch := range h.batches {
-		imgs, alts = imgs[:0], alts[:0]
-		for _, r := range batch {
-			imgs = append(imgs, r.img)
-			alts = append(alts, r.altitude)
-		}
-		h.met.batchStart()
-		h.fleet.batchStart()
-		per, err := h.executeBatch(id, imgs, alts)
-		h.met.batch(len(batch))
-		h.fleet.batch(len(batch))
-		for i, r := range batch {
-			if err != nil {
-				r.resp <- response{err: err}
-			} else {
-				r.resp <- response{dets: per[i], batch: len(batch)}
-			}
-			// The response has been delivered; drop the frame reference so a
-			// request object lingering anywhere cannot pin megabytes of
-			// pixels.
-			r.img = nil
-		}
-		// This worker's staging slice persists across batches (imgs[:0]
-		// keeps the backing array): clear the slots, or the last batch's
-		// decoded frames stay reachable through an idle worker indefinitely.
-		for i := range imgs {
-			imgs[i] = nil
-		}
+		h.sched.beginLocal(h)
+		imgs, alts = h.runBatch(id, batch, imgs, alts)
+		h.sched.endLocal(h)
 	}
+}
+
+// runBatch is the shared batch-execution body of the strict workers and the
+// borrowed one-shot executors: stage the images, run the engine replica,
+// fan results back, and scrub frame references so an idle worker cannot pin
+// megabytes of pixels. The staging slices are returned for reuse (the
+// strict workers keep theirs across batches; borrowed executors pass nil).
+func (h *hosted) runBatch(id int, batch []*request, imgs []*imgproc.Image, alts []float64) ([]*imgproc.Image, []float64) {
+	if imgs == nil {
+		imgs = make([]*imgproc.Image, 0, len(batch))
+		alts = make([]float64, 0, len(batch))
+	}
+	imgs, alts = imgs[:0], alts[:0]
+	for _, r := range batch {
+		imgs = append(imgs, r.img)
+		alts = append(alts, r.altitude)
+	}
+	h.met.batchStart()
+	h.fleet.batchStart()
+	per, err := h.executeBatch(id, imgs, alts)
+	h.met.batch(len(batch))
+	h.fleet.batch(len(batch))
+	for i, r := range batch {
+		if err != nil {
+			r.resp <- response{err: err}
+		} else {
+			r.resp <- response{dets: per[i], batch: len(batch)}
+		}
+		// The response has been delivered; drop the frame reference so a
+		// request object lingering anywhere cannot pin megabytes of
+		// pixels.
+		r.img = nil
+	}
+	// The staging slice may persist across batches (imgs[:0] keeps the
+	// backing array): clear the slots, or the last batch's decoded frames
+	// stay reachable through an idle worker indefinitely.
+	for i := range imgs {
+		imgs[i] = nil
+	}
+	return imgs, alts
 }
 
 // executeBatch wraps the engine call with panic recovery: the batch workers
@@ -427,18 +786,26 @@ func (h *hosted) executeBatch(id int, imgs []*imgproc.Image, alts []float64) (pe
 // model's batch workers, and returns once all of them have been answered.
 // One fence covers all pools — a request racing Close is either admitted
 // to its model's queue before the fence (and will be drained) or rejected,
-// regardless of which model it routed to. Safe to call more than once.
+// regardless of which model it routed to. Serialized against the lifecycle
+// operations on adminMu, so a swap-in-progress finishes its drain before
+// shutdown begins. Safe to call more than once.
 func (s *Server) Close() error {
 	s.closeOnce.Do(func() {
+		s.adminMu.Lock()
+		defer s.adminMu.Unlock()
+		t := s.table.Load()
 		s.admitMu.Lock()
 		s.closed = true
-		for _, h := range s.order {
+		for _, h := range t.order {
+			h.retired = true
 			close(h.queue)
 		}
 		s.admitMu.Unlock()
-		for _, h := range s.order {
+		for _, h := range t.order {
 			h.batcherWG.Wait()
 			h.workerWG.Wait()
+			h.execWG.Wait()
+			s.sched.unregister(h)
 		}
 	})
 	return nil
