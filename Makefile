@@ -1,13 +1,13 @@
 GO ?= go
 
-.PHONY: ci vet build test race bench bench-smoke serve-bench serve-smoke swap-smoke fuzz fleet serve profile
+.PHONY: ci vet build test race bench bench-smoke serve-bench serve-smoke swap-smoke shard-smoke fuzz fleet serve profile
 
 ## ci: the full tier-1 + hygiene gate (what .github/workflows/ci.yml's main
 ## job runs step by step); bench-smoke runs the GEMM kernels a few iterations
 ## so a kernel regression (or an asm/portable divergence) breaks CI loudly,
 ## not just slowly. Deliberately NOT `bench`: that regenerates (and dirties)
 ## the committed BENCH_serve.json, which is a release chore, not a gate.
-ci: vet build race bench-smoke serve-smoke swap-smoke
+ci: vet build race bench-smoke serve-smoke swap-smoke shard-smoke
 
 ## bench-smoke: quick kernel-level regression tripwire over the packed GEMM
 ## benchmarks (10 iterations — catches crashes and gross slowdowns cheaply)
@@ -43,11 +43,17 @@ bench: serve-bench
 ## clients — once at fp32, once at int8 — and write BENCH_serve.json (agg
 ## FPS per precision, p50/p99 latency, batch-size histogram, and the
 ## fp32-vs-int8 detection-agreement score) so the serving perf trajectory is
-## tracked per-commit
+## tracked per-commit; the proxy leg then spawns a two-shard fleet and
+## merges the "sharded" section (client throughput, fleet rollup, per-shard
+## balance) into the same report
 serve-bench:
 	$(GO) run ./cmd/dronet-serve -selfbench -size 96 -scale 0.25 -workers 2 \
 	    -bench-clients 8 -bench-requests 25 -bench-out BENCH_serve.json \
 	    -models "low=dronet:64:int8:150,high=dronet:96:fp32"
+	$(GO) build -o bin/dronet-serve ./cmd/dronet-serve
+	$(GO) run ./cmd/dronet-proxy -selfbench -spawn 2 -serve-bin bin/dronet-serve \
+	    -size 96 -scale 0.25 -workers 2 -bench-cameras 12 -bench-requests 25 \
+	    -bench-out BENCH_serve.json
 
 ## serve-smoke: boot the real dronet-serve binary on a random port — once per
 ## precision (fp32, then -precision int8 with startup calibration), then once
@@ -73,6 +79,17 @@ swap-smoke:
 	$(GO) run ./examples/serveclient -server bin/dronet-serve -size 64 -swap \
 	    -models "low=dronet:64:int8:150,high=dronet:96:fp32::2"
 
+## shard-smoke: boot two real dronet-serve shard processes behind a real
+## dronet-proxy and walk the sharded tier — camera affinity, fleet metrics
+## aggregation with shard identity labels, then kill -9 one shard under
+## traffic asserting only 200/429/503, ejection and failover to the
+## survivor (examples/serveclient -sharded is the driver)
+shard-smoke:
+	$(GO) build -o bin/dronet-serve ./cmd/dronet-serve
+	$(GO) build -o bin/dronet-proxy ./cmd/dronet-proxy
+	$(GO) run ./examples/serveclient -sharded -server bin/dronet-serve \
+	    -proxy bin/dronet-proxy -size 96
+
 ## fuzz: short bounded fuzz pass over the detect, kernel, quantization and
 ## spec-grammar invariants (FuzzGemmPackedVsNaive cross-checks the packed
 ## cache-blocked GEMM against the naive loops: exact for int8, <=1e-4
@@ -87,6 +104,7 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzIm2colInt8 -fuzztime $(FUZZTIME) ./internal/tensor
 	$(GO) test -run '^$$' -fuzz FuzzQuantDequant -fuzztime $(FUZZTIME) ./internal/quant
 	$(GO) test -run '^$$' -fuzz FuzzParseModelSpecs -fuzztime $(FUZZTIME) ./internal/serve
+	$(GO) test -run '^$$' -fuzz FuzzRingOwnership -fuzztime $(FUZZTIME) ./internal/cluster
 
 ## profile: run the serving selfbench with CPU + heap pprof capture; inspect
 ## with `go tool pprof bin/pprof/cpu.pprof` (see README "Profiling")

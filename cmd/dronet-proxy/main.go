@@ -1,0 +1,406 @@
+// Command dronet-proxy fronts a fleet of dronet-serve shard processes with
+// the consistent-hash forwarding tier (internal/cluster): requests carrying
+// a camera identity (?camera= or X-Camera-ID) are pinned to a stable owner
+// shard so per-camera streams batch together, keyless requests round-robin,
+// and model-routing semantics (?model=, X-Model, altitude fields) pass
+// through untouched for each shard's own registry to resolve.
+//
+// Point it at an existing fleet:
+//
+//	dronet-proxy -addr :9090 -shards 10.0.0.1:8080,10.0.0.2:8080
+//
+// or let it spawn a local fleet of shard processes itself:
+//
+//	dronet-proxy -addr :9090 -spawn 3 -serve-bin bin/dronet-serve \
+//	    -size 96 -scale 0.25 -workers 2 -precision int8
+//
+// Spawned shards listen on free loopback ports and are labelled shard0..N-1
+// via dronet-serve's -shard-id; the proxy SIGTERMs them on shutdown. The
+// proxy actively probes every shard's /healthz, ejects shards that fail
+// consecutively and re-admits them when probes succeed again; a killed
+// shard only costs capacity — its cameras fail over to ring successors and
+// clients only ever see 200/429/503. GET /metrics serves the fleet
+// document (per-shard labelled blocks plus a fleet rollup), GET /healthz
+// the ring membership and per-shard status.
+//
+// With -selfbench the command spawns -spawn shards (default 2), drives
+// -bench-cameras camera streams through an in-process proxy and merges a
+// "sharded" section (client throughput, fleet rollup, per-shard balance)
+// into the -bench-out JSON report next to dronet-serve's own sections.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"os/signal"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/dataset"
+	"repro/internal/imgproc"
+	"repro/internal/pipeline"
+	"repro/internal/serve"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("dronet-proxy: ")
+	addr := flag.String("addr", ":9090", "proxy listen address (host:0 picks a free port)")
+	shardsFlag := flag.String("shards", "", "comma-separated shard addresses (host:port,...) of an already-running fleet")
+	spawn := flag.Int("spawn", 0, "spawn this many local dronet-serve shard processes instead of -shards")
+	serveBin := flag.String("serve-bin", "bin/dronet-serve", "dronet-serve binary for -spawn")
+	size := flag.Int("size", 96, "spawned shards: network input resolution")
+	scale := flag.Float64("scale", 0.25, "spawned shards: filter-count scale")
+	workers := flag.Int("workers", 2, "spawned shards: batch worker pool size")
+	maxBatch := flag.Int("max-batch", 4, "spawned shards: maximum images per micro-batch")
+	maxWait := flag.Duration("max-wait", 2*time.Millisecond, "spawned shards: maximum wait for a batch to fill")
+	precision := flag.String("precision", "fp32", "spawned shards: inference precision (fp32 or int8)")
+	modelsFlag := flag.String("models", "", "spawned shards: routed multi-model registry spec (passed through to dronet-serve -models)")
+	vnodes := flag.Int("vnodes", cluster.DefaultVNodes, "virtual nodes per shard on the consistent-hash ring")
+	maxInflight := flag.Int("max-inflight", 32, "per-shard bound on concurrently forwarded requests (429 beyond it)")
+	healthInterval := flag.Duration("health-interval", 500*time.Millisecond, "active /healthz probe interval")
+	failThreshold := flag.Int("fail-threshold", 3, "consecutive probe/forward failures before a shard is ejected")
+	selfbench := flag.Bool("selfbench", false, "run the sharded serving benchmark instead of proxying")
+	benchCameras := flag.Int("bench-cameras", 12, "selfbench: concurrent camera streams")
+	benchRequests := flag.Int("bench-requests", 25, "selfbench: frames per camera")
+	benchOut := flag.String("bench-out", "BENCH_serve.json", "selfbench: JSON report to merge the sharded section into")
+	flag.Parse()
+
+	if (*shardsFlag == "") == (*spawn == 0) {
+		log.Fatal("exactly one of -shards or -spawn must be given")
+	}
+
+	var fleet *shardFleet
+	var addrs []string
+	if *spawn > 0 {
+		if *selfbench && *spawn < 2 {
+			*spawn = 2 // a sharded benchmark needs a fleet to shard across
+		}
+		var err error
+		fleet, err = spawnFleet(*serveBin, *spawn, shardArgs(*size, *scale, *workers, *maxBatch, *maxWait, *precision, *modelsFlag))
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer fleet.stop()
+		addrs = fleet.addrs
+	} else {
+		addrs = strings.Split(*shardsFlag, ",")
+	}
+
+	p, err := cluster.NewProxy(cluster.ProxyConfig{
+		Shards:         addrs,
+		VNodes:         *vnodes,
+		MaxInflight:    *maxInflight,
+		HealthInterval: *healthInterval,
+		FailThreshold:  *failThreshold,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer p.Close()
+
+	if *selfbench {
+		if err := runShardedBench(p, len(addrs), *size, *benchCameras, *benchRequests, *benchOut); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("listening on %s\n", ln.Addr())
+	log.Printf("fronting %d shards: %s", len(addrs), strings.Join(p.ShardAddrs(), ", "))
+
+	httpSrv := &http.Server{Handler: p}
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.Serve(ln) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		log.Fatal(err)
+	case s := <-sig:
+		log.Printf("%s: shutting down", s)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		log.Printf("http shutdown: %v", err)
+	}
+}
+
+// shardArgs builds the dronet-serve argument list shared by every spawned
+// shard; the per-shard -shard-id and -addr are appended at spawn time.
+func shardArgs(size int, scale float64, workers, maxBatch int, maxWait time.Duration, precision, modelsSpec string) []string {
+	args := []string{
+		"-addr", "127.0.0.1:0",
+		"-size", fmt.Sprint(size),
+		"-scale", fmt.Sprint(scale),
+		"-workers", fmt.Sprint(workers),
+		"-max-batch", fmt.Sprint(maxBatch),
+		"-max-wait", maxWait.String(),
+	}
+	if modelsSpec != "" {
+		args = append(args, "-models", modelsSpec)
+	} else {
+		args = append(args, "-precision", precision)
+	}
+	return args
+}
+
+// shardFleet is a set of locally spawned dronet-serve processes.
+type shardFleet struct {
+	cmds  []*exec.Cmd
+	addrs []string
+}
+
+// spawnFleet starts n shard processes labelled shard0..n-1 on free loopback
+// ports and waits for each to announce its address. Any spawn failure tears
+// down what already started.
+func spawnFleet(bin string, n int, baseArgs []string) (*shardFleet, error) {
+	f := &shardFleet{}
+	for i := 0; i < n; i++ {
+		id := fmt.Sprintf("shard%d", i)
+		cmd := exec.Command(bin, append(append([]string{}, baseArgs...), "-shard-id", id)...)
+		cmd.Stderr = os.Stderr
+		stdout, err := cmd.StdoutPipe()
+		if err != nil {
+			f.stop()
+			return nil, err
+		}
+		if err := cmd.Start(); err != nil {
+			f.stop()
+			return nil, fmt.Errorf("spawn %s: %w", id, err)
+		}
+		f.cmds = append(f.cmds, cmd)
+		addr, err := awaitListenLine(stdout)
+		if err != nil {
+			f.stop()
+			return nil, fmt.Errorf("%s: %w", id, err)
+		}
+		log.Printf("spawned %s on %s", id, addr)
+		f.addrs = append(f.addrs, addr)
+	}
+	return f, nil
+}
+
+// awaitListenLine scans a shard's stdout for the "listening on HOST:PORT"
+// announcement (30s cap) and keeps draining the pipe afterwards so the
+// child never blocks on a full pipe.
+func awaitListenLine(stdout io.ReadCloser) (string, error) {
+	sc := bufio.NewScanner(stdout)
+	addrCh := make(chan string, 1)
+	go func() {
+		announced := false
+		for sc.Scan() {
+			if line := sc.Text(); !announced && strings.HasPrefix(line, "listening on ") {
+				addrCh <- strings.TrimPrefix(line, "listening on ")
+				announced = true
+			}
+		}
+		if !announced {
+			close(addrCh)
+		}
+	}()
+	select {
+	case addr, ok := <-addrCh:
+		if !ok || addr == "" {
+			return "", fmt.Errorf("shard exited before announcing its port")
+		}
+		return addr, nil
+	case <-time.After(30 * time.Second):
+		return "", fmt.Errorf("shard never announced its port")
+	}
+}
+
+// stop SIGTERMs every spawned shard (the drain path) and reaps it, falling
+// back to SIGKILL after 10s.
+func (f *shardFleet) stop() {
+	for _, cmd := range f.cmds {
+		_ = cmd.Process.Signal(syscall.SIGTERM)
+	}
+	for _, cmd := range f.cmds {
+		done := make(chan struct{})
+		go func(c *exec.Cmd) { _ = c.Wait(); close(done) }(cmd)
+		select {
+		case <-done:
+		case <-time.After(10 * time.Second):
+			_ = cmd.Process.Kill()
+			<-done
+		}
+	}
+}
+
+// shardBalance is one shard's slice of the sharded benchmark: how much of
+// the camera traffic it absorbed.
+type shardBalance struct {
+	ShardID        string  `json:"shard_id"`
+	ForwardedTotal uint64  `json:"forwarded_total"`
+	Completed      uint64  `json:"completed"`
+	ImagesPerSec   float64 `json:"images_per_sec"`
+}
+
+// shardedReport is the "sharded" section merged into BENCH_serve.json: the
+// client-observed throughput through the proxy, the fleet rollup, and the
+// per-shard balance of the camera streams.
+type shardedReport struct {
+	Shards         int                     `json:"shards"`
+	Cameras        int                     `json:"cameras"`
+	RequestsPerCam int                     `json:"requests_per_camera"`
+	WallSeconds    float64                 `json:"wall_s"`
+	ClientImgPerS  float64                 `json:"client_images_per_sec"`
+	Rollup         serve.Stats             `json:"rollup"`
+	PerShard       map[string]shardBalance `json:"per_shard"`
+}
+
+// runShardedBench drives cameras*requests frames through the proxy (each
+// camera a goroutine posting its stream in order, retrying briefly on 429)
+// and merges the measured section into the bench report.
+func runShardedBench(p *cluster.Proxy, shards, size, cameras, requests int, outPath string) error {
+	if cameras < 1 || requests < 1 {
+		return fmt.Errorf("selfbench: need cameras >= 1 and requests >= 1")
+	}
+	ts := &http.Server{Handler: p}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	go func() { _ = ts.Serve(ln) }()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = ts.Shutdown(ctx)
+	}()
+
+	// Pre-render each camera's frames so generation cost stays off the clock.
+	frames := make([][]*imgproc.Image, cameras)
+	for c := range frames {
+		cam := pipeline.NewSimCamera(dataset.DefaultConfig(size), requests, uint64(300+c))
+		for {
+			f, ok := cam.Next()
+			if !ok {
+				break
+			}
+			frames[c] = append(frames[c], f.Image)
+		}
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, cameras)
+	start := time.Now()
+	for c := 0; c < cameras; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			url := fmt.Sprintf("http://%s/detect?camera=bench-cam-%d", ln.Addr(), c)
+			for _, img := range frames[c] {
+				if err := postFrame(url, img); err != nil {
+					errs <- fmt.Errorf("camera %d: %w", c, err)
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	close(errs)
+	if err := <-errs; err != nil {
+		return err
+	}
+
+	fleet := p.FleetReport()
+	rep := shardedReport{
+		Shards:         shards,
+		Cameras:        cameras,
+		RequestsPerCam: requests,
+		WallSeconds:    wall.Seconds(),
+		ClientImgPerS:  float64(cameras*requests) / wall.Seconds(),
+		Rollup:         fleet.Stats,
+		PerShard:       make(map[string]shardBalance, len(fleet.Shards)),
+	}
+	for addr, sm := range fleet.Shards {
+		b := shardBalance{ShardID: sm.ShardID, ForwardedTotal: sm.ForwardedTotal}
+		if sm.Metrics != nil {
+			b.Completed = sm.Metrics.Stats.Completed
+			b.ImagesPerSec = sm.Metrics.Stats.AggregateFPS
+		}
+		rep.PerShard[addr] = b
+		log.Printf("selfbench shard %s (%s): forwarded %d, completed %d", b.ShardID, addr, b.ForwardedTotal, b.Completed)
+	}
+	log.Printf("selfbench sharded: %d cameras x %d frames across %d shards in %.2fs -> %.1f images/s at the client, fleet rollup %.1f images/s",
+		cameras, requests, shards, wall.Seconds(), rep.ClientImgPerS, rep.Rollup.AggregateFPS)
+	return mergeSection(outPath, "sharded", rep)
+}
+
+// mergeSection read-modify-writes one top-level key of the JSON report so
+// the proxy benchmark composes with dronet-serve's selfbench sections
+// without either binary knowing the other's schema.
+func mergeSection(path, key string, v any) error {
+	doc := make(map[string]json.RawMessage)
+	if data, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(data, &doc); err != nil {
+			return fmt.Errorf("%s: existing report is not a JSON object: %w", path, err)
+		}
+	} else if !os.IsNotExist(err) {
+		return err
+	}
+	raw, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	doc[key] = raw
+	out, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	out = append(out, '\n')
+	if err := os.WriteFile(path, out, 0o644); err != nil {
+		return err
+	}
+	log.Printf("selfbench: merged %q section into %s", key, path)
+	return nil
+}
+
+// postFrame sends one frame as a JSON detect request through the proxy,
+// retrying briefly on 429 (either backpressure layer) so the benchmark
+// exercises shedding without losing samples.
+func postFrame(url string, img *imgproc.Image) error {
+	req := serve.DetectRequest{Width: img.W, Height: img.H, Pixels: img.Pix}
+	body, err := json.Marshal(req)
+	if err != nil {
+		return err
+	}
+	for attempt := 0; ; attempt++ {
+		resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+		if err != nil {
+			return err
+		}
+		code := resp.StatusCode
+		_, _ = io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		switch {
+		case code == http.StatusOK:
+			return nil
+		case code == http.StatusTooManyRequests && attempt < 100:
+			time.Sleep(2 * time.Millisecond)
+		default:
+			return fmt.Errorf("POST %s: status %d", url, code)
+		}
+	}
+}

@@ -36,6 +36,10 @@
 // on loopback or an ops network; it is deliberately not part of the data
 // plane handler.
 //
+// With -shard-id the server stamps that identity (plus its bound address)
+// on /healthz and /metrics so a fronting dronet-proxy — and anyone scraping
+// shards directly — can attribute fleet metrics to the right process.
+//
 // The server prints "listening on HOST:PORT" once the socket is bound (so
 // -addr 127.0.0.1:0 picks a free port scripts can parse; with -admin the
 // second line is "admin listening on HOST:PORT") and drains in-flight
@@ -102,6 +106,7 @@ func main() {
 	maxWait := flag.Duration("max-wait", 2*time.Millisecond, "maximum wait for a batch to fill")
 	minWait := flag.Duration("min-wait", 300*time.Microsecond, "batch accumulation floor: a non-full batch is never dispatched earlier")
 	queueDepth := flag.Int("queue", 0, "admission queue depth (0 = 8*max-batch); full queue returns 429")
+	shardID := flag.String("shard-id", "", "fleet identity label stamped on /healthz and /metrics (for sharded deployments behind dronet-proxy)")
 	thresh := flag.Float64("thresh", 0.24, "detection confidence threshold")
 	altFilter := flag.Bool("altfilter", false, "apply the altitude size gate when requests carry an altitude")
 	selfbench := flag.Bool("selfbench", false, "run the fp32-vs-int8 serving benchmark instead of serving")
@@ -206,6 +211,9 @@ func main() {
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if *shardID != "" {
+		srv.SetIdentity(*shardID, ln.Addr().String())
 	}
 	fmt.Printf("listening on %s\n", ln.Addr())
 	var adminHTTP *http.Server

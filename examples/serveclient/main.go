@@ -20,6 +20,13 @@
 // swap the primary model while requests are in flight, then remove the
 // added model — all without a single non-2xx/429 data-plane response.
 //
+// With -sharded (the driver behind `make shard-smoke`) the client spawns
+// two shard servers plus a dronet-proxy (-proxy) and walks the sharded
+// tier: camera affinity via ?camera= and X-Camera-ID, fleet /metrics
+// aggregation with shard identity labels, then kill -9 of one shard under
+// traffic — every response must be 200/429/503, the proxy must eject the
+// victim, and its cameras must fail over to the survivor.
+//
 // Usage:
 //
 //	go build -o bin/dronet-serve ./cmd/dronet-serve
@@ -40,6 +47,7 @@ import (
 	"flag"
 	"fmt"
 	"image/png"
+	"io"
 	"log"
 	"net/http"
 	"os"
@@ -67,7 +75,18 @@ func main() {
 	precision := flag.String("precision", "fp32", "server precision to spawn (fp32 or int8)")
 	modelsFlag := flag.String("models", "", "spawn a routed multi-model server with this -models spec and walk the routing matrix")
 	swapFlag := flag.Bool("swap", false, "exercise the live model lifecycle (hot add/swap/remove under traffic) via the spawned server's admin listener")
+	shardedFlag := flag.Bool("sharded", false, "exercise the sharded tier: spawn two shard servers plus a dronet-proxy and walk affinity, fleet metrics and kill -9 failover")
+	proxyBin := flag.String("proxy", "", "path to a dronet-proxy binary (required with -sharded)")
 	flag.Parse()
+
+	if *shardedFlag {
+		if *server == "" || *proxyBin == "" {
+			log.Fatal("-sharded needs -server and -proxy (it spawns the shard fleet and the proxy)")
+		}
+		shardedWalk(*server, *proxyBin, *size, *precision)
+		fmt.Println("OK")
+		return
+	}
 
 	if *swapFlag {
 		if *server == "" {
@@ -385,6 +404,279 @@ func swapWalk(dataURL, adminURL, spec string) {
 		log.Fatal("background traffic served zero requests during the lifecycle walk")
 	}
 	fmt.Printf("swap smoke: %d served, %d shed, zero failures across the lifecycle\n", served.Load(), shed.Load())
+}
+
+// shardedWalk is the driver behind `make shard-smoke`: it spawns two
+// dronet-serve shards (labelled shard0/shard1), fronts them with a spawned
+// dronet-proxy, and walks the sharded tier end to end — camera affinity by
+// query and header, fleet /healthz and /metrics aggregation, then the
+// failure drill: kill -9 one shard under traffic and require that clients
+// only ever see 200/429/503 while the victim's cameras fail over and the
+// proxy ejects it from the fleet view.
+func shardedWalk(serverBin, proxyBin string, size int, precision string) {
+	type shardProc struct {
+		id   string
+		addr string
+		cmd  *exec.Cmd
+	}
+	shards := make([]shardProc, 2)
+	for i := range shards {
+		id := fmt.Sprintf("shard%d", i)
+		cmd, addr, err := spawnWithArgs(serverBin, []string{
+			"-addr", "127.0.0.1:0",
+			"-size", fmt.Sprint(size),
+			"-scale", "0.25",
+			"-workers", "2",
+			"-max-batch", "4",
+			"-max-wait", "5ms",
+			"-precision", precision,
+			"-shard-id", id,
+		})
+		if err != nil {
+			log.Fatalf("spawn %s: %v", id, err)
+		}
+		defer func() { _ = cmd.Process.Kill() }()
+		shards[i] = shardProc{id: id, addr: addr, cmd: cmd}
+		fmt.Printf("spawned %s on %s\n", id, addr)
+	}
+	proxyCmd, proxyAddr, err := spawnWithArgs(proxyBin, []string{
+		"-addr", "127.0.0.1:0",
+		"-shards", shards[0].addr + "," + shards[1].addr,
+		"-health-interval", "50ms",
+		"-fail-threshold", "2",
+	})
+	if err != nil {
+		log.Fatalf("spawn proxy: %v", err)
+	}
+	defer func() { _ = proxyCmd.Process.Kill() }()
+	url := "http://" + proxyAddr
+	fmt.Printf("spawned proxy on %s\n", proxyAddr)
+
+	cam := pipeline.NewSimCamera(dataset.DefaultConfig(size), 1, 80)
+	f, _ := cam.Next()
+	body := marshalFrame(f.Image, 0)
+
+	// Camera affinity: every camera maps to a stable shard, the query and
+	// header spellings agree, and with 16 cameras both shards see traffic.
+	const cameras = 16
+	owner := make(map[string]string, cameras)
+	hit := make(map[string]int, 2)
+	for i := 0; i < cameras; i++ {
+		id := fmt.Sprintf("smoke-cam-%d", i)
+		code, shard := postStatus(url+"/detect?camera="+id, body, nil)
+		if code != http.StatusOK || shard == "" {
+			log.Fatalf("camera %s: status %d, shard %q", id, code, shard)
+		}
+		code2, shard2 := postStatus(url+"/detect", body, http.Header{"X-Camera-ID": []string{id}})
+		if code2 != http.StatusOK || shard2 != shard {
+			log.Fatalf("camera %s: header spelling landed on %q, query on %q", id, shard2, shard)
+		}
+		owner[id] = shard
+		hit[shard]++
+	}
+	if len(hit) != 2 {
+		log.Fatalf("16 cameras all landed on one shard: %v", hit)
+	}
+	fmt.Printf("camera affinity: %d cameras pinned across %d shards %v\n", cameras, len(hit), hit)
+
+	// Raw-PNG forwarding with altitude preserved through the proxy.
+	var buf bytes.Buffer
+	if err := png.Encode(&buf, f.Image.ToNRGBA()); err != nil {
+		log.Fatal(err)
+	}
+	raw := post(url+"/detect/raw?altitude=42.0", "image/png", buf.Bytes())
+	fmt.Printf("raw PNG via proxy: %d detections (batch %d)\n", len(raw.Detections), raw.BatchSize)
+
+	// Fleet metrics: per-shard labelled blocks plus a rollup that sums them.
+	var fleet struct {
+		Completed  uint64 `json:"completed"`
+		LiveShards int    `json:"live_shards"`
+		Shards     map[string]struct {
+			ShardID string `json:"shard_id"`
+			Metrics *struct {
+				Completed uint64 `json:"completed"`
+			} `json:"metrics"`
+		} `json:"shards"`
+	}
+	getJSON(url+"/metrics", &fleet)
+	if fleet.LiveShards != 2 || len(fleet.Shards) != 2 {
+		log.Fatalf("fleet metrics: live=%d shards=%d, want 2/2", fleet.LiveShards, len(fleet.Shards))
+	}
+	var sum uint64
+	labels := make(map[string]bool, 2)
+	for _, sm := range fleet.Shards {
+		labels[sm.ShardID] = true
+		if sm.Metrics != nil {
+			sum += sm.Metrics.Completed
+		}
+	}
+	if !labels["shard0"] || !labels["shard1"] {
+		log.Fatalf("fleet metrics missing shard identity labels: %v", labels)
+	}
+	if fleet.Completed != sum {
+		log.Fatalf("fleet rollup completed %d != per-shard sum %d", fleet.Completed, sum)
+	}
+	fmt.Printf("fleet metrics: rollup %d completed == per-shard sum, labels shard0+shard1 present\n", fleet.Completed)
+
+	// Failure drill: kill -9 the owner of smoke-cam-0 under traffic.
+	victim := owner["smoke-cam-0"]
+	var victimProc *shardProc
+	for i := range shards {
+		if shards[i].id == victim {
+			victimProc = &shards[i]
+		}
+	}
+	if victimProc == nil {
+		log.Fatalf("victim shard %q not among spawned shards", victim)
+	}
+	var served, shed, noShard atomic.Int64
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for c := 0; c < 3; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				id := fmt.Sprintf("smoke-cam-%d", (c*5+i)%cameras)
+				code, _ := postStatus(url+"/detect?camera="+id, body, nil)
+				switch code {
+				case http.StatusOK:
+					served.Add(1)
+				case http.StatusTooManyRequests:
+					shed.Add(1)
+				case http.StatusServiceUnavailable:
+					noShard.Add(1)
+				default:
+					log.Fatalf("traffic during shard kill: status %d (want 200, 429 or 503)", code)
+				}
+			}
+		}(c)
+	}
+	time.Sleep(100 * time.Millisecond)
+	if err := victimProc.cmd.Process.Kill(); err != nil {
+		log.Fatal(err)
+	}
+	_, _ = victimProc.cmd.Process.Wait()
+	time.Sleep(600 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+	if served.Load() == 0 {
+		log.Fatal("no request succeeded around the shard kill")
+	}
+	fmt.Printf("killed %s under traffic: %d served, %d shed, %d no-shard, zero other statuses\n",
+		victim, served.Load(), shed.Load(), noShard.Load())
+
+	// The proxy must eject the victim and keep every camera routable on the
+	// survivor.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		var health struct {
+			Status string `json:"status"`
+			Live   int    `json:"live_shards"`
+		}
+		getJSON(url+"/healthz", &health)
+		if health.Status == "degraded" && health.Live == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			log.Fatalf("proxy never ejected the killed shard: %+v", health)
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	for i := 0; i < cameras; i++ {
+		id := fmt.Sprintf("smoke-cam-%d", i)
+		code, shard := postStatus(url+"/detect?camera="+id, body, nil)
+		if code != http.StatusOK || shard == victim {
+			log.Fatalf("post-kill camera %s: status %d via %q (victim %q)", id, code, shard, victim)
+		}
+	}
+	fmt.Printf("proxy ejected %s; all %d cameras fail over to the survivor\n", victim, cameras)
+
+	// Graceful teardown: proxy first, then the surviving shard.
+	drainNamed(proxyCmd, "proxy")
+	for i := range shards {
+		if shards[i].id != victim {
+			drainNamed(shards[i].cmd, shards[i].id)
+		}
+	}
+}
+
+// spawnWithArgs boots a binary that announces "listening on HOST:PORT" on
+// stdout and returns the process plus the parsed address.
+func spawnWithArgs(bin string, args []string) (*exec.Cmd, string, error) {
+	cmd := exec.Command(bin, args...)
+	cmd.Stderr = os.Stderr
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, "", err
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, "", err
+	}
+	sc := bufio.NewScanner(stdout)
+	addrCh := make(chan string, 1)
+	go func() {
+		announced := false
+		for sc.Scan() {
+			if line := sc.Text(); !announced && strings.HasPrefix(line, "listening on ") {
+				addrCh <- strings.TrimPrefix(line, "listening on ")
+				announced = true
+			}
+		}
+		if !announced {
+			close(addrCh)
+		}
+	}()
+	select {
+	case addr, ok := <-addrCh:
+		if !ok || addr == "" {
+			_ = cmd.Process.Kill()
+			return nil, "", fmt.Errorf("process exited before announcing its port")
+		}
+		return cmd, addr, nil
+	case <-time.After(30 * time.Second):
+		_ = cmd.Process.Kill()
+		return nil, "", fmt.Errorf("timed out waiting for the listen announcement")
+	}
+}
+
+// postStatus posts a detect body and returns the status code plus the
+// proxy's X-Dronet-Shard attribution, without failing on non-200 — the
+// chaos legs assert on the full status distribution.
+func postStatus(url string, body []byte, extra http.Header) (int, string) {
+	req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		log.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	for k, vs := range extra {
+		for _, v := range vs {
+			req.Header.Add(k, v)
+		}
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		log.Fatalf("POST %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	_, _ = io.Copy(io.Discard, resp.Body)
+	return resp.StatusCode, resp.Header.Get("X-Dronet-Shard")
+}
+
+// drainNamed SIGTERMs one spawned process and waits for a clean exit.
+func drainNamed(cmd *exec.Cmd, name string) {
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		log.Fatal(err)
+	}
+	if err := cmd.Wait(); err != nil {
+		log.Fatalf("%s exit: %v", name, err)
+	}
+	fmt.Printf("%s drained and exited cleanly\n", name)
 }
 
 // adminJSON issues one admin request with an optional JSON body, decodes

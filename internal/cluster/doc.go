@@ -1,0 +1,31 @@
+// Package cluster is the scale-out tier over internal/serve: a consistent-
+// hash proxy that spreads /detect traffic across a fleet of independent
+// dronet-serve processes (shards) while keeping the single-process HTTP
+// contract intact — clients speak the same API to one address and the
+// paper's detector scales horizontally behind it.
+//
+// The package has four cooperating parts:
+//
+//   - Ring: a consistent-hash ring with virtual nodes. A request's camera
+//     id (?camera= or X-Camera-ID) maps to a stable owning shard, so one
+//     camera's frames land on one process — its batcher sees a coherent
+//     stream — and membership changes remap only ~1/K of the id space
+//     instead of reshuffling everything.
+//   - shard client pool: one keep-alive HTTP client fronting every shard
+//     with a per-shard bounded in-flight pipe. The bound composes with the
+//     shard's own admission queue: the proxy sheds (429) when a shard's
+//     pipe is full, the shard sheds when its queue is — two independent
+//     backpressure layers, each sized to its own resource.
+//   - health checker: active /healthz probing with consecutive-failure
+//     ejection and single-success re-admission, plus passive ejection on
+//     forward errors. A dead shard's cameras fail open to the next live
+//     owner on the ring; a killed shard costs capacity, never correctness.
+//   - fleet metrics: the proxy's /metrics scrapes every live shard and
+//     publishes per-shard blocks plus a fleet rollup in the same shape as
+//     the per-model blocks a routed server exposes, so existing scrapers
+//     aggregate a fleet exactly like they aggregate models.
+//
+// cmd/dronet-proxy wires the pieces into a binary (static -shards list or
+// -spawn K local shard processes for bench/smoke); examples/serveclient
+// -sharded and `make shard-smoke` exercise the whole tier end to end.
+package cluster

@@ -1,0 +1,92 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// shardHealth is the slice of a shard's /healthz document the prober
+// reads: liveness plus the self-reported identity labels (internal/serve
+// stamps shard_id/addr when the process was started with one).
+type shardHealth struct {
+	Status  string `json:"status"`
+	ShardID string `json:"shard_id"`
+}
+
+// healthLoop actively probes every shard's /healthz each HealthInterval.
+// Probes run concurrently (one slow shard must not delay the others'
+// verdicts) and complement the passive forward-error path: passive marks
+// catch a dead shard within FailThreshold requests, active probes catch it
+// within FailThreshold intervals even with zero traffic — and active
+// probes are the ONLY re-admission path, so a flapping shard must prove a
+// full successful round trip before traffic returns.
+func (p *Proxy) healthLoop() {
+	defer p.wg.Done()
+	t := time.NewTicker(p.cfg.HealthInterval)
+	defer t.Stop()
+	p.probeAll() // immediate first pass: don't wait an interval to learn labels
+	for {
+		select {
+		case <-p.stop:
+			return
+		case <-t.C:
+			p.probeAll()
+		}
+	}
+}
+
+func (p *Proxy) probeAll() {
+	var wg sync.WaitGroup
+	for _, s := range p.shards {
+		wg.Add(1)
+		go func(s *shardState) {
+			defer wg.Done()
+			p.probe(s)
+		}(s)
+	}
+	wg.Wait()
+}
+
+// probe issues one health check against a shard. Any transport error,
+// non-200 status or non-ok body counts toward the ejection threshold; a
+// clean response re-admits the shard and refreshes its learned shard_id.
+func (p *Proxy) probe(s *shardState) {
+	timeout := p.cfg.HealthInterval
+	if timeout > 2*time.Second {
+		timeout = 2 * time.Second
+	}
+	req, err := http.NewRequest(http.MethodGet, "http://"+s.addr+"/healthz", nil)
+	if err != nil {
+		s.markFailure(p.cfg.FailThreshold)
+		return
+	}
+	client := &http.Client{Transport: p.client.Transport, Timeout: timeout}
+	resp, err := client.Do(req)
+	if err != nil {
+		s.markFailure(p.cfg.FailThreshold)
+		return
+	}
+	defer resp.Body.Close()
+	var h shardHealth
+	if resp.StatusCode != http.StatusOK || json.NewDecoder(resp.Body).Decode(&h) != nil || h.Status != "ok" {
+		s.markFailure(p.cfg.FailThreshold)
+		return
+	}
+	s.setLabel(h.ShardID)
+	s.markSuccess()
+}
+
+// writeJSON / writeError mirror internal/serve's uniform response shape so
+// proxy-originated errors are indistinguishable in form from shard ones.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}

@@ -1,0 +1,181 @@
+package cluster
+
+import (
+	"encoding/json"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/serve"
+)
+
+// ShardMetrics is one shard's block in the fleet /metrics document: the
+// proxy's forwarding counters plus the shard's own scraped metrics report
+// (nil when the shard was unreachable at scrape time).
+type ShardMetrics struct {
+	ShardID        string               `json:"shard_id"`
+	Addr           string               `json:"addr"`
+	Alive          bool                 `json:"alive"`
+	ForwardedTotal uint64               `json:"forwarded_total"`
+	ShedTotal      uint64               `json:"shed_total"`
+	ErrorsTotal    uint64               `json:"errors_total"`
+	Metrics        *serve.MetricsReport `json:"metrics,omitempty"`
+}
+
+// FleetReport is the proxy's /metrics document: the fleet rollup flattened
+// at the top level and one labelled block per shard — the same
+// aggregate-plus-blocks shape a routed server uses for its models, so a
+// scraper that understands one understands the other. The proxy's own
+// counters ride alongside under distinct names.
+type FleetReport struct {
+	serve.Stats
+	Shards map[string]ShardMetrics `json:"shards"`
+
+	LiveShards  int `json:"live_shards"`
+	TotalShards int `json:"total_shards"`
+
+	// ProxyReceivedTotal counts data-plane requests the proxy accepted,
+	// ProxyNoShardTotal its 503s for want of any live shard, and
+	// ProxyFailoversTotal forwards retried on another shard after a
+	// transport error.
+	ProxyReceivedTotal  uint64 `json:"proxy_received_total"`
+	ProxyNoShardTotal   uint64 `json:"proxy_no_shard_total"`
+	ProxyFailoversTotal uint64 `json:"proxy_failovers_total"`
+}
+
+// FleetReport scrapes every live shard's /metrics concurrently and returns
+// the assembled fleet document. Unreachable shards contribute their proxy-
+// side counters but no metrics block (and count toward the failure
+// streak like any other missed interaction).
+func (p *Proxy) FleetReport() FleetReport {
+	rep := FleetReport{
+		Shards:              make(map[string]ShardMetrics, len(p.shards)),
+		TotalShards:         len(p.shards),
+		ProxyReceivedTotal:  p.received.Load(),
+		ProxyNoShardTotal:   p.noShard.Load(),
+		ProxyFailoversTotal: p.failovers.Load(),
+	}
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	var parts []serve.Stats
+	for addr, s := range p.shards {
+		wg.Add(1)
+		go func(addr string, s *shardState) {
+			defer wg.Done()
+			sm := ShardMetrics{
+				ShardID:        s.label(),
+				Addr:           addr,
+				Alive:          s.alive.Load(),
+				ForwardedTotal: s.forwarded.Load(),
+				ShedTotal:      s.shed.Load(),
+				ErrorsTotal:    s.errors.Load(),
+			}
+			if sm.Alive {
+				if m := p.scrape(s); m != nil {
+					sm.Metrics = m
+				}
+			}
+			mu.Lock()
+			if sm.Alive {
+				rep.LiveShards++
+			}
+			if sm.Metrics != nil {
+				parts = append(parts, sm.Metrics.Stats)
+			}
+			rep.Shards[addr] = sm
+			mu.Unlock()
+		}(addr, s)
+	}
+	wg.Wait()
+	rep.Stats = rollup(parts)
+	return rep
+}
+
+// scrape fetches one shard's /metrics (2s cap — a metrics stall must not
+// wedge the fleet document).
+func (p *Proxy) scrape(s *shardState) *serve.MetricsReport {
+	client := &http.Client{Transport: p.client.Transport, Timeout: 2 * time.Second}
+	resp, err := client.Get("http://" + s.addr + "/metrics")
+	if err != nil {
+		s.markFailure(p.cfg.FailThreshold)
+		return nil
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil
+	}
+	var m serve.MetricsReport
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		return nil
+	}
+	return &m
+}
+
+// handleMetrics serves GET /metrics: the fleet report assembled on demand.
+func (p *Proxy) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, p.FleetReport())
+}
+
+// rollup merges per-shard fleet-aggregate stats into one fleet-of-fleets
+// aggregate. Counters, queue occupancy, worker counts and throughput sum;
+// latency percentiles cannot be merged exactly from summaries, so p50/p99
+// and the mean are completion-weighted averages (documented approximation)
+// while the max is exact; per-process identity labels are dropped (a
+// rollup spans shards by construction).
+func rollup(parts []serve.Stats) serve.Stats {
+	var out serve.Stats
+	var latWeight, p50, p99, mean float64
+	var batchImages float64
+	for _, s := range parts {
+		if s.UptimeSeconds > out.UptimeSeconds {
+			out.UptimeSeconds = s.UptimeSeconds
+		}
+		switch {
+		case out.Precision == "":
+			out.Precision = s.Precision
+		case out.Precision != s.Precision:
+			out.Precision = "mixed"
+		}
+		out.Received += s.Received
+		out.Rejected += s.Rejected
+		out.Completed += s.Completed
+		out.Failed += s.Failed
+		out.CancelledTotal += s.CancelledTotal
+		out.RetriesExhaustedTotal += s.RetriesExhaustedTotal
+		out.BorrowedWorkers += s.BorrowedWorkers
+		out.BorrowsTotal += s.BorrowsTotal
+		out.QueueDepth += s.QueueDepth
+		out.QueueCap += s.QueueCap
+		out.Workers += s.Workers
+		if s.MaxBatch > out.MaxBatch {
+			out.MaxBatch = s.MaxBatch
+		}
+		out.Batches += s.Batches
+		batchImages += s.MeanBatchSize * float64(s.Batches)
+		if out.BatchHist == nil && s.BatchHist != nil {
+			out.BatchHist = make(map[int]int)
+		}
+		for k, v := range s.BatchHist {
+			out.BatchHist[k] += v
+		}
+		w := float64(s.Completed)
+		latWeight += w
+		p50 += w * s.LatencyP50Ms
+		p99 += w * s.LatencyP99Ms
+		mean += w * s.LatencyMeanMs
+		if s.LatencyMaxMs > out.LatencyMaxMs {
+			out.LatencyMaxMs = s.LatencyMaxMs
+		}
+		out.BusySeconds += s.BusySeconds
+		out.AggregateFPS += s.AggregateFPS
+	}
+	if out.Batches > 0 {
+		out.MeanBatchSize = batchImages / float64(out.Batches)
+	}
+	if latWeight > 0 {
+		out.LatencyP50Ms = p50 / latWeight
+		out.LatencyP99Ms = p99 / latWeight
+		out.LatencyMeanMs = mean / latWeight
+	}
+	return out
+}

@@ -1,0 +1,312 @@
+package cluster
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// maxForwardBytes bounds a forwarded request body, mirroring the shard's
+// own 64MB admission bound so the proxy cannot be made to buffer more than
+// a shard would accept anyway.
+const maxForwardBytes = 64 << 20
+
+// ProxyConfig configures a Proxy. Zero values take the stated defaults.
+type ProxyConfig struct {
+	// Shards is the fleet: one host:port per dronet-serve process.
+	Shards []string
+	// VNodes is the consistent-hash ring's virtual-node count per shard
+	// (DefaultVNodes when < 1).
+	VNodes int
+	// MaxInflight bounds concurrently-forwarded requests per shard
+	// (default 32): the proxy-side backpressure layer composing with each
+	// shard's own admission queue.
+	MaxInflight int
+	// HealthInterval is the active /healthz probe period (default 500ms).
+	HealthInterval time.Duration
+	// FailThreshold is the consecutive-failure count that ejects a shard
+	// (default 3). One successful probe re-admits it.
+	FailThreshold int
+	// Client overrides the forwarding/probing HTTP client (tests). The
+	// default keeps connections alive with per-shard idle pools sized to
+	// MaxInflight.
+	Client *http.Client
+}
+
+func (c *ProxyConfig) withDefaults() {
+	if c.MaxInflight < 1 {
+		c.MaxInflight = 32
+	}
+	if c.HealthInterval <= 0 {
+		c.HealthInterval = 500 * time.Millisecond
+	}
+	if c.FailThreshold < 1 {
+		c.FailThreshold = 3
+	}
+}
+
+// Proxy fronts a fleet of dronet-serve shards behind the single-process
+// /detect API: consistent-hash routing on the camera id, per-shard bounded
+// forwarding, active health checking and fleet-wide metrics aggregation.
+// Create with NewProxy, serve it like any http.Handler, Close when done.
+type Proxy struct {
+	cfg    ProxyConfig
+	ring   *Ring
+	shards map[string]*shardState
+	client *http.Client
+	mux    *http.ServeMux
+
+	rr atomic.Uint64 // round-robin cursor for keyless requests
+
+	received  atomic.Uint64 // data-plane requests seen
+	noShard   atomic.Uint64 // 503s: no live shard to try
+	failovers atomic.Uint64 // forwards retried on another shard after a transport error
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+// NewProxy builds the proxy and starts its health-check loop.
+func NewProxy(cfg ProxyConfig) (*Proxy, error) {
+	cfg.withDefaults()
+	if len(cfg.Shards) == 0 {
+		return nil, fmt.Errorf("cluster: no shards configured")
+	}
+	p := &Proxy{
+		cfg:    cfg,
+		ring:   NewRing(cfg.VNodes),
+		shards: make(map[string]*shardState, len(cfg.Shards)),
+		client: cfg.Client,
+		stop:   make(chan struct{}),
+	}
+	if p.client == nil {
+		p.client = &http.Client{Transport: &http.Transport{
+			MaxIdleConns:        cfg.MaxInflight * len(cfg.Shards),
+			MaxIdleConnsPerHost: cfg.MaxInflight,
+			IdleConnTimeout:     90 * time.Second,
+		}}
+	}
+	for _, addr := range cfg.Shards {
+		if addr == "" {
+			return nil, fmt.Errorf("cluster: empty shard address")
+		}
+		if _, dup := p.shards[addr]; dup {
+			return nil, fmt.Errorf("cluster: duplicate shard address %q", addr)
+		}
+		p.shards[addr] = newShardState(addr, cfg.MaxInflight)
+		p.ring.Add(addr)
+	}
+	p.mux = http.NewServeMux()
+	p.mux.HandleFunc("/detect", p.handleForward)
+	p.mux.HandleFunc("/detect/raw", p.handleForward)
+	p.mux.HandleFunc("/healthz", p.handleHealthz)
+	p.mux.HandleFunc("/metrics", p.handleMetrics)
+	p.wg.Add(1)
+	go p.healthLoop()
+	return p, nil
+}
+
+// Close stops the health loop and drops idle connections. In-flight
+// forwards finish on their own requests' lifetimes.
+func (p *Proxy) Close() {
+	close(p.stop)
+	p.wg.Wait()
+	if t, ok := p.client.Transport.(*http.Transport); ok {
+		t.CloseIdleConnections()
+	}
+}
+
+// ServeHTTP implements http.Handler.
+func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) { p.mux.ServeHTTP(w, r) }
+
+// cameraKey extracts the routing key: the ?camera= query parameter, then
+// the X-Camera-ID header. Empty means the request has no stream identity
+// and is balanced round-robin instead of hashed.
+func cameraKey(r *http.Request) string {
+	if k := r.URL.Query().Get("camera"); k != "" {
+		return k
+	}
+	return r.Header.Get("X-Camera-ID")
+}
+
+// pick selects the shard for a key, excluding already-tried shards. Keyed
+// requests walk the ring from the key's owner (fail-open); keyless
+// requests round-robin across live candidates.
+func (p *Proxy) pick(key string, tried map[string]bool) *shardState {
+	usable := func(addr string) bool {
+		s := p.shards[addr]
+		return s != nil && s.alive.Load() && !tried[addr]
+	}
+	if key != "" {
+		if addr, ok := p.ring.OwnerLive(key, usable); ok {
+			return p.shards[addr]
+		}
+		return nil
+	}
+	members := p.ring.Members()
+	if len(members) == 0 {
+		return nil
+	}
+	start := int(p.rr.Add(1)-1) % len(members)
+	for i := 0; i < len(members); i++ {
+		if addr := members[(start+i)%len(members)]; usable(addr) {
+			return p.shards[addr]
+		}
+	}
+	return nil
+}
+
+// handleForward proxies one /detect or /detect/raw request to its owning
+// shard. The body is buffered once so a transport failure can fail over to
+// the next live shard on the ring with the identical payload; HTTP-level
+// responses (200s, the shard's own 429/404/4xx) are passed through
+// verbatim with an X-Dronet-Shard header naming the serving process. A
+// shard whose in-flight pipe is full sheds here with a 429 — for a keyed
+// request that is the answer (its owner is overloaded; rerouting would
+// break camera affinity), for a keyless one the balancer already picked
+// among live shards.
+func (p *Proxy) handleForward(w http.ResponseWriter, r *http.Request) {
+	p.received.Add(1)
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxForwardBytes))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "read body: %v", err)
+		return
+	}
+	key := cameraKey(r)
+	tried := make(map[string]bool, 2)
+	for attempt := 0; attempt < len(p.shards); attempt++ {
+		s := p.pick(key, tried)
+		if s == nil {
+			break
+		}
+		tried[s.addr] = true
+		if !s.acquire() {
+			w.Header().Set("Retry-After", "1")
+			w.Header().Set("X-Dronet-Shard", s.label())
+			writeError(w, http.StatusTooManyRequests, "shard %s at forwarding capacity", s.label())
+			return
+		}
+		resp, err := p.forward(r, s, body)
+		s.release()
+		if err != nil {
+			// Transport-level failure: the shard never produced an HTTP
+			// response. Eject-on-threshold and fail over with the buffered
+			// body; the request's camera stays keyed so the ring walk picks
+			// the next live owner deterministically.
+			s.errors.Add(1)
+			s.markFailure(p.cfg.FailThreshold)
+			p.failovers.Add(1)
+			continue
+		}
+		s.forwarded.Add(1)
+		relay(w, resp, s.label())
+		return
+	}
+	p.noShard.Add(1)
+	w.Header().Set("Retry-After", "1")
+	writeError(w, http.StatusServiceUnavailable, "no live shard (fleet %d, live %d)", len(p.shards), p.liveCount())
+}
+
+// forward sends the buffered request to one shard, preserving the path,
+// query string (?model=, ?altitude=, ?camera=) and headers (X-Model,
+// X-Camera-ID, Content-Type) — the shard sees exactly what the client
+// sent.
+func (p *Proxy) forward(r *http.Request, s *shardState, body []byte) (*http.Response, error) {
+	url := "http://" + s.addr + r.URL.Path
+	if r.URL.RawQuery != "" {
+		url += "?" + r.URL.RawQuery
+	}
+	req, err := http.NewRequestWithContext(r.Context(), http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	for k, vs := range r.Header {
+		for _, v := range vs {
+			req.Header.Add(k, v)
+		}
+	}
+	return p.client.Do(req)
+}
+
+// relay copies a shard response to the client, stamping the serving shard.
+func relay(w http.ResponseWriter, resp *http.Response, shardLabel string) {
+	defer resp.Body.Close()
+	for k, vs := range resp.Header {
+		for _, v := range vs {
+			w.Header().Add(k, v)
+		}
+	}
+	w.Header().Set("X-Dronet-Shard", shardLabel)
+	w.WriteHeader(resp.StatusCode)
+	_, _ = io.Copy(w, resp.Body)
+}
+
+func (p *Proxy) liveCount() int {
+	n := 0
+	for _, s := range p.shards {
+		if s.alive.Load() {
+			n++
+		}
+	}
+	return n
+}
+
+// handleHealthz reports the proxy's own view of the fleet: ring membership
+// and per-shard status. "ok" means every shard is live, "degraded" that at
+// least one is ejected but traffic still flows, and the proxy answers 503
+// only when NO shard is live (the fleet cannot serve at all).
+func (p *Proxy) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	live := p.liveCount()
+	status := "ok"
+	code := http.StatusOK
+	switch {
+	case live == 0:
+		status = "down"
+		code = http.StatusServiceUnavailable
+	case live < len(p.shards):
+		status = "degraded"
+	}
+	shards := make(map[string]any, len(p.shards))
+	for addr, s := range p.shards {
+		shards[addr] = map[string]any{
+			"shard_id":          s.label(),
+			"addr":              addr,
+			"alive":             s.alive.Load(),
+			"consecutive_fails": s.fails.Load(),
+			"inflight":          len(s.inflight),
+			"max_inflight":      cap(s.inflight),
+			"forwarded_total":   s.forwarded.Load(),
+			"shed_total":        s.shed.Load(),
+			"errors_total":      s.errors.Load(),
+		}
+	}
+	writeJSON(w, code, map[string]any{
+		"status":       status,
+		"role":         "proxy",
+		"ring_members": p.ring.Members(),
+		"vnodes":       p.ring.vnodes,
+		"live_shards":  live,
+		"total_shards": len(p.shards),
+		"shards":       shards,
+	})
+}
+
+// ShardAddrs returns the configured shard addresses, sorted (test and
+// tooling introspection).
+func (p *Proxy) ShardAddrs() []string {
+	addrs := make([]string, 0, len(p.shards))
+	for a := range p.shards {
+		addrs = append(addrs, a)
+	}
+	sort.Strings(addrs)
+	return addrs
+}

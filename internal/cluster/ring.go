@@ -1,0 +1,164 @@
+package cluster
+
+import (
+	"sort"
+	"strconv"
+	"sync"
+)
+
+// DefaultVNodes is the virtual-node count per member when NewRing is given
+// a non-positive value. 64 vnodes keep the per-member share of the id space
+// within a few percent of 1/K for small fleets while the ring stays tiny
+// (K*64 points).
+const DefaultVNodes = 64
+
+// point is one virtual node: the hash of "member#i" and the member owning
+// it. Points are kept sorted by (hash, member) — the member tiebreak makes
+// ownership deterministic even in the astronomically-unlikely event of a
+// vnode hash collision between members.
+type point struct {
+	hash   uint64
+	member string
+}
+
+// Ring is a consistent-hash ring with virtual nodes mapping string keys
+// (camera ids) to members (shard addresses). All methods are safe for
+// concurrent use; Owner is lock-shared so the request hot path never
+// serializes behind membership changes.
+//
+// Ownership contract: for a fixed membership set and vnode count, Owner is
+// a pure function of the key — same ring state, same owner, on every call
+// and every process. Adding or removing one of K members remaps only the
+// arc segments that member's vnodes owned (~1/K of the key space); every
+// other key keeps its owner.
+type Ring struct {
+	mu      sync.RWMutex
+	vnodes  int
+	points  []point
+	members map[string]struct{}
+}
+
+// NewRing returns an empty ring with the given virtual-node count per
+// member (DefaultVNodes when vnodes < 1).
+func NewRing(vnodes int) *Ring {
+	if vnodes < 1 {
+		vnodes = DefaultVNodes
+	}
+	return &Ring{vnodes: vnodes, members: make(map[string]struct{})}
+}
+
+// fnv64a is the FNV-1a 64-bit hash over a string, inlined so the per-
+// request Owner lookup allocates nothing. Raw FNV-1a clusters badly on the
+// short, sequential strings this ring hashes ("addr#0".."addr#63",
+// "cam-0017"...) — nearly-equal inputs land on nearby ring positions and
+// one member ends up owning huge arcs — so the output is pushed through a
+// 64-bit avalanche finalizer (the murmur3 fmix64 constants) to spread
+// every input bit across the whole ring.
+func fnv64a(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return h
+}
+
+// Add inserts a member (idempotent). Its vnodes are hashed as "member#i".
+func (r *Ring) Add(member string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.members[member]; ok {
+		return
+	}
+	r.members[member] = struct{}{}
+	for i := 0; i < r.vnodes; i++ {
+		r.points = append(r.points, point{hash: fnv64a(member + "#" + strconv.Itoa(i)), member: member})
+	}
+	sort.Slice(r.points, func(a, b int) bool {
+		if r.points[a].hash != r.points[b].hash {
+			return r.points[a].hash < r.points[b].hash
+		}
+		return r.points[a].member < r.points[b].member
+	})
+}
+
+// Remove deletes a member and its vnodes (idempotent).
+func (r *Ring) Remove(member string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.members[member]; !ok {
+		return
+	}
+	delete(r.members, member)
+	kept := r.points[:0]
+	for _, p := range r.points {
+		if p.member != member {
+			kept = append(kept, p)
+		}
+	}
+	r.points = kept
+}
+
+// Members returns the current membership, sorted.
+func (r *Ring) Members() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.members))
+	for m := range r.members {
+		out = append(out, m)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Len returns the member count.
+func (r *Ring) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.members)
+}
+
+// Owner returns the member owning key: the first vnode clockwise from the
+// key's hash. ok is false on an empty ring.
+func (r *Ring) Owner(key string) (member string, ok bool) {
+	return r.OwnerLive(key, nil)
+}
+
+// OwnerLive returns the first member clockwise from the key's hash that
+// passes the live filter (nil means every member passes) — the fail-open
+// walk: a dead owner's keys fall through to the next distinct live member
+// on the ring, so each dead shard's load spreads across its ring
+// successors rather than piling onto one designated backup. ok is false
+// when no member passes.
+//
+// The walk visits each distinct member at most once, so it terminates in
+// at most len(points) steps regardless of the filter.
+func (r *Ring) OwnerLive(key string, live func(string) bool) (member string, ok bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if len(r.points) == 0 {
+		return "", false
+	}
+	h := fnv64a(key)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	var rejected map[string]struct{} // allocated only once a member is rejected
+	for i := 0; i < len(r.points); i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if live == nil || live(p.member) {
+			return p.member, true
+		}
+		if rejected == nil {
+			rejected = make(map[string]struct{}, len(r.members))
+		}
+		rejected[p.member] = struct{}{}
+		if len(rejected) == len(r.members) {
+			return "", false
+		}
+	}
+	return "", false
+}

@@ -1,0 +1,197 @@
+package cluster_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/cluster"
+)
+
+func ringOf(vnodes int, members ...string) *cluster.Ring {
+	r := cluster.NewRing(vnodes)
+	for _, m := range members {
+		r.Add(m)
+	}
+	return r
+}
+
+func cameraIDs(n int) []string {
+	ids := make([]string, n)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("cam-%04d", i)
+	}
+	return ids
+}
+
+// TestRingOwnershipDeterministic pins the ownership contract: for a fixed
+// membership the owner of a key is the same on every call and on an
+// independently-built ring with the same members added in a different
+// order.
+func TestRingOwnershipDeterministic(t *testing.T) {
+	a := ringOf(0, "s0:1", "s1:1", "s2:1")
+	b := ringOf(0, "s2:1", "s0:1", "s1:1") // same members, different add order
+	for _, id := range cameraIDs(500) {
+		o1, ok1 := a.Owner(id)
+		o2, ok2 := a.Owner(id)
+		o3, ok3 := b.Owner(id)
+		if !ok1 || !ok2 || !ok3 {
+			t.Fatalf("owner lookup failed for %s", id)
+		}
+		if o1 != o2 {
+			t.Fatalf("%s: owner flapped %s -> %s on identical state", id, o1, o2)
+		}
+		if o1 != o3 {
+			t.Fatalf("%s: owner depends on membership insertion order (%s vs %s)", id, o1, o3)
+		}
+	}
+}
+
+// TestRingEmptyAndSingle covers the degenerate memberships.
+func TestRingEmptyAndSingle(t *testing.T) {
+	r := cluster.NewRing(8)
+	if _, ok := r.Owner("cam"); ok {
+		t.Fatal("empty ring claimed an owner")
+	}
+	r.Add("only:1")
+	for _, id := range cameraIDs(50) {
+		o, ok := r.Owner(id)
+		if !ok || o != "only:1" {
+			t.Fatalf("single-member ring: owner(%s) = %q, %v", id, o, ok)
+		}
+	}
+	r.Remove("only:1")
+	if _, ok := r.Owner("cam"); ok {
+		t.Fatal("ring claimed an owner after its last member left")
+	}
+}
+
+// TestRingDistribution checks virtual nodes spread cameras roughly evenly:
+// with 4 shards and the default vnode count no shard should own more than
+// twice its fair share of 2000 cameras.
+func TestRingDistribution(t *testing.T) {
+	members := []string{"a:1", "b:1", "c:1", "d:1"}
+	r := ringOf(0, members...)
+	counts := make(map[string]int)
+	ids := cameraIDs(2000)
+	for _, id := range ids {
+		o, _ := r.Owner(id)
+		counts[o]++
+	}
+	fair := len(ids) / len(members)
+	for _, m := range members {
+		if counts[m] == 0 {
+			t.Fatalf("shard %s owns zero cameras", m)
+		}
+		if counts[m] > 2*fair {
+			t.Fatalf("shard %s owns %d of %d cameras (fair %d): vnode spreading failed", m, counts[m], len(ids), fair)
+		}
+	}
+}
+
+// TestRingMinimalRemap pins the consistent-hashing property the sharded
+// tier exists for: removing one of K members remaps only that member's
+// cameras (~1/K of them), and every camera that keeps its owner keeps it
+// EXACTLY — no collateral reshuffling.
+func TestRingMinimalRemap(t *testing.T) {
+	const k = 4
+	members := []string{"s0:1", "s1:1", "s2:1", "s3:1"}
+	r := ringOf(0, members...)
+	ids := cameraIDs(2000)
+	before := make(map[string]string, len(ids))
+	for _, id := range ids {
+		before[id], _ = r.Owner(id)
+	}
+	victim := "s2:1"
+	r.Remove(victim)
+	moved := 0
+	for _, id := range ids {
+		after, ok := r.Owner(id)
+		if !ok {
+			t.Fatalf("no owner for %s after removal", id)
+		}
+		if before[id] == victim {
+			if after == victim {
+				t.Fatalf("%s still owned by removed member", id)
+			}
+			moved++
+			continue
+		}
+		if after != before[id] {
+			t.Fatalf("%s: owner changed %s -> %s though neither was removed (collateral remap)", id, before[id], after)
+		}
+	}
+	victims := 0
+	for _, o := range before {
+		if o == victim {
+			victims++
+		}
+	}
+	if moved != victims {
+		t.Fatalf("moved %d cameras, victim owned %d", moved, victims)
+	}
+	// ~1/K of the id space: allow 2x fair share as the statistical bound.
+	if fair := len(ids) / k; moved > 2*fair {
+		t.Fatalf("removing 1 of %d members remapped %d of %d cameras (fair %d)", k, moved, len(ids), fair)
+	}
+	// Fail-open equivalence: a LIVE-filtered walk on the full ring must
+	// route exactly like a ring the dead member physically left, for every
+	// camera — the proxy's ejection path is a pure view, not a mutation.
+	full := ringOf(0, members...)
+	for _, id := range ids {
+		got, ok := full.OwnerLive(id, func(m string) bool { return m != victim })
+		want, _ := r.Owner(id)
+		if !ok || got != want {
+			t.Fatalf("%s: live-filtered owner %q, removed-member ring says %q", id, got, want)
+		}
+	}
+}
+
+// FuzzRingOwnership fuzzes membership mutations and key lookups for the
+// no-panic + determinism contract: whatever sequence of adds and removes
+// produced the ring, looking a key up twice yields the same owner, the
+// owner is a current member, and a live filter never returns a filtered
+// member.
+func FuzzRingOwnership(f *testing.F) {
+	f.Add("abc", uint8(3), uint8(0), "cam-1")
+	f.Add("s0:1,s1:1,s2:1", uint8(64), uint8(1), "")
+	f.Add("", uint8(1), uint8(7), "x")
+	f.Fuzz(func(t *testing.T, memberCSV string, vnodes, removeMask uint8, key string) {
+		r := cluster.NewRing(int(vnodes))
+		members := strings.Split(memberCSV, ",")
+		for _, m := range members {
+			r.Add(m)
+		}
+		for i, m := range members {
+			if removeMask&(1<<(uint(i)%8)) != 0 {
+				r.Remove(m)
+			}
+		}
+		current := make(map[string]bool)
+		for _, m := range r.Members() {
+			current[m] = true
+		}
+		o1, ok1 := r.Owner(key)
+		o2, ok2 := r.Owner(key)
+		if ok1 != ok2 || o1 != o2 {
+			t.Fatalf("owner(%q) not deterministic: (%q,%v) vs (%q,%v)", key, o1, ok1, o2, ok2)
+		}
+		if ok1 && !current[o1] {
+			t.Fatalf("owner(%q) = %q which is not a member", key, o1)
+		}
+		if !ok1 && len(current) > 0 {
+			t.Fatalf("owner(%q) found nothing on a %d-member ring", key, len(current))
+		}
+		// Live filter: reject one member; the result must differ from it
+		// and still be a member (or nothing, when it was the only one).
+		if ok1 {
+			lo, lok := r.OwnerLive(key, func(m string) bool { return m != o1 })
+			if lok && (lo == o1 || !current[lo]) {
+				t.Fatalf("live-filtered owner %q invalid (filtered %q)", lo, o1)
+			}
+			if !lok && len(current) > 1 {
+				t.Fatalf("live filter found nothing though %d members pass", len(current)-1)
+			}
+		}
+	})
+}

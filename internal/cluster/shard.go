@@ -1,0 +1,78 @@
+package cluster
+
+import (
+	"sync/atomic"
+)
+
+// shardState is the proxy's per-shard bookkeeping: liveness, the bounded
+// in-flight pipe, and forwarding counters. The ring addresses shards by
+// their immutable addr; the shard_id label is learned from the shard's own
+// /healthz (the process knows who it is) and is display-only.
+type shardState struct {
+	addr string
+
+	// id is the learned shard_id label (atomic string; addr until the
+	// first successful health probe reports one).
+	id atomic.Value
+
+	// alive gates routing. Shards start alive (fail-open: an unprobed
+	// shard is assumed serving until evidence says otherwise) and are
+	// ejected after FailThreshold consecutive failures — active probe
+	// misses and passive forward errors both count. One successful probe
+	// re-admits.
+	alive atomic.Bool
+	fails atomic.Int32
+
+	// inflight bounds concurrently-forwarded requests to this shard; a
+	// full pipe sheds at the proxy (429) before the shard sees the bytes.
+	inflight chan struct{}
+
+	forwarded atomic.Uint64 // requests handed to this shard
+	shed      atomic.Uint64 // proxy-side 429s: in-flight pipe full
+	errors    atomic.Uint64 // transport failures talking to this shard
+}
+
+func newShardState(addr string, maxInflight int) *shardState {
+	s := &shardState{addr: addr, inflight: make(chan struct{}, maxInflight)}
+	s.id.Store(addr)
+	s.alive.Store(true)
+	return s
+}
+
+// label returns the shard's display id (learned shard_id, or addr).
+func (s *shardState) label() string { return s.id.Load().(string) }
+
+// setLabel records the shard_id learned from the shard's /healthz.
+func (s *shardState) setLabel(id string) {
+	if id != "" {
+		s.id.Store(id)
+	}
+}
+
+// acquire reserves an in-flight slot without blocking.
+func (s *shardState) acquire() bool {
+	select {
+	case s.inflight <- struct{}{}:
+		return true
+	default:
+		s.shed.Add(1)
+		return false
+	}
+}
+
+func (s *shardState) release() { <-s.inflight }
+
+// markFailure records one failed interaction (probe miss or forward
+// error) and ejects the shard once the consecutive-failure threshold is
+// reached.
+func (s *shardState) markFailure(threshold int) {
+	if int(s.fails.Add(1)) >= threshold {
+		s.alive.Store(false)
+	}
+}
+
+// markSuccess re-admits the shard and clears the failure streak.
+func (s *shardState) markSuccess() {
+	s.fails.Store(0)
+	s.alive.Store(true)
+}

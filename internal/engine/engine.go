@@ -40,6 +40,12 @@ type Config struct {
 	// Workers is the worker-pool size; each worker owns one network replica.
 	// Values < 1 default to 1; the pool is clamped to the stream count.
 	Workers int
+	// ShardID labels the process this engine runs in for fleet-wide
+	// attribution: FleetStats carries it, so when several dronet-serve or
+	// dronet-fleet processes report into one aggregator the numbers stay
+	// traceable to the shard that produced them. Empty means unlabelled
+	// (single-process deployment).
+	ShardID string
 	// Thresh and NMSThresh are the decode and suppression thresholds
 	// (pipeline.Runner defaults apply when zero).
 	Thresh, NMSThresh float64
@@ -70,6 +76,9 @@ type StreamStats struct {
 
 // FleetStats aggregates a whole fleet run.
 type FleetStats struct {
+	// ShardID is the owning process's shard label (Config.ShardID), carried
+	// on the stats so multi-process rollups stay per-shard attributable.
+	ShardID string
 	Streams []StreamStats
 	// Workers is the number of pool workers that actually ran.
 	Workers int
@@ -134,7 +143,7 @@ func (e *Engine) Run(sources []pipeline.Source) (FleetStats, error) {
 // stops, and the stats gathered so far are returned together with the
 // context error (wrapped in the first stream it interrupted).
 func (e *Engine) RunContext(ctx context.Context, sources []pipeline.Source) (FleetStats, error) {
-	fleet := FleetStats{Streams: make([]StreamStats, len(sources))}
+	fleet := FleetStats{ShardID: e.cfg.ShardID, Streams: make([]StreamStats, len(sources))}
 	if len(sources) == 0 {
 		return fleet, nil
 	}
@@ -222,6 +231,10 @@ func (e *Engine) runner(id int) *pipeline.Runner {
 
 // Workers returns the configured worker-pool size.
 func (e *Engine) Workers() int { return e.cfg.Workers }
+
+// ShardID returns the process shard label this engine was configured with
+// ("" when unlabelled).
+func (e *Engine) ShardID() string { return e.cfg.ShardID }
 
 // SetWorkerCap raises the number of worker ids ExecuteBatch accepts beyond
 // the nominal pool size — the lending hook behind the serving scheduler's
@@ -352,6 +365,9 @@ func (e *Engine) runStream(ctx context.Context, runner *pipeline.Runner, idx int
 // one line per stream.
 func (f FleetStats) String() string {
 	var b strings.Builder
+	if f.ShardID != "" {
+		fmt.Fprintf(&b, "[%s] ", f.ShardID)
+	}
 	fmt.Fprintf(&b, "fleet: %d streams on %d workers, %d frames, %d detections, %.2f FPS aggregate (wall %.2f s, mean latency %.1f ms, max %.1f ms)",
 		len(f.Streams), f.Workers, f.Frames, f.Detections, f.AggregateFPS, f.WallSeconds, f.MeanLatency*1e3, f.MaxLatency*1e3)
 	for _, s := range f.Streams {

@@ -250,15 +250,32 @@ func (s *Server) handleDetectRaw(w http.ResponseWriter, r *http.Request) {
 	s.respond(w, r.Context(), routeSel{explicit: name, altitude: altitude}, imgproc.FromGoImage(src), altitude)
 }
 
+// maxRouteRetries bounds the re-resolve loop in respond: each retry
+// requires a registry mutation to have raced this exact request, so eight
+// consecutive losses means lifecycle churn is outpacing traffic — at that
+// point a 503 (with the retries_exhausted_total counter) beats spinning a
+// handler goroutine indefinitely.
+const maxRouteRetries = 8
+
 // respond resolves the route, pushes the image through the routed model's
 // micro-batcher and writes the result. The loop re-resolves and retries
 // when the resolved pool retired between resolution and submit (a
 // swap/remove raced this request) — each retry reads the freshly-published
-// table, so it terminates unless registry mutations outpace the request
-// forever; the retry is what turns a lifecycle race into "served by the
-// new generation" instead of an error.
+// table, so under sane lifecycle churn it terminates in one or two passes;
+// the retry is what turns a lifecycle race into "served by the new
+// generation" instead of an error. The loop is BOUNDED at maxRouteRetries
+// attempts: a request that loses the race that many times in a row is
+// answered 503 and counted in retries_exhausted_total rather than held
+// hostage to pathological registry mutation rates.
 func (s *Server) respond(w http.ResponseWriter, ctx context.Context, sel routeSel, img *imgproc.Image, altitude float64) {
-	for {
+	for attempt := 0; ; attempt++ {
+		if attempt >= maxRouteRetries {
+			s.fleet.retryExhausted()
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusServiceUnavailable,
+				"route retries exhausted: registry mutated %d times during this request", attempt)
+			return
+		}
 		h, code, err := s.resolve(sel)
 		if err != nil {
 			writeError(w, code, "%v", err)
@@ -307,12 +324,12 @@ func toJSON(dets []detect.Detection) []DetectionJSON {
 }
 
 // handleHealthz serves GET /healthz: fleet-level liveness and configuration
-// at the top level (queue capacity, worker and workspace totals across
-// every pool; precision and batching knobs of the default route, which for
-// a single-model server makes the document identical in meaning to the
-// pre-registry one), plus one labelled block per hosted model under
-// "models" — now including the pool generation, lending weight and
-// currently-borrowed worker count.
+// at the top level (the process shard identity, queue capacity, worker and
+// workspace totals across every pool; precision and batching knobs of the
+// default route, which for a single-model server makes the document
+// identical in meaning to the pre-registry one), plus one labelled block
+// per hosted model under "models" — now including the pool generation,
+// lending weight and currently-borrowed worker count.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	t := s.table.Load()
 	queueCap := 0
@@ -327,8 +344,8 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 			"max_batch":        h.cfg.MaxBatch,
 			"max_wait_ms":      h.cfg.MaxWait.Seconds() * 1e3,
 			"min_wait_ms":      h.cfg.MinWait.Seconds() * 1e3,
-			"queue_cap":        h.cfg.QueueDepth,
-			"queue_depth":      len(h.queue),
+			"queue_cap":        h.queue.Cap(),
+			"queue_depth":      h.queue.Len(),
 			"max_altitude_m":   h.maxAlt,
 			"workspace_bytes":  h.eng.WorkspaceBytes(),
 			"default":          h == t.def,
@@ -337,8 +354,11 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 			"borrowed_workers": s.sched.borrowedNow(h),
 		}
 	}
+	shardID, addr := s.Identity()
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status":          "ok",
+		"shard_id":        shardID,
+		"addr":            addr,
 		"precision":       t.def.cfg.Precision,
 		"workers":         s.group.Workers(),
 		"max_batch":       t.def.cfg.MaxBatch,

@@ -21,6 +21,13 @@ type Stats struct {
 	// empty on the fleet aggregate.
 	Model string `json:"model,omitempty"`
 
+	// ShardID and Addr identify the serving PROCESS that produced this
+	// snapshot (Server.SetIdentity), so per-shard blocks aggregated by a
+	// fronting proxy stay attributable. Empty on a server that never set an
+	// identity, and on rollups spanning several shards.
+	ShardID string `json:"shard_id,omitempty"`
+	Addr    string `json:"addr,omitempty"`
+
 	// Precision labels the numeric path serving these requests ("fp32" or
 	// "int8"), so metrics scraped from mixed-precision deployments stay
 	// attributable. The fleet aggregate reports "mixed" when hosted models
@@ -51,6 +58,15 @@ type Stats struct {
 	// time because the client's context was already done — work the server
 	// declined to waste a batch slot on. Disjoint from Completed/Failed.
 	CancelledTotal uint64 `json:"cancelled_total"`
+
+	// RetriesExhaustedTotal counts requests answered 503 because every
+	// pool they resolved to retired before their submit landed — possible
+	// only when registry mutations outpace the bounded re-resolve loop
+	// (maxRouteRetries attempts). A nonzero value under steady traffic
+	// means lifecycle churn is pathological, not that requests were
+	// silently dropped. Fleet-aggregate only (route resolution happens
+	// before a model owns the request).
+	RetriesExhaustedTotal uint64 `json:"retries_exhausted_total"`
 
 	// BorrowedWorkers is the number of borrowed batch executions in flight
 	// at snapshot time (idle-worker lending), and BorrowsTotal the all-time
@@ -111,6 +127,7 @@ type metrics struct {
 	completed uint64
 	failed    uint64
 	cancelled uint64
+	exhausted uint64 // bounded re-resolve loop gave up (503)
 
 	borrowedNow  int    // borrowed batch executions in flight
 	borrowsTotal uint64 // granted borrows, all-time
@@ -150,6 +167,14 @@ func (m *metrics) reject() {
 func (m *metrics) cancel() {
 	m.mu.Lock()
 	m.cancelled++
+	m.mu.Unlock()
+}
+
+// retryExhausted records one request 503'd because the bounded re-resolve
+// loop ran out of attempts during registry churn.
+func (m *metrics) retryExhausted() {
+	m.mu.Lock()
+	m.exhausted++
 	m.mu.Unlock()
 }
 
@@ -221,21 +246,22 @@ func (m *metrics) snapshot(queueDepth, queueCap, workers, maxBatch int) Stats {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	s := Stats{
-		UptimeSeconds:   time.Since(m.start).Seconds(),
-		Received:        m.received,
-		Rejected:        m.rejected,
-		Completed:       m.completed,
-		Failed:          m.failed,
-		CancelledTotal:  m.cancelled,
-		BorrowedWorkers: m.borrowedNow,
-		BorrowsTotal:    m.borrowsTotal,
-		QueueDepth:      queueDepth,
-		QueueCap:        queueCap,
-		Workers:         workers,
-		MaxBatch:        maxBatch,
-		Batches:         m.batches,
-		BatchHist:       make(map[int]int, len(m.batchHist)),
-		LatencyMaxMs:    m.latMax * 1e3,
+		UptimeSeconds:         time.Since(m.start).Seconds(),
+		Received:              m.received,
+		Rejected:              m.rejected,
+		Completed:             m.completed,
+		Failed:                m.failed,
+		CancelledTotal:        m.cancelled,
+		RetriesExhaustedTotal: m.exhausted,
+		BorrowedWorkers:       m.borrowedNow,
+		BorrowsTotal:          m.borrowsTotal,
+		QueueDepth:            queueDepth,
+		QueueCap:              queueCap,
+		Workers:               workers,
+		MaxBatch:              maxBatch,
+		Batches:               m.batches,
+		BatchHist:             make(map[int]int, len(m.batchHist)),
+		LatencyMaxMs:          m.latMax * 1e3,
 	}
 	for k, v := range m.batchHist {
 		s.BatchHist[k] = v

@@ -1,0 +1,82 @@
+package serve
+
+import "time"
+
+// Queue is the pluggable admission queue feeding one hosted model's batcher.
+// The default implementation (NewQueue) is the bounded channel queue the
+// server has always used; Config.NewQueue swaps in a custom policy — a
+// counting/instrumented wrapper, a priority queue, or a shard-local
+// admission gate composing with proxy-side backpressure (internal/cluster
+// bounds in-flight forwards per shard BEFORE a request ever reaches this
+// queue, so the two layers shed independently: the proxy 429s when a
+// shard's pipe is full, the shard 429s when its queue is).
+//
+// Contract: Offer never blocks and returns false when the queue is full
+// (the HTTP layer maps that to 429). C is the receive side the batcher
+// selects over; after Close, C must drain every admitted request and then
+// close. The server serializes Offer against Close (no Offer call is in
+// flight when Close runs, and none arrives afterwards), so implementations
+// need not handle that race — but Offer/Offer, Offer/Len and Len/C
+// receives do run concurrently.
+type Queue interface {
+	// Offer admits the request without blocking; false means full.
+	Offer(r *Request) bool
+	// C is the batcher's receive side. It must keep returning the same
+	// channel across calls.
+	C() <-chan *Request
+	// Len is the number of requests waiting; Cap the admission bound
+	// (the 429 threshold reported on /healthz and /metrics).
+	Len() int
+	Cap() int
+	// Close stops admission and, after the last queued request is
+	// received, closes C.
+	Close()
+}
+
+// Request is one admitted detection job as the admission queue sees it —
+// opaque beyond the metadata a queueing policy can act on. Instances are
+// created by the server only; custom queues reorder, count or shed them but
+// never construct them.
+type Request = request
+
+// Altitude reports the request's UAV altitude in metres (0 when absent).
+func (r *request) Altitude() float64 { return r.altitude }
+
+// Enqueued reports when the request entered admission — the timestamp
+// end-to-end latency is measured from.
+func (r *request) Enqueued() time.Time { return r.enqueued }
+
+// Cancelled reports whether the request's client has already gone away; a
+// queue may use it to shed dead work early (the batcher drops such requests
+// at assembly regardless).
+func (r *request) Cancelled() bool { return r.cancelled() }
+
+// chanQueue is the default admission queue: a bounded channel, exactly the
+// pre-interface behavior.
+type chanQueue struct {
+	ch chan *Request
+}
+
+// NewQueue returns the default bounded-channel admission queue. It is the
+// queue every hosted model gets when Config.NewQueue is nil, and the
+// building block custom policies typically wrap.
+func NewQueue(capacity int) Queue {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &chanQueue{ch: make(chan *Request, capacity)}
+}
+
+func (q *chanQueue) Offer(r *Request) bool {
+	select {
+	case q.ch <- r:
+		return true
+	default:
+		return false
+	}
+}
+
+func (q *chanQueue) C() <-chan *Request { return q.ch }
+func (q *chanQueue) Len() int           { return len(q.ch) }
+func (q *chanQueue) Cap() int           { return cap(q.ch) }
+func (q *chanQueue) Close()             { close(q.ch) }

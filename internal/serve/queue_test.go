@@ -1,0 +1,111 @@
+package serve_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/serve"
+)
+
+// countingQueue wraps the default admission queue with policy-side
+// instrumentation — the shape a shard-local admission gate or priority
+// policy would take.
+type countingQueue struct {
+	inner  serve.Queue
+	offers atomic.Int64
+	shed   atomic.Int64
+
+	mu        sync.Mutex
+	altitudes []float64
+}
+
+func (q *countingQueue) Offer(r *serve.Request) bool {
+	q.offers.Add(1)
+	q.mu.Lock()
+	q.altitudes = append(q.altitudes, r.Altitude())
+	q.mu.Unlock()
+	if !q.inner.Offer(r) {
+		q.shed.Add(1)
+		return false
+	}
+	return true
+}
+
+func (q *countingQueue) C() <-chan *serve.Request { return q.inner.C() }
+func (q *countingQueue) Len() int                 { return q.inner.Len() }
+func (q *countingQueue) Cap() int                 { return q.inner.Cap() }
+func (q *countingQueue) Close()                   { q.inner.Close() }
+
+// TestPluggableAdmissionQueue pins the Queue extension point: a custom
+// Config.NewQueue receives the resolved queue depth, every admitted request
+// flows through the custom Offer (with its metadata accessors usable by the
+// policy), and the custom Cap is what /metrics reports as the 429
+// threshold.
+func TestPluggableAdmissionQueue(t *testing.T) {
+	net := buildNet(t)
+	var q *countingQueue
+	var gotCapacity int
+	cfg := serve.Config{
+		MaxBatch:   2,
+		MaxWait:    time.Millisecond,
+		QueueDepth: 16,
+		NewQueue: func(capacity int) serve.Queue {
+			gotCapacity = capacity
+			q = &countingQueue{inner: serve.NewQueue(3)}
+			return q
+		},
+	}
+	srv := newServer(t, net, 1, cfg)
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	if gotCapacity != 16 {
+		t.Fatalf("NewQueue received capacity %d, want the resolved QueueDepth 16", gotCapacity)
+	}
+
+	const frames = 5
+	for i, img := range testFrames(frames) {
+		body, err := json.Marshal(serve.DetectRequest{Width: img.W, Height: img.H, Pixels: img.Pix, Altitude: 120})
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.Post(ts.URL+"/detect", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Fatalf("frame %d: status %d through the custom queue", i, resp.StatusCode)
+		}
+	}
+
+	if got := q.offers.Load(); got != frames {
+		t.Fatalf("custom queue saw %d offers, want %d", got, frames)
+	}
+	if got := q.shed.Load(); got != 0 {
+		t.Fatalf("custom queue shed %d of %d sequential requests", got, frames)
+	}
+	q.mu.Lock()
+	for i, alt := range q.altitudes {
+		if alt != 120 {
+			t.Fatalf("offer %d: policy-visible altitude %v, want 120", i, alt)
+		}
+	}
+	q.mu.Unlock()
+
+	// The 429 threshold the operator sees is the custom queue's bound, not
+	// the config's channel depth.
+	stats := srv.Stats()
+	if stats.QueueCap != 3 {
+		t.Fatalf("stats.QueueCap = %d, want the custom queue's Cap 3", stats.QueueCap)
+	}
+	if stats.Completed != frames {
+		t.Fatalf("completed %d, want %d", stats.Completed, frames)
+	}
+}

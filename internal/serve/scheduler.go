@@ -87,8 +87,9 @@ func (s *scheduler) tryBorrow(h *hosted) (int, bool) {
 		return 0, false
 	}
 	if ps.localActive < ps.nominal {
-		// A local worker is idle (or about to be): let the strict pool take
-		// the batch rather than paying for an extra replica.
+		// A local worker has no batch handed off or executing — it is parked
+		// at the receive (or moments from it): let the strict pool take the
+		// batch rather than paying for an extra replica.
 		return 0, false
 	}
 	if s.busy >= s.capacity {
@@ -135,9 +136,17 @@ func (s *scheduler) endBorrow(h *hosted, id int) {
 	ps.freeIDs = append(ps.freeIDs, id)
 }
 
-// beginLocal / endLocal bracket a batch executing on one of the pool's own
-// workers. They only maintain counters — local execution is never gated on
-// the scheduler (the no-starvation guarantee).
+// beginLocal / endLocal bracket a batch owned by one of the pool's own
+// workers. The batcher calls beginLocal the moment a handoff SUCCEEDS (the
+// batches channel is unbuffered, so a completed send means a worker holds
+// the batch), not when the worker gets scheduled and starts executing:
+// under GOMAXPROCS=1 the batcher often probes tryBorrow in exactly the
+// window where a worker has accepted a batch but not yet run a single
+// instruction, and pickup-time accounting made that window read as "a
+// local worker is idle", deterministically starving the borrow path. The
+// worker calls endLocal when the batch finishes. They only maintain
+// counters — local execution is never gated on the scheduler (the
+// no-starvation guarantee).
 func (s *scheduler) beginLocal(h *hosted) {
 	s.mu.Lock()
 	defer s.mu.Unlock()

@@ -49,6 +49,14 @@ type Config struct {
 	// engine already encapsulates the actual model — and defaults to
 	// "fp32".
 	Precision string
+	// NewQueue, when non-nil, constructs this model's admission queue in
+	// place of the default bounded channel queue (NewQueue function) — the
+	// pluggable-backpressure hook: instrumented wrappers, priority
+	// policies, or shard-local gates composing with a fronting proxy's
+	// per-shard in-flight bound. The capacity argument is the resolved
+	// QueueDepth; the returned queue's Cap() is what /healthz and /metrics
+	// report.
+	NewQueue func(capacity int) Queue
 }
 
 // withDefaults normalizes the zero-value knobs.
@@ -144,7 +152,7 @@ type hosted struct {
 	weight float64
 	gen    uint64
 
-	queue   chan *request
+	queue   Queue
 	batches chan []*request
 
 	// retired is written under the server's admitMu write lock alongside
@@ -174,7 +182,7 @@ func newTable(order []*hosted) *routeTable {
 	t := &routeTable{order: order, byName: make(map[string]*hosted, len(order))}
 	for _, h := range order {
 		t.byName[h.name] = h
-		t.queueSum += h.cfg.QueueDepth
+		t.queueSum += h.queue.Cap()
 	}
 	if len(order) > 0 {
 		t.def = order[0]
@@ -216,6 +224,13 @@ type Server struct {
 	// genCounter mints server-unique pool generations; every started pool
 	// (initial, added, or swap replacement) gets the next value.
 	genCounter atomic.Uint64
+
+	// ident labels this serving PROCESS (shard id + listen address) on
+	// /healthz, /metrics and every Stats snapshot, so a fleet aggregator
+	// (cmd/dronet-proxy) can attribute each block to the process that
+	// produced it. Set once via SetIdentity when the listener is bound;
+	// atomic because scrapes may race the set.
+	ident atomic.Pointer[identity]
 
 	// adminMu serializes registry mutations (AddModel/SwapModel/RemoveModel/
 	// Close). The request path never takes it.
@@ -271,6 +286,36 @@ func NewRouted(entries []ModelEntry) (*Server, error) {
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
+// identity is the process-level shard label (see SetIdentity).
+type identity struct {
+	shardID string
+	addr    string
+}
+
+// SetIdentity labels this serving process for fleet-wide aggregation: the
+// shard id and listen address appear on /healthz, /metrics and every Stats
+// snapshot, so when several dronet-serve processes sit behind one
+// dronet-proxy the merged output stays attributable per process. Call it
+// once the listener is bound (the address is not known earlier); safe under
+// concurrent scrapes.
+func (s *Server) SetIdentity(shardID, addr string) {
+	s.ident.Store(&identity{shardID: shardID, addr: addr})
+}
+
+// Identity returns the process labels set by SetIdentity ("" before it is
+// called).
+func (s *Server) Identity() (shardID, addr string) {
+	if id := s.ident.Load(); id != nil {
+		return id.shardID, id.addr
+	}
+	return "", ""
+}
+
+// stamp labels one Stats snapshot with the process identity.
+func (s *Server) stamp(st *Stats) {
+	st.ShardID, st.Addr = s.Identity()
+}
+
 // Models returns the hosted model names in registration order; the first is
 // the default route.
 func (s *Server) Models() []string {
@@ -304,6 +349,10 @@ func (s *Server) startHosted(e ModelEntry, met *metrics) (*hosted, error) {
 	if met == nil {
 		met = newMetrics()
 	}
+	newQueue := cfg.NewQueue
+	if newQueue == nil {
+		newQueue = NewQueue
+	}
 	h := &hosted{
 		name:    e.Name,
 		eng:     e.Engine,
@@ -314,8 +363,11 @@ func (s *Server) startHosted(e ModelEntry, met *metrics) (*hosted, error) {
 		maxAlt:  e.MaxAltitude,
 		weight:  weight,
 		gen:     s.genCounter.Add(1),
-		queue:   make(chan *request, cfg.QueueDepth),
+		queue:   newQueue(cfg.QueueDepth),
 		batches: make(chan []*request),
+	}
+	if h.queue == nil {
+		return nil, fmt.Errorf("serve: model %q: NewQueue returned nil", e.Name)
 	}
 	if cfg.Warm {
 		h.eng.WarmBatch(cfg.MaxBatch)
@@ -457,7 +509,7 @@ func (s *Server) RemoveModel(name string) error {
 func (s *Server) retire(h *hosted) {
 	s.admitMu.Lock()
 	h.retired = true
-	close(h.queue)
+	h.queue.Close()
 	s.admitMu.Unlock()
 	h.batcherWG.Wait()
 	h.workerWG.Wait()
@@ -477,8 +529,8 @@ func (s *Server) Stats() Stats {
 	workers := 0
 	precision := ""
 	for _, h := range t.order {
-		depth += len(h.queue)
-		cap += h.cfg.QueueDepth
+		depth += h.queue.Len()
+		cap += h.queue.Cap()
 		workers += h.eng.Workers()
 		if h.cfg.MaxBatch > maxBatch {
 			maxBatch = h.cfg.MaxBatch
@@ -492,6 +544,7 @@ func (s *Server) Stats() Stats {
 	}
 	st := s.fleet.snapshot(depth, cap, workers, maxBatch)
 	st.Precision = precision
+	s.stamp(&st)
 	return st
 }
 
@@ -501,12 +554,14 @@ func (s *Server) ModelStats(name string) (Stats, bool) {
 	if !ok {
 		return Stats{}, false
 	}
-	return h.stats(), true
+	st := h.stats()
+	s.stamp(&st)
+	return st, true
 }
 
 // stats snapshots one hosted model's metrics with its routing labels.
 func (h *hosted) stats() Stats {
-	st := h.met.snapshot(len(h.queue), h.cfg.QueueDepth, h.eng.Workers(), h.cfg.MaxBatch)
+	st := h.met.snapshot(h.queue.Len(), h.queue.Cap(), h.eng.Workers(), h.cfg.MaxBatch)
 	st.Model = h.name
 	st.Precision = h.cfg.Precision
 	st.MaxAltitude = h.maxAlt
@@ -520,7 +575,9 @@ func (s *Server) Report() MetricsReport {
 	t := s.table.Load()
 	rep := MetricsReport{Stats: s.Stats(), Models: make(map[string]Stats, len(t.order))}
 	for _, h := range t.order {
-		rep.Models[h.name] = h.stats()
+		st := h.stats()
+		s.stamp(&st)
+		rep.Models[h.name] = st
 	}
 	return rep
 }
@@ -538,12 +595,10 @@ func (s *Server) submit(h *hosted, r *request) error {
 	if h.retired {
 		return errRetired
 	}
-	select {
-	case h.queue <- r:
-		return nil
-	default:
+	if !h.queue.Offer(r) {
 		return ErrOverloaded
 	}
+	return nil
 }
 
 // detect runs one image through a model's micro-batching path end to end,
@@ -620,7 +675,7 @@ func (h *hosted) drop(r *request) {
 func (h *hosted) batchLoop() {
 	defer h.batcherWG.Done()
 	defer close(h.batches)
-	for first := range h.queue {
+	for first := range h.queue.C() {
 		if first.cancelled() {
 			h.drop(first)
 			continue
@@ -644,6 +699,7 @@ func (h *hosted) batchLoop() {
 				// never spins.
 				select {
 				case h.batches <- batch:
+					h.sched.beginLocal(h)
 					sent = true
 					continue
 				default:
@@ -655,7 +711,7 @@ func (h *hosted) batchLoop() {
 				}
 			}
 			select {
-			case r, ok := <-h.queue:
+			case r, ok := <-h.queue.C():
 				switch {
 				case !ok:
 					open = false
@@ -669,6 +725,7 @@ func (h *hosted) batchLoop() {
 			case <-maxT.C:
 				maxDone = true
 			case offer <- batch:
+				h.sched.beginLocal(h)
 				sent = true
 			}
 		}
@@ -682,11 +739,13 @@ func (h *hosted) batchLoop() {
 			// else block until a local worker frees up.
 			select {
 			case h.batches <- batch:
+				h.sched.beginLocal(h)
 			default:
 				if id, ok := h.sched.tryBorrow(h); ok {
 					h.runBorrowed(id, batch)
 				} else {
 					h.batches <- batch
+					h.sched.beginLocal(h)
 				}
 			}
 		}
@@ -713,14 +772,15 @@ func (h *hosted) runBorrowed(id int, batch []*request) {
 
 // workerLoop executes one model's batches on this worker's pooled replica
 // and fans the per-image detections back to the waiting requests. The
-// begin/endLocal brackets keep the scheduler's fleet-occupancy counters
-// honest without ever gating local execution on it.
+// batcher already counted the batch via beginLocal at handoff time (see
+// scheduler.go); the worker's endLocal closes that bracket, keeping the
+// fleet-occupancy counters honest without ever gating local execution on
+// the scheduler.
 func (h *hosted) workerLoop(id int) {
 	defer h.workerWG.Done()
 	imgs := make([]*imgproc.Image, 0, h.cfg.MaxBatch)
 	alts := make([]float64, 0, h.cfg.MaxBatch)
 	for batch := range h.batches {
-		h.sched.beginLocal(h)
 		imgs, alts = h.runBatch(id, batch, imgs, alts)
 		h.sched.endLocal(h)
 	}
@@ -798,7 +858,7 @@ func (s *Server) Close() error {
 		s.closed = true
 		for _, h := range t.order {
 			h.retired = true
-			close(h.queue)
+			h.queue.Close()
 		}
 		s.admitMu.Unlock()
 		for _, h := range t.order {
