@@ -10,9 +10,12 @@ GO ?= go
 ci: vet build race bench-smoke serve-smoke swap-smoke shard-smoke
 
 ## bench-smoke: quick kernel-level regression tripwire over the packed GEMM
-## benchmarks (10 iterations — catches crashes and gross slowdowns cheaply)
+## benchmarks (10 iterations — catches crashes and gross slowdowns cheaply);
+## the -run leg prints the dispatch report and asserts the selected family is
+## avx2 on AVX2-capable boxes (TestSelectedKernel skips elsewhere), so a
+## silent fall-back to the SSE2 kernels breaks CI instead of just perf
 bench-smoke:
-	$(GO) test -run '^$$' -bench Gemm -benchtime 10x ./internal/tensor/
+	$(GO) test -run 'TestKernelDispatchInfo|TestSelectedKernel' -v -bench Gemm -benchtime 10x ./internal/tensor/
 
 ## vet: static analysis plus the gofmt cleanliness gate — unformatted files
 ## fail the build with their names listed
@@ -92,12 +95,15 @@ shard-smoke:
 
 ## fuzz: short bounded fuzz pass over the detect, kernel, quantization and
 ## spec-grammar invariants (FuzzGemmPackedVsNaive cross-checks the packed
-## cache-blocked GEMM against the naive loops: exact for int8, <=1e-4
-## relative for fp32; FuzzParseModelSpecs holds -models parsing to a
-## no-panic + parse/format/parse fixed-point contract). FUZZTIME tunes the
-## per-target budget (CI's parallel fuzz job uses 15s).
+## cache-blocked GEMM against the naive loops across EVERY registered
+## microkernel family — avx2/sse2/portable: exact for int8, <=1e-4 relative
+## for fp32; the leading dispatch-info run logs which families this box
+## detected so fuzz logs are attributable; FuzzParseModelSpecs holds -models
+## parsing to a no-panic + parse/format/parse fixed-point contract). FUZZTIME
+## tunes the per-target budget (CI's parallel fuzz job uses 15s).
 FUZZTIME ?= 30s
 fuzz:
+	$(GO) test -run TestKernelDispatchInfo -v ./internal/tensor
 	$(GO) test -run '^$$' -fuzz FuzzIoU -fuzztime $(FUZZTIME) ./internal/detect
 	$(GO) test -run '^$$' -fuzz FuzzNMS -fuzztime $(FUZZTIME) ./internal/detect
 	$(GO) test -run '^$$' -fuzz FuzzGemmPackedVsNaive -fuzztime $(FUZZTIME) ./internal/tensor

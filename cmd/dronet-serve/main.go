@@ -115,7 +115,17 @@ func main() {
 	benchRequests := flag.Int("bench-requests", 40, "selfbench: requests per client")
 	cpuProfile := flag.String("cpuprofile", "", "selfbench: write a CPU pprof profile of the whole run to this path")
 	memProfile := flag.String("memprofile", "", "selfbench: write a heap pprof profile at the end of the run to this path")
+	kernelPin := flag.String("kernel", "", "pin the GEMM microkernel family (one of "+strings.Join(tensor.AvailableKernels(), ", ")+"; default: auto-detect, env "+tensor.KernelEnv+")")
 	flag.Parse()
+
+	if *kernelPin != "" {
+		if err := tensor.SelectKernel(*kernelPin); err != nil {
+			log.Fatal(err)
+		}
+	} else if note := tensor.KernelInitNote(); note != "" {
+		log.Printf("warning: %s", note)
+	}
+	log.Printf("gemm kernel: %s (available: %s)", tensor.KernelName(), strings.Join(tensor.AvailableKernels(), ", "))
 
 	if *precision != "fp32" && *precision != "int8" {
 		log.Fatalf("unknown -precision %q (want fp32 or int8)", *precision)
@@ -418,10 +428,17 @@ func writeHeapProfile(path string) error {
 // kernelStat is one GEMM-shape measurement in the selfbench report: the
 // packed cache-blocked kernels' throughput at a representative DroNet
 // convolution shape, fp32 (GFLOP/s) and int8 (GOP/s, 2 ops per MAC).
+// Kernel labels which dispatched microkernel family produced the numbers,
+// and the *_prepacked_* variants time the steady-state serving path where
+// the weight-side operand was packed once up front (GemmPrepacked /
+// GemmInt8Prepacked) instead of on every call.
 type kernelStat struct {
-	Shape      string  `json:"shape"`
-	FP32GFLOPS float64 `json:"fp32_gflops"`
-	Int8GOPS   float64 `json:"int8_gops"`
+	Shape         string  `json:"shape"`
+	Kernel        string  `json:"kernel"`
+	FP32GFLOPS    float64 `json:"fp32_gflops"`
+	FP32PreGFLOPS float64 `json:"fp32_prepacked_gflops"`
+	Int8GOPS      float64 `json:"int8_gops"`
+	Int8PreGOPS   float64 `json:"int8_prepacked_gops"`
 }
 
 // benchKernels measures the raw GEMM kernels at three representative DroNet
@@ -459,12 +476,20 @@ func benchKernels() []kernelStat {
 			requant[i] = 1.0 / 127
 		}
 		ops := 2 * float64(s.m) * float64(s.n) * float64(s.k)
-		st := kernelStat{Shape: s.name}
+		st := kernelStat{Shape: s.name, Kernel: tensor.KernelName()}
 		st.FP32GFLOPS = ops * measureRate(func() {
 			tensor.Gemm(false, false, s.m, s.n, s.k, 1, a, s.k, b, s.n, 0, c, s.n)
 		}) / 1e9
 		st.Int8GOPS = ops * measureRate(func() {
 			tensor.GemmInt8(s.m, s.n, s.k, qa, s.k, qb, s.n, requant, bias, c, s.n)
+		}) / 1e9
+		pre := tensor.PackA(false, s.m, s.k, 1, a, s.k)
+		st.FP32PreGFLOPS = ops * measureRate(func() {
+			tensor.GemmPrepacked(pre, false, s.n, b, s.n, 0, c, s.n)
+		}) / 1e9
+		preI8 := tensor.PackAInt8(s.m, s.k, qa, s.k)
+		st.Int8PreGOPS = ops * measureRate(func() {
+			tensor.GemmInt8Prepacked(preI8, s.n, qb, s.n, requant, bias, c, s.n)
 		}) / 1e9
 		stats = append(stats, st)
 	}
@@ -535,7 +560,8 @@ func runSelfBench(det *core.Detector, cfg engine.Config, scfg serve.Config, size
 	rep := benchReport{Model: model, Scale: scale, Size: size, Clients: clients, Requests: requests, AgreementIoU: agreementIoU}
 	rep.Kernels = benchKernels()
 	for _, ks := range rep.Kernels {
-		log.Printf("selfbench kernel %s: fp32 %.2f GFLOP/s, int8 %.2f GOP/s", ks.Shape, ks.FP32GFLOPS, ks.Int8GOPS)
+		log.Printf("selfbench kernel[%s] %s: fp32 %.2f GFLOP/s (prepacked %.2f), int8 %.2f GOP/s (prepacked %.2f)",
+			ks.Kernel, ks.Shape, ks.FP32GFLOPS, ks.FP32PreGFLOPS, ks.Int8GOPS, ks.Int8PreGOPS)
 	}
 	dets := make(map[string][][]detect.Detection, 2)
 	for _, precision := range []string{"fp32", "int8"} {

@@ -292,6 +292,12 @@ func (e *Engine) WorkspaceBytes() int64 {
 	return total
 }
 
+// WeightBytes reports the base model's resident weight footprint, including
+// any pre-packed GEMM weight panels. Worker replicas share the base's
+// parameters and packs, so this counts them exactly once regardless of pool
+// size.
+func (e *Engine) WeightBytes() int64 { return e.base.WeightBytes() }
+
 // batcher returns the id-th pooled batch runner. It shares the same network
 // replica as runner(id): a worker executes either a stream job or a batch
 // job at any moment, never both, so the replica's layer workspaces are safe

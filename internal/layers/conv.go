@@ -3,6 +3,8 @@ package layers
 import (
 	"fmt"
 	"math"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/tensor"
 )
@@ -45,7 +47,22 @@ type Conv2D struct {
 	// Rolling statistics for inference-time batch norm.
 	RollingMean, RollingVar *tensor.Tensor
 
+	// packed caches the filter matrix pre-packed as the GEMM A operand
+	// (tensor.PackA). The holder is allocated once in NewConv2D and shared
+	// by every CloneForInference copy — like the weights themselves — so the
+	// pack is built once per model, not once per replica, and invalidation
+	// through any copy is visible to all.
+	packed *packedWeights
+
 	st convState
+}
+
+// packedWeights is the shared pre-packed filter cache: filled lazily on the
+// first inference Forward (double-checked under mu), dropped whenever the
+// weights mutate (InvalidateWeightPack), rebuilt on the next inference pass.
+type packedWeights struct {
+	mu  sync.Mutex
+	pre atomic.Pointer[tensor.PackedA]
 }
 
 // convState is the per-instance workspace of a Conv2D: everything Forward
@@ -91,6 +108,7 @@ func NewConv2D(in Shape, filters, ksize, stride, pad int, batchNorm bool, act Ac
 	w := tensor.New(1, 1, filters, fanIn)
 	rng.FillHe(w.Data, fanIn)
 	c.Weights = newParam("weights", w, true)
+	c.packed = &packedWeights{}
 	c.Biases = newParam("biases", tensor.NewVec(filters), false)
 	if batchNorm {
 		s := tensor.NewVec(filters)
@@ -104,13 +122,60 @@ func NewConv2D(in Shape, filters, ksize, stride, pad int, batchNorm bool, act Ac
 }
 
 // CloneForInference implements Layer: the clone shares Weights, Biases,
-// Scales and the rolling batch-norm statistics with the receiver but starts
-// with an empty workspace, so it can run Forward concurrently with the
-// original as long as no instance is training.
+// Scales, the rolling batch-norm statistics and the pre-packed filter cache
+// with the receiver but starts with an empty workspace, so it can run
+// Forward concurrently with the original as long as no instance is
+// training. Cloning packs eagerly: replica fleets are built before traffic
+// arrives, so the first request should not pay the pack.
 func (c *Conv2D) CloneForInference() Layer {
 	cp := *c
 	cp.st = convState{}
+	cp.inferencePack()
 	return &cp
+}
+
+// inferencePack returns the shared pre-packed filter matrix, building it on
+// first use. Concurrent replicas race benignly to the double-checked lock;
+// whoever wins publishes one slab for everyone.
+func (c *Conv2D) inferencePack() *tensor.PackedA {
+	if c.packed == nil {
+		return nil
+	}
+	if pre := c.packed.pre.Load(); pre != nil {
+		return pre
+	}
+	c.packed.mu.Lock()
+	defer c.packed.mu.Unlock()
+	if pre := c.packed.pre.Load(); pre != nil {
+		return pre
+	}
+	k := c.in.C * c.Ksize * c.Ksize
+	pre := tensor.PackA(false, c.Filters, k, 1, c.Weights.W.Data, k)
+	c.packed.pre.Store(pre)
+	return pre
+}
+
+// InvalidateWeightPack drops the pre-packed filter cache. Every mutation of
+// Weights.W — an optimizer step, loading a checkpoint, folding batch norm —
+// must call it (through any clone; the cache is shared), or inference would
+// keep serving the stale pack.
+func (c *Conv2D) InvalidateWeightPack() {
+	if c.packed != nil {
+		c.packed.pre.Store(nil)
+	}
+}
+
+// PackedBytes reports the resident size of the pre-packed filter cache, so
+// model-level weight accounting (WeightBytes, /healthz) does not
+// under-report memory.
+func (c *Conv2D) PackedBytes() int64 {
+	if c.packed == nil {
+		return 0
+	}
+	if pre := c.packed.pre.Load(); pre != nil {
+		return pre.Bytes()
+	}
+	return 0
 }
 
 // SetScratchArena implements ScratchUser: im2col output is carved from the
@@ -181,6 +246,12 @@ func (c *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	if !pointwise {
 		col = c.ensureCol() // one carve per Forward, shared by the batch loop
 	}
+	// Inference reuses the shared pre-packed filters; training packs on the
+	// fly (the weights are about to change anyway).
+	var pre *tensor.PackedA
+	if !train {
+		pre = c.inferencePack()
+	}
 	for b := 0; b < x.N; b++ {
 		src := x.Batch(b).Data
 		lowered := src
@@ -189,7 +260,11 @@ func (c *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 			lowered = col
 		}
 		dst := out.Batch(b).Data
-		tensor.Gemm(false, false, m, n, k, 1, c.Weights.W.Data, k, lowered, n, 0, dst, n)
+		if pre != nil {
+			tensor.GemmPrepacked(pre, false, n, lowered, n, 0, dst, n)
+		} else {
+			tensor.Gemm(false, false, m, n, k, 1, c.Weights.W.Data, k, lowered, n, 0, dst, n)
+		}
 	}
 	if c.BatchNorm {
 		if train {

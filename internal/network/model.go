@@ -47,5 +47,16 @@ func (n *Network) InShape() layers.Shape {
 // ForwardBatch implements Model: an inference-mode Forward.
 func (n *Network) ForwardBatch(x *tensor.Tensor) *tensor.Tensor { return n.Forward(x, false) }
 
-// WeightBytes implements Model: four bytes per float32 learnable parameter.
-func (n *Network) WeightBytes() int64 { return 4 * n.NumParams() }
+// WeightBytes implements Model: four bytes per float32 learnable parameter,
+// plus any resident pre-packed GEMM weight panels (built lazily for
+// inference, shared across replicas) — so /healthz reports what the model
+// actually holds in memory.
+func (n *Network) WeightBytes() int64 {
+	total := 4 * n.NumParams()
+	for _, l := range n.Layers {
+		if pb, ok := l.(interface{ PackedBytes() int64 }); ok {
+			total += pb.PackedBytes()
+		}
+	}
+	return total
+}

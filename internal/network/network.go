@@ -182,6 +182,13 @@ func (n *Network) Update(opt SGD, batch int) {
 			g[i] = 0
 		}
 	}
+	// Weights changed: any pre-packed GEMM operands are stale. The next
+	// inference pass repacks lazily.
+	for _, l := range n.Layers {
+		if inv, ok := l.(interface{ InvalidateWeightPack() }); ok {
+			inv.InvalidateWeightPack()
+		}
+	}
 }
 
 // ZeroGrads clears all parameter gradients.

@@ -112,6 +112,11 @@ type QConv struct {
 	Bias     []float32
 	ActScale float32   // input activation quantization scale
 	requant  []float32 // WScale[f]*ActScale, precomputed per output channel
+	// packed is W pre-packed as the int8 GEMM A operand, built eagerly at
+	// quantization time: quantized weights are immutable after Quantize, so
+	// the pack never invalidates and every replica shares it (struct copy in
+	// cloneForInference copies the pointer).
+	packed *tensor.PackedAInt8
 
 	// Workspace (per replica): quantized input image, im2col scratch, and
 	// the batched output. qx and col are carved from the owning QNet's
@@ -246,6 +251,7 @@ func quantizeConv(c *layers.Conv2D, inMaxAbs float32) (*QConv, error) {
 		qc.requant[f] = scale * qc.ActScale
 		QuantizeSymmetric(row, scale, qc.W[f*fanIn:(f+1)*fanIn])
 	}
+	qc.packed = tensor.PackAInt8(qc.Filters, fanIn, qc.W, fanIn)
 	return qc, nil
 }
 
@@ -303,7 +309,11 @@ func (qc *QConv) Forward(x *tensor.Tensor) *tensor.Tensor {
 			tensor.Im2colInt8(qx, qc.in.C, qc.in.H, qc.in.W, qc.Ksize, qc.Stride, qc.Pad, qcol)
 			col = qcol
 		}
-		tensor.GemmInt8(qc.Filters, spatial, fanIn, qc.W, fanIn, col, spatial, qc.requant, qc.Bias, out.Batch(b).Data, spatial)
+		if qc.packed != nil {
+			tensor.GemmInt8Prepacked(qc.packed, spatial, col, spatial, qc.requant, qc.Bias, out.Batch(b).Data, spatial)
+		} else {
+			tensor.GemmInt8(qc.Filters, spatial, fanIn, qc.W, fanIn, col, spatial, qc.requant, qc.Bias, out.Batch(b).Data, spatial)
+		}
 	}
 	if qc.Act == layers.ActLeaky {
 		tensor.Leaky(out.Data)
@@ -415,12 +425,26 @@ func (q *QNet) ScratchBytes() int64 {
 	return q.arena.Bytes()
 }
 
-// WeightBytes implements network.Model: the INT8 parameter storage (scales
-// and biases included), roughly a quarter of the float32 network's.
+// WeightBytes implements network.Model: everything resident per model for
+// weights — the INT8 parameter storage (scales and biases included) plus the
+// pre-packed GEMM operands, so /healthz does not under-report model memory.
+// Still well under half the float32 network's parameter bytes.
 func (q *QNet) WeightBytes() int64 {
 	var total int64
 	for _, c := range q.Convs {
 		total += int64(len(c.W)) + 4*int64(len(c.WScale)+len(c.Bias))
+	}
+	return total + q.PrepackedBytes()
+}
+
+// PrepackedBytes reports just the pre-packed weight-panel slabs (int16
+// k-pair layout, ~2× the raw int8 weights), shared across all replicas.
+func (q *QNet) PrepackedBytes() int64 {
+	var total int64
+	for _, c := range q.Convs {
+		if c.packed != nil {
+			total += c.packed.Bytes()
+		}
 	}
 	return total
 }

@@ -255,8 +255,15 @@ func TestWeightBytesQuartered(t *testing.T) {
 			floatBytes += int64(p.W.Len()) * 4
 		}
 	}
-	if q.WeightBytes() >= floatBytes/2 {
-		t.Fatalf("INT8 weights not meaningfully smaller: %d vs float %d", q.WeightBytes(), floatBytes)
+	// WeightBytes now includes the pre-packed int16 GEMM panels (an honest
+	// resident-memory figure); the storage-shrink claim is about the
+	// parameter encoding itself, so compare without them.
+	storage := q.WeightBytes() - q.PrepackedBytes()
+	if q.PrepackedBytes() <= 0 {
+		t.Fatal("quantized net should carry pre-packed weight panels")
+	}
+	if storage >= floatBytes/2 {
+		t.Fatalf("INT8 weights not meaningfully smaller: %d vs float %d", storage, floatBytes)
 	}
 }
 

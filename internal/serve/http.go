@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/detect"
 	"repro/internal/imgproc"
+	"repro/internal/tensor"
 )
 
 // maxBodyBytes bounds request bodies: a 608x608 planar float image is ~13MB
@@ -348,6 +349,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 			"queue_depth":      h.queue.Len(),
 			"max_altitude_m":   h.maxAlt,
 			"workspace_bytes":  h.eng.WorkspaceBytes(),
+			"weight_bytes":     h.eng.WeightBytes(),
 			"default":          h == t.def,
 			"generation":       h.gen,
 			"weight":           h.weight,
@@ -359,6 +361,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		"status":          "ok",
 		"shard_id":        shardID,
 		"addr":            addr,
+		"kernel":          tensor.KernelName(),
 		"precision":       t.def.cfg.Precision,
 		"workers":         s.group.Workers(),
 		"max_batch":       t.def.cfg.MaxBatch,

@@ -456,6 +456,16 @@ func TestMetricsEndpoint(t *testing.T) {
 	if health["status"] != "ok" {
 		t.Errorf("healthz status %v", health["status"])
 	}
+	if k, _ := health["kernel"].(string); k != tensor.KernelName() {
+		t.Errorf("healthz kernel = %v, want %q", health["kernel"], tensor.KernelName())
+	}
+	models, _ := health["models"].(map[string]any)
+	for name, m := range models {
+		mm, _ := m.(map[string]any)
+		if wb, _ := mm["weight_bytes"].(float64); wb <= 0 {
+			t.Errorf("healthz model %s weight_bytes = %v, want > 0", name, mm["weight_bytes"])
+		}
+	}
 
 	mr, err := http.Get(ts.URL + "/metrics")
 	if err != nil {

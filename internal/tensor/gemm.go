@@ -12,9 +12,11 @@ import (
 //     stays cache-resident while row strips of A stream through;
 //   - the n dimension is tiled into ncBlock chunks bounding the packed-B
 //     slab (ncBlock·kcBlock floats ≈ 1 MB, L2-sized);
-//   - inside a chunk, an MR×NR register-blocked microkernel (see
-//     microkernel.go) runs over MR-interleaved A strips and NR-interleaved
-//     B panels produced by pack.go.
+//   - inside a chunk, an MR×NR register-blocked microkernel runs over
+//     MR-interleaved A strips and NR-interleaved B panels produced by
+//     pack.go, with MR×NR the register tile of the microkernel family
+//     selected at runtime (kernel.go): 6×16 AVX2/FMA, 4×8 SSE2, or the
+//     4×8 portable Go kernels.
 //
 // Work is parallelized across both row strips (packing A) and column panels
 // (packing B and running tiles) on a persistent worker pool; task payloads
@@ -24,13 +26,20 @@ import (
 // runs in a fixed order, so results are deterministic for any GOMAXPROCS
 // (and exact for the int8 driver in int8.go, which shares this machinery).
 //
+// The A side can also arrive pre-packed (prepack.go): GemmPrepacked skips
+// the per-call A pack entirely and points the tile stage at a shared
+// read-only slab packed once at model build time. The context therefore
+// separates paRO — the view the tile stage reads — from pa, the scratch the
+// pack stage owns; the prepacked path must never let pooled reuse hand a
+// shared weight slab out as writable scratch.
+//
 // Tiny problems fall through to the naive register-free loops at the bottom
 // of this file: below packThreshold the packing traffic would dominate.
 
 const (
 	// kcBlock is the K-dimension panel depth: one packed B panel is
-	// kcBlock×NR floats (8 KB, L1-resident), one packed A block is
-	// m×kcBlock floats.
+	// kcBlock×NR floats (L1-resident), one packed A block is m×kcBlock
+	// floats.
 	kcBlock = 256
 	// ncBlock bounds the packed-B slab per chunk (kcBlock·ncBlock floats =
 	// 1 MB) and is the unit across which column-panel tasks are spread.
@@ -52,29 +61,42 @@ const (
 // Large problems run on the packed cache-blocked driver; because the packed
 // microkernel accumulates each output tile in a different order than the
 // naive loops, float32 results may differ from them by reassociation
-// rounding (the driver itself is deterministic for any worker count).
+// rounding (the driver itself is deterministic for any worker count; the
+// selected microkernel family shifts results only by the same kind of
+// reassociation/contraction rounding).
 func Gemm(ta, tb bool, m, n, k int, alpha float32, a []float32, lda int, b []float32, ldb int, beta float32, c []float32, ldc int) {
-	if beta != 1 {
-		for i := 0; i < m; i++ {
-			row := c[i*ldc : i*ldc+n]
-			if beta == 0 {
-				for j := range row {
-					row[j] = 0
-				}
-			} else {
-				for j := range row {
-					row[j] *= beta
-				}
-			}
-		}
-	}
+	gemmScaleC(beta, m, n, c, ldc)
 	if alpha == 0 {
 		return
 	}
 	if int64(m)*int64(n)*int64(k) >= packThreshold {
-		gemmPacked(ta, tb, m, n, k, alpha, a, lda, b, ldb, c, ldc)
+		gemmPacked(currentKernels(), ta, tb, m, n, k, alpha, a, lda, b, ldb, c, ldc, nil)
 		return
 	}
+	gemmNaive(ta, tb, m, n, k, alpha, a, lda, b, ldb, c, ldc)
+}
+
+// gemmScaleC applies the beta prologue: C *= beta (clear when beta == 0).
+func gemmScaleC(beta float32, m, n int, c []float32, ldc int) {
+	if beta == 1 {
+		return
+	}
+	for i := 0; i < m; i++ {
+		row := c[i*ldc : i*ldc+n]
+		if beta == 0 {
+			for j := range row {
+				row[j] = 0
+			}
+		} else {
+			for j := range row {
+				row[j] *= beta
+			}
+		}
+	}
+}
+
+// gemmNaive routes to the serial register-free loops.
+func gemmNaive(ta, tb bool, m, n, k int, alpha float32, a []float32, lda int, b []float32, ldb int, c []float32, ldc int) {
 	switch {
 	case !ta && !tb:
 		gemmNN(m, n, k, alpha, a, lda, b, ldb, c, ldc)
@@ -87,12 +109,18 @@ func Gemm(ta, tb bool, m, n, k int, alpha float32, a []float32, lda int, b []flo
 	}
 }
 
-// gemmCtx is the pooled state of one packed GEMM invocation: the problem
-// geometry, the current block coordinates, and the grow-once pack slabs.
-// Pooling the context (and passing it by pointer through the task structs)
-// is what keeps the steady-state driver allocation-free.
+// gemmCtx is the pooled state of one packed GEMM invocation: the kernel
+// family captured at entry, the problem geometry, the current block
+// coordinates, and the grow-once pack slabs. Pooling the context (and
+// passing it by pointer through the task structs) is what keeps the
+// steady-state driver allocation-free.
 type gemmCtx struct {
 	wg sync.WaitGroup
+
+	// Kernel family captured at Gemm entry: register tile and tile kernels.
+	mr, nr int
+	kf32   func(kc int, pa, pb []float32, c []float32, ldc int)
+	ki8    func(kPairs int, pa, pb []int16, requant, bias []float32, c []float32, ldc int)
 
 	ta, tb  bool
 	m, n, k int
@@ -106,12 +134,19 @@ type gemmCtx struct {
 	jj, nc  int // current N chunk
 	nStrips int
 
-	pa []float32 // packed A block: nStrips strips of MR·kc
+	pa []float32 // owned A-pack scratch: nStrips strips of MR·kc
 	pb []float32 // packed B chunk: panels of NR·kc
+
+	// paRO is the packed-A view the tile stage reads: ctx.pa after the pack
+	// stage ran, or a window into a shared pre-packed weight slab
+	// (prepack.go). Kept separate from pa so a pooled context can never
+	// reuse shared read-only data as scratch for a later call.
+	paRO []float32
 
 	// INT8 driver state (int8.go): same blocking, int16-pair panels.
 	a8, b8     []int8
 	pa16, pb16 []int16
+	pa16RO     []int16
 	requant    []float32
 	bias       []float32
 	kPairs     int
@@ -119,14 +154,33 @@ type gemmCtx struct {
 
 var gemmCtxPool = sync.Pool{New: func() any { return new(gemmCtx) }}
 
-// tileScratch is the per-task edge-tile workspace: a full MR×NR tile plus
-// padded per-row requant/bias vectors for the int8 kernel. Pooled so edge
-// handling stays allocation-free (a stack array would escape through the
-// kernel function variable).
+// setKernels captures one microkernel family into the context for the whole
+// invocation, so a concurrent SelectKernel cannot tear a GEMM across two
+// families or mismatch pack layout and kernel shape.
+func (ctx *gemmCtx) setKernels(kern *microKernels) {
+	ctx.mr, ctx.nr = kern.mr, kern.nr
+	ctx.kf32, ctx.ki8 = kern.f32, kern.i8
+}
+
+// release clears borrowed references and returns the context to the pool.
+func (ctx *gemmCtx) release() {
+	ctx.a, ctx.b, ctx.c = nil, nil, nil
+	ctx.a8, ctx.b8 = nil, nil
+	ctx.paRO, ctx.pa16RO = nil, nil
+	ctx.requant, ctx.bias = nil, nil
+	ctx.kf32, ctx.ki8 = nil, nil
+	gemmCtxPool.Put(ctx)
+}
+
+// tileScratch is the per-task edge-tile workspace: a full register tile at
+// the largest geometry any kernel family may declare, plus padded per-row
+// requant/bias vectors for the int8 kernel. Pooled so edge handling stays
+// allocation-free (a stack array would escape through the kernel function
+// variable).
 type tileScratch struct {
-	tile [gemmMR * gemmNR]float32
-	rq   [gemmMR]float32
-	bs   [gemmMR]float32
+	tile [maxMR * maxNR]float32
+	rq   [maxMR]float32
+	bs   [maxMR]float32
 }
 
 var tileScratchPool = sync.Pool{New: func() any { return new(tileScratch) }}
@@ -147,47 +201,57 @@ func resliceI16(s []int16, n int) []int16 {
 	return make([]int16, n)
 }
 
-// gemmPacked is the blocked fp32 driver.
-func gemmPacked(ta, tb bool, m, n, k int, alpha float32, a []float32, lda int, b []float32, ldb int, c []float32, ldc int) {
+// gemmPacked is the blocked fp32 driver. kern is the microkernel family
+// captured by the caller. When pre is non-nil it is a full pre-packed A in
+// prepack.go's layout (alpha folded in, packed at kern's MR): the per-panel
+// A pack stage is skipped and the tile stage reads the shared slab directly.
+func gemmPacked(kern *microKernels, ta, tb bool, m, n, k int, alpha float32, a []float32, lda int, b []float32, ldb int, c []float32, ldc int, pre []float32) {
 	ctx := gemmCtxPool.Get().(*gemmCtx)
+	ctx.setKernels(kern)
 	ctx.ta, ctx.tb = ta, tb
 	ctx.m, ctx.n, ctx.k = m, n, k
 	ctx.alpha = alpha
 	ctx.a, ctx.b, ctx.c = a, b, c
 	ctx.lda, ctx.ldb, ctx.ldc = lda, ldb, ldc
-	ctx.nStrips = (m + gemmMR - 1) / gemmMR
+	ctx.nStrips = (m + ctx.mr - 1) / ctx.mr
 
 	for kk := 0; kk < k; kk += kcBlock {
 		ctx.kk = kk
 		ctx.kc = min(kcBlock, k-kk)
-		ctx.pa = resliceF32(ctx.pa, ctx.nStrips*gemmMR*ctx.kc)
-		gemmParallel(ctx, ctx.nStrips, taskPackAF32)
+		if pre != nil {
+			// Panels for k-block kk start at nStrips·mr·kk: every prior
+			// panel was full kcBlock deep, so the offsets telescope.
+			ctx.paRO = pre[ctx.nStrips*ctx.mr*kk : ctx.nStrips*ctx.mr*(kk+ctx.kc)]
+		} else {
+			ctx.pa = resliceF32(ctx.pa, ctx.nStrips*ctx.mr*ctx.kc)
+			ctx.paRO = ctx.pa
+			gemmParallel(ctx, ctx.nStrips, taskPackAF32)
+		}
 		for jj := 0; jj < n; jj += ncBlock {
 			ctx.jj = jj
 			ctx.nc = min(ncBlock, n-jj)
-			nPanels := (ctx.nc + gemmNR - 1) / gemmNR
-			ctx.pb = resliceF32(ctx.pb, nPanels*gemmNR*ctx.kc)
+			nPanels := (ctx.nc + ctx.nr - 1) / ctx.nr
+			ctx.pb = resliceF32(ctx.pb, nPanels*ctx.nr*ctx.kc)
 			gemmParallel(ctx, nPanels, taskPackBF32)
 			gemmParallel(ctx, nPanels, taskTilesF32)
 		}
 	}
-	ctx.a, ctx.b, ctx.c = nil, nil, nil
-	gemmCtxPool.Put(ctx)
+	ctx.release()
 }
 
 // taskPackAF32 packs A strips [lo, hi) of the current K panel.
 func taskPackAF32(ctx *gemmCtx, lo, hi int) {
 	for s := lo; s < hi; s++ {
-		dst := ctx.pa[s*gemmMR*ctx.kc : (s+1)*gemmMR*ctx.kc]
-		packAF32(ctx.ta, ctx.a, ctx.lda, ctx.m, s*gemmMR, ctx.kk, ctx.kc, ctx.alpha, dst)
+		dst := ctx.pa[s*ctx.mr*ctx.kc : (s+1)*ctx.mr*ctx.kc]
+		packAF32(ctx.ta, ctx.a, ctx.lda, ctx.m, s*ctx.mr, ctx.kk, ctx.kc, ctx.alpha, dst, ctx.mr)
 	}
 }
 
 // taskPackBF32 packs B panels [lo, hi) of the current N chunk.
 func taskPackBF32(ctx *gemmCtx, lo, hi int) {
 	for pn := lo; pn < hi; pn++ {
-		dst := ctx.pb[pn*gemmNR*ctx.kc : (pn+1)*gemmNR*ctx.kc]
-		packBF32(ctx.tb, ctx.b, ctx.ldb, ctx.n, ctx.jj+pn*gemmNR, ctx.kk, ctx.kc, dst)
+		dst := ctx.pb[pn*ctx.nr*ctx.kc : (pn+1)*ctx.nr*ctx.kc]
+		packBF32(ctx.tb, ctx.b, ctx.ldb, ctx.n, ctx.jj+pn*ctx.nr, ctx.kk, ctx.kc, dst, ctx.nr)
 	}
 }
 
@@ -197,25 +261,25 @@ func taskPackBF32(ctx *gemmCtx, lo, hi int) {
 func taskTilesF32(ctx *gemmCtx, lo, hi int) {
 	var ts *tileScratch
 	for pn := lo; pn < hi; pn++ {
-		j0 := ctx.jj + pn*gemmNR
-		cols := min(gemmNR, ctx.n-j0)
-		pb := ctx.pb[pn*gemmNR*ctx.kc:]
+		j0 := ctx.jj + pn*ctx.nr
+		cols := min(ctx.nr, ctx.n-j0)
+		pb := ctx.pb[pn*ctx.nr*ctx.kc:]
 		for s := 0; s < ctx.nStrips; s++ {
-			i0 := s * gemmMR
-			rows := min(gemmMR, ctx.m-i0)
-			pa := ctx.pa[s*gemmMR*ctx.kc:]
-			if rows == gemmMR && cols == gemmNR {
-				kernF32(ctx.kc, pa, pb, ctx.c[i0*ctx.ldc+j0:], ctx.ldc)
+			i0 := s * ctx.mr
+			rows := min(ctx.mr, ctx.m-i0)
+			pa := ctx.paRO[s*ctx.mr*ctx.kc:]
+			if rows == ctx.mr && cols == ctx.nr {
+				ctx.kf32(ctx.kc, pa, pb, ctx.c[i0*ctx.ldc+j0:], ctx.ldc)
 				continue
 			}
 			if ts == nil {
 				ts = tileScratchPool.Get().(*tileScratch)
 			}
-			clear(ts.tile[:])
-			kernF32(ctx.kc, pa, pb, ts.tile[:], gemmNR)
+			clear(ts.tile[:ctx.mr*ctx.nr])
+			ctx.kf32(ctx.kc, pa, pb, ts.tile[:], ctx.nr)
 			for r := 0; r < rows; r++ {
 				crow := ctx.c[(i0+r)*ctx.ldc+j0:]
-				trow := ts.tile[r*gemmNR:]
+				trow := ts.tile[r*ctx.nr:]
 				for j := 0; j < cols; j++ {
 					crow[j] += trow[j]
 				}

@@ -124,46 +124,99 @@ func TestGemmInt8PackedMatchesNaive(t *testing.T) {
 	}
 }
 
-// TestMicrokernelAsmMatchesGo cross-checks the installed (possibly
-// assembly) microkernels against the portable Go kernels on random packed
-// panels: bit-exact for int8, and bit-exact for fp32 too since both
-// accumulate in the same p-ascending order without reassociation.
-func TestMicrokernelAsmMatchesGo(t *testing.T) {
-	rng := NewRNG(5)
-	for _, kc := range []int{1, 2, 7, 64, 333} {
-		pa := make([]float32, gemmMR*kc)
-		pb := make([]float32, gemmNR*kc)
-		rng.FillUniform(pa, -1, 1)
-		rng.FillUniform(pb, -1, 1)
-		c1 := make([]float32, gemmMR*gemmNR)
-		c2 := make([]float32, gemmMR*gemmNR)
-		rng.FillUniform(c1, -1, 1)
-		copy(c2, c1)
-		kernF32(kc, pa, pb, c1, gemmNR)
-		kernF32Go(kc, pa, pb, c2, gemmNR)
-		for i := range c1 {
-			if !relClose(float64(c1[i]), float64(c2[i]), 1e-6) {
-				t.Fatalf("kernF32 kc=%d: c[%d] = %v, Go kernel %v", kc, i, c1[i], c2[i])
+// refKernF32 is a tile-shape-generic fp32 reference: per output element,
+// ascending-p accumulation with unfused multiply-then-add — the order of the
+// portable and SSE2 kernels. FMA families (AVX2) differ from it only by
+// contraction rounding.
+func refKernF32(mr, nr, kc int, pa, pb, c []float32, ldc int) {
+	acc := make([]float32, mr*nr)
+	for p := 0; p < kc; p++ {
+		for r := 0; r < mr; r++ {
+			av := pa[p*mr+r]
+			for j := 0; j < nr; j++ {
+				acc[r*nr+j] += av * pb[p*nr+j]
 			}
 		}
+	}
+	for r := 0; r < mr; r++ {
+		for j := 0; j < nr; j++ {
+			c[r*ldc+j] += acc[r*nr+j]
+		}
+	}
+}
 
-		pa16 := make([]int16, gemmMR*2*kc)
-		pb16 := make([]int16, gemmNR*2*kc)
-		for i := range pa16 {
-			pa16[i] = int16(rng.Intn(255) - 127)
+// refKernI8 is the tile-shape-generic int8 reference: pairwise int32
+// accumulation and an unfused requantizing store — every kernel family must
+// match it bit for bit.
+func refKernI8(mr, nr, kPairs int, pa, pb []int16, rq, bs, c []float32, ldc int) {
+	acc := make([]int32, mr*nr)
+	for t := 0; t < kPairs; t++ {
+		for r := 0; r < mr; r++ {
+			a0, a1 := int32(pa[t*2*mr+2*r]), int32(pa[t*2*mr+2*r+1])
+			for j := 0; j < nr; j++ {
+				acc[r*nr+j] += a0*int32(pb[t*2*nr+2*j]) + a1*int32(pb[t*2*nr+2*j+1])
+			}
 		}
-		for i := range pb16 {
-			pb16[i] = int16(rng.Intn(255) - 127)
+	}
+	for r := 0; r < mr; r++ {
+		for j := 0; j < nr; j++ {
+			c[r*ldc+j] = float32(acc[r*nr+j])*rq[r] + bs[r]
 		}
-		rq := []float32{0.001, 0.002, 0.003, 0.004}
-		bs := []float32{1, -1, 0.5, 0}
-		q1 := make([]float32, gemmMR*gemmNR)
-		q2 := make([]float32, gemmMR*gemmNR)
-		kernI8(kc, pa16, pb16, rq, bs, q1, gemmNR)
-		kernI8Go(kc, pa16, pb16, rq, bs, q2, gemmNR)
-		for i := range q1 {
-			if q1[i] != q2[i] {
-				t.Fatalf("kernI8 kPairs=%d: c[%d] = %v, Go kernel %v (must be exact)", kc, i, q1[i], q2[i])
+	}
+}
+
+// TestMicrokernelAsmMatchesGo cross-checks every registered microkernel
+// family against the shape-generic references on random packed panels:
+// bit-exact for int8 on every family, bit-exact for fp32 on the unfused
+// families (portable, SSE2), and within FMA contraction rounding for AVX2.
+func TestMicrokernelAsmMatchesGo(t *testing.T) {
+	kernelOnce.Do(initKernelList)
+	rng := NewRNG(5)
+	for _, kern := range kernelList {
+		mr, nr := kern.mr, kern.nr
+		f32Tol := 0.0
+		if kern.name == "avx2" {
+			f32Tol = 1e-5 // FMA contraction over up to 333 k-steps
+		}
+		for _, kc := range []int{1, 2, 7, 64, 333} {
+			pa := make([]float32, mr*kc)
+			pb := make([]float32, nr*kc)
+			rng.FillUniform(pa, -1, 1)
+			rng.FillUniform(pb, -1, 1)
+			c1 := make([]float32, mr*nr)
+			c2 := make([]float32, mr*nr)
+			rng.FillUniform(c1, -1, 1)
+			copy(c2, c1)
+			kern.f32(kc, pa, pb, c1, nr)
+			refKernF32(mr, nr, kc, pa, pb, c2, nr)
+			for i := range c1 {
+				if !relClose(float64(c1[i]), float64(c2[i]), f32Tol) {
+					t.Fatalf("%s kernF32 kc=%d: c[%d] = %v, reference %v", kern.name, kc, i, c1[i], c2[i])
+				}
+			}
+
+			pa16 := make([]int16, mr*2*kc)
+			pb16 := make([]int16, nr*2*kc)
+			for i := range pa16 {
+				pa16[i] = int16(rng.Intn(255) - 127)
+			}
+			for i := range pb16 {
+				pb16[i] = int16(rng.Intn(255) - 127)
+			}
+			rq := make([]float32, mr)
+			bs := make([]float32, mr)
+			for r := 0; r < mr; r++ {
+				rq[r] = 0.001 * float32(r+1)
+				bs[r] = float32(r%3) - 1
+			}
+			q1 := make([]float32, mr*nr)
+			q2 := make([]float32, mr*nr)
+			kern.i8(kc, pa16, pb16, rq, bs, q1, nr)
+			refKernI8(mr, nr, kc, pa16, pb16, rq, bs, q2, nr)
+			for i := range q1 {
+				if q1[i] != q2[i] {
+					t.Fatalf("%s kernI8 kPairs=%d: c[%d] = %v, reference %v (must be exact)", kern.name, kc, i, q1[i], q2[i])
+				}
 			}
 		}
 	}
@@ -222,9 +275,12 @@ func TestGemmPackedDeterministicAcrossWorkers(t *testing.T) {
 	}
 }
 
-// FuzzGemmPackedVsNaive cross-checks the packed fp32 and int8 drivers
-// against the naive loops on fuzzer-chosen shapes: exact for int8, ≤1e-4
-// relative for fp32 (reassociation only).
+// FuzzGemmPackedVsNaive cross-checks the packed fp32 and int8 drivers —
+// through EVERY registered microkernel family, on-the-fly and pre-packed —
+// against the naive loops on fuzzer-chosen shapes: exact for int8 (and
+// bit-identical across families), ≤1e-4 relative for fp32 (reassociation
+// only). The drivers are invoked directly so sub-threshold shapes still
+// exercise the packed machinery.
 func FuzzGemmPackedVsNaive(f *testing.F) {
 	f.Add(uint64(1), uint8(12), uint8(65), uint8(72))
 	f.Add(uint64(7), uint8(1), uint8(255), uint8(9))
@@ -238,16 +294,6 @@ func FuzzGemmPackedVsNaive(f *testing.F) {
 		b := make([]float32, k*n)
 		rng.FillUniform(a, -1, 1)
 		rng.FillUniform(b, -1, 1)
-
-		c1 := make([]float32, m*n)
-		c2 := make([]float32, m*n)
-		gemmPacked(false, false, m, n, k, 1, a, k, b, n, c1, n)
-		naiveGemmRef(false, false, m, n, k, 1, a, k, b, n, 0, c2, n)
-		for i := range c1 {
-			if !relClose(float64(c1[i]), float64(c2[i]), 1e-4) {
-				t.Fatalf("fp32 m%d n%d k%d: c[%d] = %v, want %v", m, n, k, i, c1[i], c2[i])
-			}
-		}
 
 		qa := make([]int8, m*k)
 		qb := make([]int8, k*n)
@@ -263,16 +309,198 @@ func FuzzGemmPackedVsNaive(f *testing.F) {
 			rq[i] = 0.001 * float32(i+1)
 			bias[i] = float32(i%3) - 1
 		}
-		q1 := make([]float32, m*n)
+
+		c2 := make([]float32, m*n)
+		naiveGemmRef(false, false, m, n, k, 1, a, k, b, n, 0, c2, n)
 		q2 := make([]float32, m*n)
-		GemmInt8(m, n, k, qa, k, qb, n, rq, bias, q1, n)
 		gemmInt8Naive(m, n, k, qa, k, qb, n, rq, bias, q2, n)
-		for i := range q1 {
-			if q1[i] != q2[i] {
-				t.Fatalf("int8 m%d n%d k%d: c[%d] = %v, want %v (must be exact)", m, n, k, i, q1[i], q2[i])
+
+		kernelOnce.Do(initKernelList)
+		for _, kern := range kernelList {
+			c1 := make([]float32, m*n)
+			gemmPacked(kern, false, false, m, n, k, 1, a, k, b, n, c1, n, nil)
+			for i := range c1 {
+				if !relClose(float64(c1[i]), float64(c2[i]), 1e-4) {
+					t.Fatalf("%s fp32 m%d n%d k%d: c[%d] = %v, want %v", kern.name, m, n, k, i, c1[i], c2[i])
+				}
+			}
+
+			q1 := make([]float32, m*n)
+			gemmInt8Packed(kern, m, n, k, qa, k, qb, n, rq, bias, q1, n, nil)
+			for i := range q1 {
+				if q1[i] != q2[i] {
+					t.Fatalf("%s int8 m%d n%d k%d: c[%d] = %v, want %v (must be exact)", kern.name, m, n, k, i, q1[i], q2[i])
+				}
 			}
 		}
 	})
+}
+
+// TestGemmAllKernelsMatchNaive runs the full public Gemm/GemmInt8 entry
+// points under each dispatch selection (SelectKernel) on an
+// above-threshold edge-heavy shape, so the whole driver — blocking,
+// parametric packing, edge tiles — is validated per family, not just the
+// microkernels. int8 output must additionally be bit-identical across
+// families.
+func TestGemmAllKernelsMatchNaive(t *testing.T) {
+	defer func() {
+		if err := SelectKernel(""); err != nil {
+			t.Fatal(err)
+		}
+	}()
+	const m, n, k = 13, 1031, 67
+	rng := NewRNG(29)
+	a := make([]float32, m*k)
+	b := make([]float32, k*n)
+	rng.FillUniform(a, -1, 1)
+	rng.FillUniform(b, -1, 1)
+	qa := make([]int8, m*k)
+	qb := make([]int8, k*n)
+	for i, v := range a {
+		qa[i] = int8(v * 127)
+	}
+	for i, v := range b {
+		qb[i] = int8(v * 127)
+	}
+	rq := make([]float32, m)
+	bias := make([]float32, m)
+	for i := range rq {
+		rq[i] = 0.001 * float32(i+1)
+		bias[i] = float32(i%3) - 1
+	}
+	want := make([]float32, m*n)
+	naiveGemmRef(false, false, m, n, k, 1, a, k, b, n, 0, want, n)
+	qWant := make([]float32, m*n)
+	gemmInt8Naive(m, n, k, qa, k, qb, n, rq, bias, qWant, n)
+
+	for _, name := range AvailableKernels() {
+		if err := SelectKernel(name); err != nil {
+			t.Fatal(err)
+		}
+		if got := KernelName(); got != name {
+			t.Fatalf("SelectKernel(%q) left KernelName %q", name, got)
+		}
+		c := make([]float32, m*n)
+		Gemm(false, false, m, n, k, 1, a, k, b, n, 0, c, n)
+		for i := range c {
+			if !relClose(float64(c[i]), float64(want[i]), 1e-4) {
+				t.Fatalf("%s: fp32 c[%d] = %v, want %v", name, i, c[i], want[i])
+			}
+		}
+		q := make([]float32, m*n)
+		GemmInt8(m, n, k, qa, k, qb, n, rq, bias, q, n)
+		for i := range q {
+			if q[i] != qWant[i] {
+				t.Fatalf("%s: int8 c[%d] = %v, want %v (must be bit-identical across every family)", name, i, q[i], qWant[i])
+			}
+		}
+	}
+
+	if err := SelectKernel("no-such-kernel"); err == nil {
+		t.Fatal("SelectKernel accepted an unknown family")
+	}
+}
+
+// TestGemmPrepackedMatchesPacked pins the pre-packed entry points to the
+// on-the-fly drivers bit for bit, per family and at different worker counts:
+// the pre-pack holds exactly the values the per-call pack would produce, so
+// skipping the pack stage must not move a single ulp. Also exercises the
+// family-mismatch fallback (pack under one family, run under another).
+func TestGemmPrepackedMatchesPacked(t *testing.T) {
+	defer func() {
+		if err := SelectKernel(""); err != nil {
+			t.Fatal(err)
+		}
+	}()
+	rng := NewRNG(31)
+	for _, sz := range []struct{ m, n, k int }{
+		{12, 4096, 72}, // DroNet conv shape: full tiles + edge strips
+		{13, 1031, 67}, // odd everything
+		{64, 640, 300}, // k > kcBlock: exercises the panel-offset windowing
+		{6, 40, 16},    // below packThreshold: fallback path
+	} {
+		a := make([]float32, sz.m*sz.k)
+		b := make([]float32, sz.k*sz.n)
+		rng.FillUniform(a, -1, 1)
+		rng.FillUniform(b, -1, 1)
+		qa := make([]int8, sz.m*sz.k)
+		qb := make([]int8, sz.k*sz.n)
+		for i, v := range a {
+			qa[i] = int8(v * 127)
+		}
+		for i, v := range b {
+			qb[i] = int8(v * 127)
+		}
+		rq := make([]float32, sz.m)
+		bias := make([]float32, sz.m)
+		for i := range rq {
+			rq[i] = 0.001 * float32(i+1)
+			bias[i] = float32(i%5) - 2
+		}
+
+		for _, name := range AvailableKernels() {
+			if err := SelectKernel(name); err != nil {
+				t.Fatal(err)
+			}
+			want := make([]float32, sz.m*sz.n)
+			Gemm(false, false, sz.m, sz.n, sz.k, 1, a, sz.k, b, sz.n, 0, want, sz.n)
+			qWant := make([]float32, sz.m*sz.n)
+			GemmInt8(sz.m, sz.n, sz.k, qa, sz.k, qb, sz.n, rq, bias, qWant, sz.n)
+
+			pre := PackA(false, sz.m, sz.k, 1, a, sz.k)
+			preI8 := PackAInt8(sz.m, sz.k, qa, sz.k)
+			for _, procs := range []int{1, 8} {
+				prev := runtime.GOMAXPROCS(procs)
+				got := make([]float32, sz.m*sz.n)
+				GemmPrepacked(pre, false, sz.n, b, sz.n, 0, got, sz.n)
+				qGot := make([]float32, sz.m*sz.n)
+				GemmInt8Prepacked(preI8, sz.n, qb, sz.n, rq, bias, qGot, sz.n)
+				runtime.GOMAXPROCS(prev)
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("%s m%d n%d k%d procs=%d: prepacked fp32 c[%d] = %v, on-the-fly %v (must be bit-identical)",
+							name, sz.m, sz.n, sz.k, procs, i, got[i], want[i])
+					}
+					if qGot[i] != qWant[i] {
+						t.Fatalf("%s m%d n%d k%d procs=%d: prepacked int8 c[%d] = %v, on-the-fly %v (must be bit-identical)",
+							name, sz.m, sz.n, sz.k, procs, i, qGot[i], qWant[i])
+					}
+				}
+			}
+		}
+
+		// Family-mismatch fallback: a pack made under one family must stay
+		// correct (vs the naive oracle) when dispatch has moved on.
+		names := AvailableKernels()
+		if len(names) > 1 {
+			if err := SelectKernel(names[0]); err != nil {
+				t.Fatal(err)
+			}
+			pre := PackA(false, sz.m, sz.k, 1, a, sz.k)
+			preI8 := PackAInt8(sz.m, sz.k, qa, sz.k)
+			if err := SelectKernel(names[len(names)-1]); err != nil {
+				t.Fatal(err)
+			}
+			ref := make([]float32, sz.m*sz.n)
+			naiveGemmRef(false, false, sz.m, sz.n, sz.k, 1, a, sz.k, b, sz.n, 0, ref, sz.n)
+			got := make([]float32, sz.m*sz.n)
+			GemmPrepacked(pre, false, sz.n, b, sz.n, 0, got, sz.n)
+			for i := range got {
+				if !relClose(float64(got[i]), float64(ref[i]), 1e-4) {
+					t.Fatalf("mismatch fallback fp32 c[%d] = %v, want %v", i, got[i], ref[i])
+				}
+			}
+			qRef := make([]float32, sz.m*sz.n)
+			gemmInt8Naive(sz.m, sz.n, sz.k, qa, sz.k, qb, sz.n, rq, bias, qRef, sz.n)
+			qGot := make([]float32, sz.m*sz.n)
+			GemmInt8Prepacked(preI8, sz.n, qb, sz.n, rq, bias, qGot, sz.n)
+			for i := range qGot {
+				if qGot[i] != qRef[i] {
+					t.Fatalf("mismatch fallback int8 c[%d] = %v, want %v (must be exact)", i, qGot[i], qRef[i])
+				}
+			}
+		}
+	}
 }
 
 // TestGemmZeroAlloc proves the packed drivers are allocation-free at steady
@@ -309,6 +537,19 @@ func TestGemmZeroAlloc(t *testing.T) {
 		GemmInt8(m, n, k, qa, k, qb, n, rq, bias, c, n)
 	}); allocs > 0 {
 		t.Errorf("GemmInt8 allocates %.1f objects per call at steady state, want 0", allocs)
+	}
+
+	pre := PackA(false, m, k, 1, a, k)
+	if allocs := testing.AllocsPerRun(10, func() {
+		GemmPrepacked(pre, false, n, b, n, 0, c, n)
+	}); allocs > 0 {
+		t.Errorf("GemmPrepacked allocates %.1f objects per call at steady state, want 0", allocs)
+	}
+	preI8 := PackAInt8(m, k, qa, k)
+	if allocs := testing.AllocsPerRun(10, func() {
+		GemmInt8Prepacked(preI8, n, qb, n, rq, bias, c, n)
+	}); allocs > 0 {
+		t.Errorf("GemmInt8Prepacked allocates %.1f objects per call at steady state, want 0", allocs)
 	}
 }
 

@@ -10,11 +10,14 @@ package tensor
 //
 // GemmInt8 rides the same packed blocking driver as the float32 Gemm
 // (gemm.go): A is packed into MR-interleaved int16 k-pair strips, B into
-// NR-interleaved int16 k-pair panels, and a 4×8 microkernel (PMADDWD on
-// amd64) accumulates int32 over the full k before requantizing on store.
-// Unlike fp32 there is no K-panel split: keeping the whole k inside one
-// kernel call keeps the int32 accumulators in registers, and the packed
-// slabs stay cache-sized by chunking n instead.
+// NR-interleaved int16 k-pair panels, and the MR×NR microkernel of the
+// runtime-selected family (VPMADDWD/PMADDWD on amd64) accumulates int32
+// over the full k before requantizing on store. Unlike fp32 there is no
+// K-panel split: keeping the whole k inside one kernel call keeps the int32
+// accumulators in registers, and the packed slabs stay cache-sized by
+// chunking n instead. A can arrive pre-packed (GemmInt8Prepacked,
+// prepack.go) — the quantized weights never change after Quantize, so the
+// serving path packs them exactly once.
 
 // ResliceI8 returns an int8 slice of length n, reusing s's backing array
 // whenever its capacity suffices and allocating only when it does not — the
@@ -80,22 +83,36 @@ func GemmInt8(m, n, k int, a []int8, lda int, b []int8, ldb int, requant, bias [
 		gemmInt8Naive(m, n, k, a, lda, b, ldb, requant, bias, c, ldc)
 		return
 	}
+	gemmInt8Packed(currentKernels(), m, n, k, a, lda, b, ldb, requant, bias, c, ldc, nil)
+}
+
+// gemmInt8Packed is the blocked int8 driver. kern is the microkernel family
+// captured by the caller. When pre is non-nil it is the full pre-packed
+// int16 k-pair A in prepack.go's layout (packed at kern's MR): the A pack
+// stage is skipped and the tile stage reads the shared slab directly.
+func gemmInt8Packed(kern *microKernels, m, n, k int, a []int8, lda int, b []int8, ldb int, requant, bias []float32, c []float32, ldc int, pre []int16) {
 	ctx := gemmCtxPool.Get().(*gemmCtx)
+	ctx.setKernels(kern)
 	ctx.m, ctx.n, ctx.k = m, n, k
 	ctx.a8, ctx.b8, ctx.c = a, b, c
 	ctx.lda, ctx.ldb, ctx.ldc = lda, ldb, ldc
 	ctx.requant, ctx.bias = requant, bias
 	ctx.kPairs = (k + 1) / 2
-	ctx.nStrips = (m + gemmMR - 1) / gemmMR
+	ctx.nStrips = (m + ctx.mr - 1) / ctx.mr
 
-	ctx.pa16 = resliceI16(ctx.pa16, ctx.nStrips*gemmMR*2*ctx.kPairs)
-	gemmParallel(ctx, ctx.nStrips, taskPackAI8)
+	if pre != nil {
+		ctx.pa16RO = pre
+	} else {
+		ctx.pa16 = resliceI16(ctx.pa16, ctx.nStrips*ctx.mr*2*ctx.kPairs)
+		ctx.pa16RO = ctx.pa16
+		gemmParallel(ctx, ctx.nStrips, taskPackAI8)
+	}
 
 	// Chunk n so one packed B slab stays around 1 MB of int16 pairs.
 	ncI8 := (1 << 18) / ctx.kPairs
-	ncI8 -= ncI8 % gemmNR
-	if ncI8 < gemmNR {
-		ncI8 = gemmNR
+	ncI8 -= ncI8 % ctx.nr
+	if ncI8 < ctx.nr {
+		ncI8 = ctx.nr
 	}
 	if ncI8 > ncBlock {
 		ncI8 = ncBlock
@@ -103,29 +120,27 @@ func GemmInt8(m, n, k int, a []int8, lda int, b []int8, ldb int, requant, bias [
 	for jj := 0; jj < n; jj += ncI8 {
 		ctx.jj = jj
 		ctx.nc = min(ncI8, n-jj)
-		nPanels := (ctx.nc + gemmNR - 1) / gemmNR
-		ctx.pb16 = resliceI16(ctx.pb16, nPanels*gemmNR*2*ctx.kPairs)
+		nPanels := (ctx.nc + ctx.nr - 1) / ctx.nr
+		ctx.pb16 = resliceI16(ctx.pb16, nPanels*ctx.nr*2*ctx.kPairs)
 		gemmParallel(ctx, nPanels, taskPackBI8)
 		gemmParallel(ctx, nPanels, taskTilesI8)
 	}
-	ctx.a8, ctx.b8, ctx.c = nil, nil, nil
-	ctx.requant, ctx.bias = nil, nil
-	gemmCtxPool.Put(ctx)
+	ctx.release()
 }
 
 // taskPackAI8 packs A strips [lo, hi) over the full k.
 func taskPackAI8(ctx *gemmCtx, lo, hi int) {
-	stripLen := gemmMR * 2 * ctx.kPairs
+	stripLen := ctx.mr * 2 * ctx.kPairs
 	for s := lo; s < hi; s++ {
-		packAI8(ctx.a8, ctx.lda, ctx.m, ctx.k, s*gemmMR, ctx.pa16[s*stripLen:(s+1)*stripLen])
+		packAI8(ctx.a8, ctx.lda, ctx.m, ctx.k, s*ctx.mr, ctx.pa16[s*stripLen:(s+1)*stripLen], ctx.mr)
 	}
 }
 
 // taskPackBI8 packs B panels [lo, hi) of the current N chunk over the full k.
 func taskPackBI8(ctx *gemmCtx, lo, hi int) {
-	panelLen := gemmNR * 2 * ctx.kPairs
+	panelLen := ctx.nr * 2 * ctx.kPairs
 	for pn := lo; pn < hi; pn++ {
-		packBI8(ctx.b8, ctx.ldb, ctx.n, ctx.k, ctx.jj+pn*gemmNR, ctx.pb16[pn*panelLen:(pn+1)*panelLen])
+		packBI8(ctx.b8, ctx.ldb, ctx.n, ctx.k, ctx.jj+pn*ctx.nr, ctx.pb16[pn*panelLen:(pn+1)*panelLen], ctx.nr)
 	}
 }
 
@@ -135,34 +150,34 @@ func taskPackBI8(ctx *gemmCtx, lo, hi int) {
 // valid region (overwrite semantics).
 func taskTilesI8(ctx *gemmCtx, lo, hi int) {
 	var ts *tileScratch
-	stripLen := gemmMR * 2 * ctx.kPairs
-	panelLen := gemmNR * 2 * ctx.kPairs
+	stripLen := ctx.mr * 2 * ctx.kPairs
+	panelLen := ctx.nr * 2 * ctx.kPairs
 	for pn := lo; pn < hi; pn++ {
-		j0 := ctx.jj + pn*gemmNR
-		cols := min(gemmNR, ctx.n-j0)
+		j0 := ctx.jj + pn*ctx.nr
+		cols := min(ctx.nr, ctx.n-j0)
 		pb := ctx.pb16[pn*panelLen:]
 		for s := 0; s < ctx.nStrips; s++ {
-			i0 := s * gemmMR
-			rows := min(gemmMR, ctx.m-i0)
-			pa := ctx.pa16[s*stripLen:]
-			if rows == gemmMR && cols == gemmNR {
-				kernI8(ctx.kPairs, pa, pb, ctx.requant[i0:], ctx.bias[i0:], ctx.c[i0*ctx.ldc+j0:], ctx.ldc)
+			i0 := s * ctx.mr
+			rows := min(ctx.mr, ctx.m-i0)
+			pa := ctx.pa16RO[s*stripLen:]
+			if rows == ctx.mr && cols == ctx.nr {
+				ctx.ki8(ctx.kPairs, pa, pb, ctx.requant[i0:], ctx.bias[i0:], ctx.c[i0*ctx.ldc+j0:], ctx.ldc)
 				continue
 			}
 			if ts == nil {
 				ts = tileScratchPool.Get().(*tileScratch)
 			}
-			for r := 0; r < gemmMR; r++ {
+			for r := 0; r < ctx.mr; r++ {
 				if r < rows {
 					ts.rq[r], ts.bs[r] = ctx.requant[i0+r], ctx.bias[i0+r]
 				} else {
 					ts.rq[r], ts.bs[r] = 0, 0
 				}
 			}
-			kernI8(ctx.kPairs, pa, pb, ts.rq[:], ts.bs[:], ts.tile[:], gemmNR)
+			ctx.ki8(ctx.kPairs, pa, pb, ts.rq[:], ts.bs[:], ts.tile[:], ctx.nr)
 			for r := 0; r < rows; r++ {
 				crow := ctx.c[(i0+r)*ctx.ldc+j0:]
-				trow := ts.tile[r*gemmNR:]
+				trow := ts.tile[r*ctx.nr:]
 				for j := 0; j < cols; j++ {
 					crow[j] = trow[j]
 				}

@@ -1,0 +1,178 @@
+package tensor
+
+import (
+	"fmt"
+	"os"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Microkernel dispatch. The packed GEMM driver (gemm.go, int8.go) is
+// parametric over the register-tile shape: every pack-panel layout and tile
+// decomposition is derived from the MR×NR of the selected microkernel
+// family, so escalating the ISA is purely a matter of registering a wider
+// kernel pair here — the blocking driver, the pre-packed weight layout
+// (prepack.go) and the edge-tile handling never change.
+//
+// Selection is runtime, not build-time: amd64 binaries carry the SSE2
+// (baseline, 4×8) and — when the CPU supports AVX2+FMA with OS-enabled YMM
+// state — the AVX2 (6×16) kernels, while the portable Go kernels are always
+// registered last as the universal fallback and cross-check oracle. The
+// DRONET_KERNEL environment variable (or SelectKernel, which the serving
+// binaries expose as a flag) pins a specific family so every dispatch path
+// stays testable on any box: CI runs the full suite with DRONET_KERNEL=sse2
+// on AVX2 runners, and the fuzz harness iterates every registered family.
+//
+// Switching families changes fp32 results only by reassociation (wider
+// tiles and FMA contraction); the int8 kernels all compute the identical
+// int32 pairwise dataflow with an identical mul-then-add requantization, so
+// int8 results are bit-equal across every family.
+
+// microKernels describes one microkernel implementation family: the
+// register-tile geometry and the fp32/int8 tile kernels that consume the
+// MR/NR-interleaved packed panels of pack.go.
+type microKernels struct {
+	name string
+	// mr×nr is the register tile computed by one kernel call.
+	mr, nr int
+	// f32 computes c[r*ldc+j] += Σ_p pa[p*mr+r]·pb[p*nr+j] over kc packed
+	// k-steps for a full mr×nr tile.
+	f32 func(kc int, pa, pb []float32, c []float32, ldc int)
+	// i8 computes the full-k int8 tile with exact int32 accumulation over
+	// kPairs packed k-pairs, then requantizes on store (overwrite):
+	// c[r*ldc+j] = float32(acc[r][j])·requant[r] + bias[r].
+	i8 func(kPairs int, pa, pb []int16, requant, bias []float32, c []float32, ldc int)
+}
+
+// maxMR/maxNR bound the register-tile geometry any registered kernel may
+// declare; the pooled edge-tile scratch (gemm.go) is sized by them.
+const (
+	maxMR = 8
+	maxNR = 16
+)
+
+// KernelEnv is the environment variable that pins the microkernel family at
+// process start: one of the AvailableKernels names ("avx2", "sse2",
+// "portable"). An unavailable name falls back to the best family and
+// records a note (KernelInitNote) instead of failing, so a pinned config
+// keeps working when the binary moves to a smaller machine.
+const KernelEnv = "DRONET_KERNEL"
+
+// portableKernels is the pure-Go family: always available, on every
+// architecture and under the purego build tag, and the oracle the asm
+// families are cross-checked against.
+var portableKernels = &microKernels{name: "portable", mr: 4, nr: 8, f32: kernF32Go, i8: kernI8Go}
+
+var (
+	kernelOnce    sync.Once
+	kernelList    []*microKernels // preference order, best first
+	kernelEnvNote string
+	activeKernels atomic.Pointer[microKernels]
+)
+
+// initKernelList builds the registry (arch-specific families first, the
+// portable Go family as the universal fallback) and applies the KernelEnv
+// pin. It runs once, lazily, before the first dispatch or registry query.
+func initKernelList() {
+	kernelList = append(archKernels(), portableKernels)
+	for _, k := range kernelList {
+		if k.mr > maxMR || k.nr > maxNR {
+			panic(fmt.Sprintf("tensor: kernel %q tile %dx%d exceeds maxMR/maxNR %dx%d", k.name, k.mr, k.nr, maxMR, maxNR))
+		}
+	}
+	if want := os.Getenv(KernelEnv); want != "" {
+		for _, k := range kernelList {
+			if k.name == want {
+				activeKernels.Store(k)
+				return
+			}
+		}
+		kernelEnvNote = fmt.Sprintf("%s=%q is not available on this CPU/build (have %s); using %q",
+			KernelEnv, want, strings.Join(kernelNames(), ","), kernelList[0].name)
+	}
+	activeKernels.Store(kernelList[0])
+}
+
+func kernelNames() []string {
+	names := make([]string, len(kernelList))
+	for i, k := range kernelList {
+		names[i] = k.name
+	}
+	return names
+}
+
+// currentKernels returns the active microkernel family. Every Gemm call
+// captures it once at entry, so a concurrent SelectKernel can never tear a
+// single GEMM across two families.
+func currentKernels() *microKernels {
+	kernelOnce.Do(initKernelList)
+	return activeKernels.Load()
+}
+
+// KernelName reports the active microkernel family: "avx2", "sse2" or
+// "portable". Serving surfaces (selfbench kernels entries, /healthz) label
+// their numbers with it so committed benchmarks are attributable to a
+// dispatch path.
+func KernelName() string {
+	return currentKernels().name
+}
+
+// AvailableKernels lists the registered families in preference order (the
+// first entry is what auto-selection picks).
+func AvailableKernels() []string {
+	kernelOnce.Do(initKernelList)
+	return kernelNames()
+}
+
+// KernelSupported reports whether the named family is registered on this
+// CPU/build.
+func KernelSupported(name string) bool {
+	kernelOnce.Do(initKernelList)
+	for _, k := range kernelList {
+		if k.name == name {
+			return true
+		}
+	}
+	return false
+}
+
+// SelectKernel switches the active microkernel family: one of the
+// AvailableKernels names, or "" to re-run auto-selection (KernelEnv pin if
+// set and available, best registered family otherwise). Unknown or
+// unavailable names return an error and leave the selection unchanged.
+//
+// In-flight GEMMs are unaffected (each captures the family at entry), and
+// pre-packed weights made for another family transparently fall back to
+// on-the-fly packing, so switching is always safe — it is primarily a test
+// and benchmarking hook; production processes select once at startup.
+func SelectKernel(name string) error {
+	kernelOnce.Do(initKernelList)
+	if name == "" {
+		if want := os.Getenv(KernelEnv); want != "" {
+			for _, k := range kernelList {
+				if k.name == want {
+					activeKernels.Store(k)
+					return nil
+				}
+			}
+		}
+		activeKernels.Store(kernelList[0])
+		return nil
+	}
+	for _, k := range kernelList {
+		if k.name == name {
+			activeKernels.Store(k)
+			return nil
+		}
+	}
+	return fmt.Errorf("tensor: kernel %q not available on this CPU/build (have %s)", name, strings.Join(kernelNames(), ","))
+}
+
+// KernelInitNote returns a human-readable warning when the KernelEnv pin
+// named an unavailable family at startup ("" when selection was clean), so
+// binaries can surface the silent fallback in their logs.
+func KernelInitNote() string {
+	kernelOnce.Do(initKernelList)
+	return kernelEnvNote
+}

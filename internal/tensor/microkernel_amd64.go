@@ -2,14 +2,55 @@
 
 package tensor
 
-// amd64 installs the SSE2 microkernels. SSE2 is part of the amd64 baseline
-// (GOAMD64=v1), so no runtime feature detection is needed; the `purego`
-// build tag forces the portable kernels for cross-checking.
+// amd64 registers the assembly microkernel families. SSE2 is part of the
+// amd64 baseline (GOAMD64=v1) so its 4×8 kernels are always available; the
+// 6×16 AVX2/FMA family is registered only when CPUID reports AVX2+FMA and
+// XGETBV confirms the OS saves YMM state. The `purego` build tag drops both
+// and leaves only the portable Go kernels, and DRONET_KERNEL=sse2 (or
+// SelectKernel) forces the narrow path on wide hardware — both of which CI
+// exercises so no dispatch path can rot behind the best one.
 
-func init() {
-	kernF32 = kernF32SSE
-	kernI8 = kernI8SSE
+// archKernels returns the amd64 assembly families in preference order.
+func archKernels() []*microKernels {
+	ks := make([]*microKernels, 0, 2)
+	if cpuHasAVX2FMA() {
+		ks = append(ks, &microKernels{name: "avx2", mr: 6, nr: 16, f32: kernF32AVX2, i8: kernI8AVX2})
+	}
+	ks = append(ks, &microKernels{name: "sse2", mr: 4, nr: 8, f32: kernF32SSE, i8: kernI8SSE})
+	return ks
 }
+
+// cpuHasAVX2FMA reports whether this CPU can run the AVX2 family: AVX2 and
+// FMA instruction support plus OSXSAVE with XMM|YMM state enabled in XCR0
+// (without which AVX instructions #UD even when CPUID advertises them).
+func cpuHasAVX2FMA() bool {
+	maxLeaf, _, _, _ := cpuidex(0, 0)
+	if maxLeaf < 7 {
+		return false
+	}
+	_, _, ecx1, _ := cpuidex(1, 0)
+	const osxsave, avx, fma = 1 << 27, 1 << 28, 1 << 12
+	if ecx1&osxsave == 0 || ecx1&avx == 0 || ecx1&fma == 0 {
+		return false
+	}
+	xcr0, _ := xgetbv0()
+	if xcr0&6 != 6 { // XMM and YMM state both OS-managed
+		return false
+	}
+	_, ebx7, _, _ := cpuidex(7, 0)
+	const avx2 = 1 << 5
+	return ebx7&avx2 != 0
+}
+
+// cpuidex executes CPUID with the given leaf/subleaf.
+//
+//go:noescape
+func cpuidex(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
+
+// xgetbv0 reads extended control register 0 (requires OSXSAVE).
+//
+//go:noescape
+func xgetbv0() (eax, edx uint32)
 
 // kernF32SSE is the 4×8 SSE2 tile kernel: 8 XMM accumulators, one packed-A
 // quad load broadcast via PSHUFD against two packed-B vector loads per
@@ -24,3 +65,20 @@ func kernF32SSE(kc int, pa, pb []float32, c []float32, ldc int)
 //
 //go:noescape
 func kernI8SSE(kPairs int, pa, pb []int16, requant, bias []float32, c []float32, ldc int)
+
+// kernF32AVX2 is the 6×16 AVX2/FMA tile kernel: 12 YMM accumulators (six
+// rows × two 8-lane column halves), two packed-B YMM loads and six
+// VBROADCASTSS feeding twelve VFMADD231PS per k-step. C is updated with +=.
+//
+//go:noescape
+func kernF32AVX2(kc int, pa, pb []float32, c []float32, ldc int)
+
+// kernI8AVX2 is the 6×16 AVX2 int8 tile kernel over int16 k-pairs:
+// VPBROADCASTD broadcasts one row's k-pair, VPMADDWD forms the pairwise
+// int32 products against two 16-pair packed-B YMM loads, VPADDD accumulates
+// exactly, and the store path requantizes with VCVTDQ2PS then an UNFUSED
+// multiply-then-add (bit-identical to the naive Go loop — FMA here would
+// change rounding and break the int8 exactness contract).
+//
+//go:noescape
+func kernI8AVX2(kPairs int, pa, pb []int16, requant, bias []float32, c []float32, ldc int)

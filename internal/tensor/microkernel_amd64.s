@@ -2,6 +2,25 @@
 
 #include "textflag.h"
 
+// func cpuidex(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
+TEXT ·cpuidex(SB), NOSPLIT, $0-24
+	MOVL leaf+0(FP), AX
+	MOVL sub+4(FP), CX
+	CPUID
+	MOVL AX, eax+8(FP)
+	MOVL BX, ebx+12(FP)
+	MOVL CX, ecx+16(FP)
+	MOVL DX, edx+20(FP)
+	RET
+
+// func xgetbv0() (eax, edx uint32)
+TEXT ·xgetbv0(SB), NOSPLIT, $0-8
+	XORL CX, CX
+	XGETBV
+	MOVL AX, eax+0(FP)
+	MOVL DX, edx+4(FP)
+	RET
+
 // func kernF32SSE(kc int, pa, pb []float32, c []float32, ldc int)
 //
 // Computes the 4×8 tile update c[r*ldc+j] += Σ_p pa[p*4+r]·pb[p*8+j].
@@ -220,4 +239,273 @@ i8store:
 	ADDPS  X11, X7
 	MOVUPS X6, (DX)
 	MOVUPS X7, 16(DX)
+	RET
+
+// func kernF32AVX2(kc int, pa, pb []float32, c []float32, ldc int)
+//
+// Computes the 6×16 tile update c[r*ldc+j] += Σ_p pa[p*6+r]·pb[p*16+j].
+// Accumulators: Y0..Y11 (row r in Y(2r) cols 0-7, Y(2r+1) cols 8-15).
+// Per k-step: two 32-byte B loads, six VBROADCASTSS of the packed-A
+// sextet feeding twelve VFMADD231PS — one fused multiply-add per
+// accumulator, so the products are contracted (fp32 results differ from
+// the SSE2/portable families by reassociation/contraction rounding only).
+TEXT ·kernF32AVX2(SB), NOSPLIT, $0-88
+	MOVQ kc+0(FP), CX
+	MOVQ pa_base+8(FP), SI
+	MOVQ pb_base+32(FP), DI
+	MOVQ c_base+56(FP), DX
+	MOVQ ldc+80(FP), R8
+	SHLQ $2, R8              // row stride in bytes
+
+	VXORPS Y0, Y0, Y0
+	VXORPS Y1, Y1, Y1
+	VXORPS Y2, Y2, Y2
+	VXORPS Y3, Y3, Y3
+	VXORPS Y4, Y4, Y4
+	VXORPS Y5, Y5, Y5
+	VXORPS Y6, Y6, Y6
+	VXORPS Y7, Y7, Y7
+	VXORPS Y8, Y8, Y8
+	VXORPS Y9, Y9, Y9
+	VXORPS Y10, Y10, Y10
+	VXORPS Y11, Y11, Y11
+
+	TESTQ CX, CX
+	JZ    af32store
+
+af32loop:
+	VMOVUPS (DI), Y12        // pb[p*16 + 0..7]
+	VMOVUPS 32(DI), Y13      // pb[p*16 + 8..15]
+
+	VBROADCASTSS (SI), Y14   // row 0
+	VFMADD231PS  Y12, Y14, Y0
+	VFMADD231PS  Y13, Y14, Y1
+
+	VBROADCASTSS 4(SI), Y14  // row 1
+	VFMADD231PS  Y12, Y14, Y2
+	VFMADD231PS  Y13, Y14, Y3
+
+	VBROADCASTSS 8(SI), Y14  // row 2
+	VFMADD231PS  Y12, Y14, Y4
+	VFMADD231PS  Y13, Y14, Y5
+
+	VBROADCASTSS 12(SI), Y14 // row 3
+	VFMADD231PS  Y12, Y14, Y6
+	VFMADD231PS  Y13, Y14, Y7
+
+	VBROADCASTSS 16(SI), Y14 // row 4
+	VFMADD231PS  Y12, Y14, Y8
+	VFMADD231PS  Y13, Y14, Y9
+
+	VBROADCASTSS 20(SI), Y14 // row 5
+	VFMADD231PS  Y12, Y14, Y10
+	VFMADD231PS  Y13, Y14, Y11
+
+	ADDQ $24, SI
+	ADDQ $64, DI
+	DECQ CX
+	JNZ  af32loop
+
+af32store:
+	VMOVUPS (DX), Y12        // row 0: C += acc
+	VMOVUPS 32(DX), Y13
+	VADDPS  Y0, Y12, Y12
+	VADDPS  Y1, Y13, Y13
+	VMOVUPS Y12, (DX)
+	VMOVUPS Y13, 32(DX)
+	ADDQ    R8, DX
+
+	VMOVUPS (DX), Y12        // row 1
+	VMOVUPS 32(DX), Y13
+	VADDPS  Y2, Y12, Y12
+	VADDPS  Y3, Y13, Y13
+	VMOVUPS Y12, (DX)
+	VMOVUPS Y13, 32(DX)
+	ADDQ    R8, DX
+
+	VMOVUPS (DX), Y12        // row 2
+	VMOVUPS 32(DX), Y13
+	VADDPS  Y4, Y12, Y12
+	VADDPS  Y5, Y13, Y13
+	VMOVUPS Y12, (DX)
+	VMOVUPS Y13, 32(DX)
+	ADDQ    R8, DX
+
+	VMOVUPS (DX), Y12        // row 3
+	VMOVUPS 32(DX), Y13
+	VADDPS  Y6, Y12, Y12
+	VADDPS  Y7, Y13, Y13
+	VMOVUPS Y12, (DX)
+	VMOVUPS Y13, 32(DX)
+	ADDQ    R8, DX
+
+	VMOVUPS (DX), Y12        // row 4
+	VMOVUPS 32(DX), Y13
+	VADDPS  Y8, Y12, Y12
+	VADDPS  Y9, Y13, Y13
+	VMOVUPS Y12, (DX)
+	VMOVUPS Y13, 32(DX)
+	ADDQ    R8, DX
+
+	VMOVUPS (DX), Y12        // row 5
+	VMOVUPS 32(DX), Y13
+	VADDPS  Y10, Y12, Y12
+	VADDPS  Y11, Y13, Y13
+	VMOVUPS Y12, (DX)
+	VMOVUPS Y13, 32(DX)
+	VZEROUPPER
+	RET
+
+// func kernI8AVX2(kPairs int, pa, pb []int16, requant, bias []float32, c []float32, ldc int)
+//
+// Computes the 6×16 int8 tile with exact int32 accumulation over packed
+// int16 k-pairs: per pair, VPBROADCASTD broadcasts one row's (a0,a1) pair,
+// VPMADDWD against the two 16-pair packed-B loads yields the per-column
+// int32 pair-products, VPADDD accumulates. The store path requantizes with
+// VCVTDQ2PS then separate VMULPS + VADDPS — deliberately NOT an FMA, so
+// c[r*ldc+j] = float32(acc)·requant[r] + bias[r] rounds exactly like the
+// naive Go loop and results stay bit-identical across every kernel family.
+TEXT ·kernI8AVX2(SB), NOSPLIT, $0-136
+	MOVQ kPairs+0(FP), CX
+	MOVQ pa_base+8(FP), SI
+	MOVQ pb_base+32(FP), DI
+	MOVQ requant_base+56(FP), R9
+	MOVQ bias_base+80(FP), R10
+	MOVQ c_base+104(FP), DX
+	MOVQ ldc+128(FP), R8
+	SHLQ $2, R8              // row stride in bytes
+
+	VPXOR Y0, Y0, Y0
+	VPXOR Y1, Y1, Y1
+	VPXOR Y2, Y2, Y2
+	VPXOR Y3, Y3, Y3
+	VPXOR Y4, Y4, Y4
+	VPXOR Y5, Y5, Y5
+	VPXOR Y6, Y6, Y6
+	VPXOR Y7, Y7, Y7
+	VPXOR Y8, Y8, Y8
+	VPXOR Y9, Y9, Y9
+	VPXOR Y10, Y10, Y10
+	VPXOR Y11, Y11, Y11
+
+	TESTQ CX, CX
+	JZ    ai8store
+
+ai8loop:
+	VMOVDQU (DI), Y12        // pb: cols 0-7 int16 pairs
+	VMOVDQU 32(DI), Y13      // pb: cols 8-15 int16 pairs
+
+	VPBROADCASTD (SI), Y14   // row-0 pair
+	VPMADDWD     Y12, Y14, Y15
+	VPADDD       Y15, Y0, Y0
+	VPMADDWD     Y13, Y14, Y15
+	VPADDD       Y15, Y1, Y1
+
+	VPBROADCASTD 4(SI), Y14  // row 1
+	VPMADDWD     Y12, Y14, Y15
+	VPADDD       Y15, Y2, Y2
+	VPMADDWD     Y13, Y14, Y15
+	VPADDD       Y15, Y3, Y3
+
+	VPBROADCASTD 8(SI), Y14  // row 2
+	VPMADDWD     Y12, Y14, Y15
+	VPADDD       Y15, Y4, Y4
+	VPMADDWD     Y13, Y14, Y15
+	VPADDD       Y15, Y5, Y5
+
+	VPBROADCASTD 12(SI), Y14 // row 3
+	VPMADDWD     Y12, Y14, Y15
+	VPADDD       Y15, Y6, Y6
+	VPMADDWD     Y13, Y14, Y15
+	VPADDD       Y15, Y7, Y7
+
+	VPBROADCASTD 16(SI), Y14 // row 4
+	VPMADDWD     Y12, Y14, Y15
+	VPADDD       Y15, Y8, Y8
+	VPMADDWD     Y13, Y14, Y15
+	VPADDD       Y15, Y9, Y9
+
+	VPBROADCASTD 20(SI), Y14 // row 5
+	VPMADDWD     Y12, Y14, Y15
+	VPADDD       Y15, Y10, Y10
+	VPMADDWD     Y13, Y14, Y15
+	VPADDD       Y15, Y11, Y11
+
+	ADDQ $24, SI
+	ADDQ $64, DI
+	DECQ CX
+	JNZ  ai8loop
+
+ai8store:
+	VCVTDQ2PS    Y0, Y0      // row 0: float32(acc)·requant + bias
+	VCVTDQ2PS    Y1, Y1
+	VBROADCASTSS (R9), Y14
+	VBROADCASTSS (R10), Y15
+	VMULPS       Y14, Y0, Y0
+	VMULPS       Y14, Y1, Y1
+	VADDPS       Y15, Y0, Y0
+	VADDPS       Y15, Y1, Y1
+	VMOVUPS      Y0, (DX)
+	VMOVUPS      Y1, 32(DX)
+	ADDQ         R8, DX
+
+	VCVTDQ2PS    Y2, Y2      // row 1
+	VCVTDQ2PS    Y3, Y3
+	VBROADCASTSS 4(R9), Y14
+	VBROADCASTSS 4(R10), Y15
+	VMULPS       Y14, Y2, Y2
+	VMULPS       Y14, Y3, Y3
+	VADDPS       Y15, Y2, Y2
+	VADDPS       Y15, Y3, Y3
+	VMOVUPS      Y2, (DX)
+	VMOVUPS      Y3, 32(DX)
+	ADDQ         R8, DX
+
+	VCVTDQ2PS    Y4, Y4      // row 2
+	VCVTDQ2PS    Y5, Y5
+	VBROADCASTSS 8(R9), Y14
+	VBROADCASTSS 8(R10), Y15
+	VMULPS       Y14, Y4, Y4
+	VMULPS       Y14, Y5, Y5
+	VADDPS       Y15, Y4, Y4
+	VADDPS       Y15, Y5, Y5
+	VMOVUPS      Y4, (DX)
+	VMOVUPS      Y5, 32(DX)
+	ADDQ         R8, DX
+
+	VCVTDQ2PS    Y6, Y6      // row 3
+	VCVTDQ2PS    Y7, Y7
+	VBROADCASTSS 12(R9), Y14
+	VBROADCASTSS 12(R10), Y15
+	VMULPS       Y14, Y6, Y6
+	VMULPS       Y14, Y7, Y7
+	VADDPS       Y15, Y6, Y6
+	VADDPS       Y15, Y7, Y7
+	VMOVUPS      Y6, (DX)
+	VMOVUPS      Y7, 32(DX)
+	ADDQ         R8, DX
+
+	VCVTDQ2PS    Y8, Y8      // row 4
+	VCVTDQ2PS    Y9, Y9
+	VBROADCASTSS 16(R9), Y14
+	VBROADCASTSS 16(R10), Y15
+	VMULPS       Y14, Y8, Y8
+	VMULPS       Y14, Y9, Y9
+	VADDPS       Y15, Y8, Y8
+	VADDPS       Y15, Y9, Y9
+	VMOVUPS      Y8, (DX)
+	VMOVUPS      Y9, 32(DX)
+	ADDQ         R8, DX
+
+	VCVTDQ2PS    Y10, Y10    // row 5
+	VCVTDQ2PS    Y11, Y11
+	VBROADCASTSS 20(R9), Y14
+	VBROADCASTSS 20(R10), Y15
+	VMULPS       Y14, Y10, Y10
+	VMULPS       Y14, Y11, Y11
+	VADDPS       Y15, Y10, Y10
+	VADDPS       Y15, Y11, Y11
+	VMOVUPS      Y10, (DX)
+	VMOVUPS      Y11, 32(DX)
+	VZEROUPPER
 	RET

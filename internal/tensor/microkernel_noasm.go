@@ -1,0 +1,7 @@
+//go:build !amd64 || purego
+
+package tensor
+
+// archKernels reports no assembly microkernel families: non-amd64
+// architectures and purego builds dispatch to the portable Go kernels only.
+func archKernels() []*microKernels { return nil }

@@ -7,24 +7,25 @@ package tensor
 //	packed A strip:  pa[p*MR + r] = alpha * A(i0+r, kk+p)   (rows zero-padded)
 //	packed B panel:  pb[p*NR + c] = B(kk+p, j0+c)           (cols zero-padded)
 //
+// MR and NR are parameters, not constants: each packer takes the register
+// tile of the microkernel family selected at runtime (kernel.go), so the
+// same packing code feeds the 4×8 SSE2/portable kernels and the 6×16 AVX2
+// kernels. A packed buffer is therefore only meaningful to the family it was
+// packed for — the pre-packed weight caches (prepack.go) record the family
+// and fall back to repacking when dispatch changes.
+//
 // Both packers read through the op(A)/op(B) transpose views, which is what
 // lets all four transpose combinations share one blocking driver: the
 // transpose is paid once per packed element instead of once per FLOP.
 //
 // The INT8 packers additionally widen to int16 and interleave consecutive
-// k-PAIRS, the operand layout of the pairwise multiply-add microkernel:
+// k-PAIRS, the operand layout of the pairwise multiply-add microkernels:
 //
 //	packed A strip:  pa[t*2*MR + 2*r + s] = A(i0+r, kk+2t+s)
 //	packed B panel:  pb[t*2*NR + 2*c + s] = B(kk+2t+s, j0+c)
 //
 // with s in {0,1} the position inside the pair. Odd k is padded with a zero
 // k-slot, which is exact for integer accumulation.
-
-// gemmMR×gemmNR is the register tile computed by one microkernel call.
-const (
-	gemmMR = 4
-	gemmNR = 8
-)
 
 // aAt reads op(A)(i, p): A is m×k, stored k-major (lda) when not transposed.
 func aAt(ta bool, a []float32, lda, i, p int) float32 {
@@ -42,19 +43,19 @@ func bAt(tb bool, b []float32, ldb, p, j int) float32 {
 	return b[p*ldb+j]
 }
 
-// packAF32 packs rows [i0, min(i0+MR, m)) over k-range [kk, kk+kc) of op(A)
-// into dst (len MR*kc), folding alpha in and zero-padding missing rows.
-func packAF32(ta bool, a []float32, lda, m, i0, kk, kc int, alpha float32, dst []float32) {
+// packAF32 packs rows [i0, min(i0+mr, m)) over k-range [kk, kk+kc) of op(A)
+// into dst (len mr*kc), folding alpha in and zero-padding missing rows.
+func packAF32(ta bool, a []float32, lda, m, i0, kk, kc int, alpha float32, dst []float32, mr int) {
 	rows := m - i0
-	if rows > gemmMR {
-		rows = gemmMR
+	if rows > mr {
+		rows = mr
 	}
 	if !ta {
 		// Rows are contiguous in k: stream each row through the strip.
 		for r := 0; r < rows; r++ {
 			src := a[(i0+r)*lda+kk:]
 			for p := 0; p < kc; p++ {
-				dst[p*gemmMR+r] = alpha * src[p]
+				dst[p*mr+r] = alpha * src[p]
 			}
 		}
 	} else {
@@ -62,45 +63,43 @@ func packAF32(ta bool, a []float32, lda, m, i0, kk, kc int, alpha float32, dst [
 		// stored reads stay sequential per p.
 		for p := 0; p < kc; p++ {
 			src := a[(kk+p)*lda+i0:]
-			d := dst[p*gemmMR:]
+			d := dst[p*mr:]
 			for r := 0; r < rows; r++ {
 				d[r] = alpha * src[r]
 			}
 		}
 	}
-	if rows < gemmMR {
+	if rows < mr {
 		for p := 0; p < kc; p++ {
-			for r := rows; r < gemmMR; r++ {
-				dst[p*gemmMR+r] = 0
+			for r := rows; r < mr; r++ {
+				dst[p*mr+r] = 0
 			}
 		}
 	}
 }
 
-// packBF32 packs cols [j0, min(j0+NR, n)) over k-range [kk, kk+kc) of op(B)
-// into dst (len NR*kc), zero-padding missing columns.
-func packBF32(tb bool, b []float32, ldb, n, j0, kk, kc int, dst []float32) {
+// packBF32 packs cols [j0, min(j0+nr, n)) over k-range [kk, kk+kc) of op(B)
+// into dst (len nr*kc), zero-padding missing columns.
+func packBF32(tb bool, b []float32, ldb, n, j0, kk, kc int, dst []float32, nr int) {
 	cols := n - j0
-	if cols > gemmNR {
-		cols = gemmNR
+	if cols > nr {
+		cols = nr
 	}
 	if !tb {
-		if cols == gemmNR {
+		if cols == nr {
+			// Full-width panels are straight row copies; copy() vectorizes.
 			for p := 0; p < kc; p++ {
-				src := b[(kk+p)*ldb+j0:]
-				d := dst[p*gemmNR:]
-				d[0], d[1], d[2], d[3] = src[0], src[1], src[2], src[3]
-				d[4], d[5], d[6], d[7] = src[4], src[5], src[6], src[7]
+				copy(dst[p*nr:p*nr+nr], b[(kk+p)*ldb+j0:(kk+p)*ldb+j0+nr])
 			}
 			return
 		}
 		for p := 0; p < kc; p++ {
 			src := b[(kk+p)*ldb+j0:]
-			d := dst[p*gemmNR:]
+			d := dst[p*nr:]
 			for c := 0; c < cols; c++ {
 				d[c] = src[c]
 			}
-			for c := cols; c < gemmNR; c++ {
+			for c := cols; c < nr; c++ {
 				d[c] = 0
 			}
 		}
@@ -110,30 +109,30 @@ func packBF32(tb bool, b []float32, ldb, n, j0, kk, kc int, dst []float32) {
 	for c := 0; c < cols; c++ {
 		src := b[(j0+c)*ldb+kk:]
 		for p := 0; p < kc; p++ {
-			dst[p*gemmNR+c] = src[p]
+			dst[p*nr+c] = src[p]
 		}
 	}
-	for c := cols; c < gemmNR; c++ {
+	for c := cols; c < nr; c++ {
 		for p := 0; p < kc; p++ {
-			dst[p*gemmNR+c] = 0
+			dst[p*nr+c] = 0
 		}
 	}
 }
 
-// packAI8 packs rows [i0, min(i0+MR, m)) over the full k of A (int8, row
-// major, no transpose — the quantized weights) into dst (len 2*MR*kPairs) as
+// packAI8 packs rows [i0, min(i0+mr, m)) over the full k of A (int8, row
+// major, no transpose — the quantized weights) into dst (len 2*mr*kPairs) as
 // sign-extended int16 k-pairs, zero-padding missing rows and an odd final k.
-func packAI8(a []int8, lda, m, k, i0 int, dst []int16) {
+func packAI8(a []int8, lda, m, k, i0 int, dst []int16, mr int) {
 	kPairs := (k + 1) / 2
 	rows := m - i0
-	if rows > gemmMR {
-		rows = gemmMR
+	if rows > mr {
+		rows = mr
 	}
 	for r := 0; r < rows; r++ {
 		src := a[(i0+r)*lda:]
 		for t := 0; t < kPairs; t++ {
 			p := 2 * t
-			d := dst[t*2*gemmMR+2*r:]
+			d := dst[t*2*mr+2*r:]
 			d[0] = int16(src[p])
 			if p+1 < k {
 				d[1] = int16(src[p+1])
@@ -142,46 +141,49 @@ func packAI8(a []int8, lda, m, k, i0 int, dst []int16) {
 			}
 		}
 	}
-	for r := rows; r < gemmMR; r++ {
+	for r := rows; r < mr; r++ {
 		for t := 0; t < kPairs; t++ {
-			d := dst[t*2*gemmMR+2*r:]
+			d := dst[t*2*mr+2*r:]
 			d[0], d[1] = 0, 0
 		}
 	}
 }
 
-// packBI8 packs cols [j0, min(j0+NR, n)) over the full k of B (int8, row
-// major — the quantized im2col patches) into dst (len 2*NR*kPairs) as int16
+// packBI8 packs cols [j0, min(j0+nr, n)) over the full k of B (int8, row
+// major — the quantized im2col patches) into dst (len 2*nr*kPairs) as int16
 // k-pairs, zero-padding missing columns and an odd final k. This is the
 // highest-traffic int8 pack (it runs over the whole im2col matrix once per
-// GEMM), so the full-width case is unrolled with bounds-check-eliminating
-// sub-slices.
-func packBI8(b []int8, ldb, n, k, j0 int, dst []int16) {
+// GEMM), so the full-width case interleaves four columns per step with
+// bounds-check-eliminating sub-slices. nr must be a multiple of 4 (every
+// registered kernel family satisfies this).
+func packBI8(b []int8, ldb, n, k, j0 int, dst []int16, nr int) {
 	cols := n - j0
-	if cols > gemmNR {
-		cols = gemmNR
+	if cols > nr {
+		cols = nr
 	}
 	kFull := k / 2
-	if cols == gemmNR {
+	if cols == nr {
 		for t := 0; t < kFull; t++ {
-			r0 := b[2*t*ldb+j0 : 2*t*ldb+j0+gemmNR]
-			r1 := b[(2*t+1)*ldb+j0 : (2*t+1)*ldb+j0+gemmNR]
-			d := dst[t*2*gemmNR : t*2*gemmNR+2*gemmNR]
-			d[0], d[2], d[4], d[6] = int16(r0[0]), int16(r0[1]), int16(r0[2]), int16(r0[3])
-			d[1], d[3], d[5], d[7] = int16(r1[0]), int16(r1[1]), int16(r1[2]), int16(r1[3])
-			d[8], d[10], d[12], d[14] = int16(r0[4]), int16(r0[5]), int16(r0[6]), int16(r0[7])
-			d[9], d[11], d[13], d[15] = int16(r1[4]), int16(r1[5]), int16(r1[6]), int16(r1[7])
+			r0 := b[2*t*ldb+j0 : 2*t*ldb+j0+nr]
+			r1 := b[(2*t+1)*ldb+j0 : (2*t+1)*ldb+j0+nr]
+			d := dst[t*2*nr : t*2*nr+2*nr]
+			for c := 0; c+4 <= nr; c += 4 {
+				q0, q1 := r0[c:c+4], r1[c:c+4]
+				e := d[2*c : 2*c+8]
+				e[0], e[2], e[4], e[6] = int16(q0[0]), int16(q0[1]), int16(q0[2]), int16(q0[3])
+				e[1], e[3], e[5], e[7] = int16(q1[0]), int16(q1[1]), int16(q1[2]), int16(q1[3])
+			}
 		}
 	} else {
 		for t := 0; t < kFull; t++ {
 			r0 := b[2*t*ldb+j0:]
 			r1 := b[(2*t+1)*ldb+j0:]
-			d := dst[t*2*gemmNR : t*2*gemmNR+2*gemmNR]
+			d := dst[t*2*nr : t*2*nr+2*nr]
 			for c := 0; c < cols; c++ {
 				d[2*c] = int16(r0[c])
 				d[2*c+1] = int16(r1[c])
 			}
-			for c := cols; c < gemmNR; c++ {
+			for c := cols; c < nr; c++ {
 				d[2*c], d[2*c+1] = 0, 0
 			}
 		}
@@ -189,12 +191,12 @@ func packBI8(b []int8, ldb, n, k, j0 int, dst []int16) {
 	if k%2 == 1 {
 		t := kFull
 		r0 := b[2*t*ldb+j0:]
-		d := dst[t*2*gemmNR : t*2*gemmNR+2*gemmNR]
+		d := dst[t*2*nr : t*2*nr+2*nr]
 		for c := 0; c < cols; c++ {
 			d[2*c] = int16(r0[c])
 			d[2*c+1] = 0
 		}
-		for c := cols; c < gemmNR; c++ {
+		for c := cols; c < nr; c++ {
 			d[2*c], d[2*c+1] = 0, 0
 		}
 	}

@@ -107,6 +107,9 @@ func Load(net *network.Network, r io.Reader) error {
 		if err := readConv(br, c); err != nil {
 			return fmt.Errorf("weights: layer %d: %w", i, err)
 		}
+		// The conv's weights just changed under it; drop any pre-packed
+		// GEMM operand so inference repacks from the loaded values.
+		c.InvalidateWeightPack()
 	}
 	// A well-formed file is fully consumed.
 	if _, err := br.ReadByte(); err != io.EOF {
