@@ -1,13 +1,13 @@
 GO ?= go
 
-.PHONY: ci vet build test race bench bench-smoke serve-bench serve-smoke swap-smoke shard-smoke fuzz fleet serve profile
+.PHONY: ci vet build test race bench bench-smoke serve-bench serve-smoke swap-smoke shard-smoke chaos fuzz fleet serve profile
 
 ## ci: the full tier-1 + hygiene gate (what .github/workflows/ci.yml's main
 ## job runs step by step); bench-smoke runs the GEMM kernels a few iterations
 ## so a kernel regression (or an asm/portable divergence) breaks CI loudly,
 ## not just slowly. Deliberately NOT `bench`: that regenerates (and dirties)
 ## the committed BENCH_serve.json, which is a release chore, not a gate.
-ci: vet build race bench-smoke serve-smoke swap-smoke shard-smoke
+ci: vet build race chaos bench-smoke serve-smoke swap-smoke shard-smoke
 
 ## bench-smoke: quick kernel-level regression tripwire over the packed GEMM
 ## benchmarks (10 iterations — catches crashes and gross slowdowns cheaply);
@@ -92,6 +92,17 @@ shard-smoke:
 	$(GO) build -o bin/dronet-proxy ./cmd/dronet-proxy
 	$(GO) run ./examples/serveclient -sharded -server bin/dronet-serve \
 	    -proxy bin/dronet-proxy -size 96
+
+## chaos: the fault-injection resilience suite under the race detector —
+## breaker unit lifecycle, chaos against a faulted shard (breaker opens,
+## half-open probe recovers it), retry-budget exhaustion, end-to-end
+## deadline propagation, the deadline storm that must never reach a kernel
+## (pinned by the batch-histogram accounting identity), expired-on-arrival
+## 504s, brownout degrade/recover, and goroutine hygiene after Close on
+## both the server and the proxy
+chaos:
+	$(GO) test -race -run 'TestBreaker|TestChaos|TestProxyDeadline|TestDeadline|TestExpired|TestBrownout|GoroutineHygiene' \
+	    ./internal/serve/ ./internal/cluster/
 
 ## fuzz: short bounded fuzz pass over the detect, kernel, quantization and
 ## spec-grammar invariants (FuzzGemmPackedVsNaive cross-checks the packed

@@ -50,6 +50,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/dataset"
+	"repro/internal/faults"
 	"repro/internal/imgproc"
 	"repro/internal/pipeline"
 	"repro/internal/serve"
@@ -72,7 +73,14 @@ func main() {
 	vnodes := flag.Int("vnodes", cluster.DefaultVNodes, "virtual nodes per shard on the consistent-hash ring")
 	maxInflight := flag.Int("max-inflight", 32, "per-shard bound on concurrently forwarded requests (429 beyond it)")
 	healthInterval := flag.Duration("health-interval", 500*time.Millisecond, "active /healthz probe interval")
-	failThreshold := flag.Int("fail-threshold", 3, "consecutive probe/forward failures before a shard is ejected")
+	failThreshold := flag.Int("fail-threshold", 3, "consecutive probe failures before a shard's breaker opens")
+	breakerWindow := flag.Int("breaker-window", 20, "per-shard breaker: data-plane outcome window size")
+	breakerMinSamples := flag.Int("breaker-min-samples", 5, "per-shard breaker: minimum windowed samples before the error rate can trip")
+	breakerErrorRate := flag.Float64("breaker-error-rate", 0.5, "per-shard breaker: windowed error rate that opens the breaker")
+	breakerCooldown := flag.Duration("breaker-cooldown", 0, "per-shard breaker: open-state cooldown before a half-open probe (0 = 2x health-interval)")
+	retryBudget := flag.Float64("retry-budget", 10, "failover retry token bucket capacity (exhausted retries answer 503 + Retry-After)")
+	retryRefill := flag.Float64("retry-refill", 0.1, "retry tokens refilled per successful forward")
+	faultsFlag := flag.String("faults", "", "arm fault injection, e.g. 'cluster.forward#HOST:PORT=error' (testing only; also via DRONET_FAULTS)")
 	selfbench := flag.Bool("selfbench", false, "run the sharded serving benchmark instead of proxying")
 	benchCameras := flag.Int("bench-cameras", 12, "selfbench: concurrent camera streams")
 	benchRequests := flag.Int("bench-requests", 25, "selfbench: frames per camera")
@@ -81,6 +89,12 @@ func main() {
 
 	if (*shardsFlag == "") == (*spawn == 0) {
 		log.Fatal("exactly one of -shards or -spawn must be given")
+	}
+	if *faultsFlag != "" {
+		if err := faults.Arm(*faultsFlag); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("warning: fault injection armed: %s", *faultsFlag)
 	}
 
 	var fleet *shardFleet
@@ -101,11 +115,17 @@ func main() {
 	}
 
 	p, err := cluster.NewProxy(cluster.ProxyConfig{
-		Shards:         addrs,
-		VNodes:         *vnodes,
-		MaxInflight:    *maxInflight,
-		HealthInterval: *healthInterval,
-		FailThreshold:  *failThreshold,
+		Shards:            addrs,
+		VNodes:            *vnodes,
+		MaxInflight:       *maxInflight,
+		HealthInterval:    *healthInterval,
+		FailThreshold:     *failThreshold,
+		BreakerWindow:     *breakerWindow,
+		BreakerMinSamples: *breakerMinSamples,
+		BreakerErrorRate:  *breakerErrorRate,
+		BreakerCooldown:   *breakerCooldown,
+		RetryBudget:       *retryBudget,
+		RetryRefill:       *retryRefill,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -377,6 +397,10 @@ func mergeSection(path, key string, v any) error {
 	return nil
 }
 
+// benchClient caps each benchmark request: a wedged shard becomes a
+// reported error instead of a benchmark that hangs forever.
+var benchClient = &http.Client{Timeout: 30 * time.Second}
+
 // postFrame sends one frame as a JSON detect request through the proxy,
 // retrying briefly on 429 (either backpressure layer) so the benchmark
 // exercises shedding without losing samples.
@@ -387,7 +411,7 @@ func postFrame(url string, img *imgproc.Image) error {
 		return err
 	}
 	for attempt := 0; ; attempt++ {
-		resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+		resp, err := benchClient.Post(url, "application/json", bytes.NewReader(body))
 		if err != nil {
 			return err
 		}

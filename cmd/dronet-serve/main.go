@@ -78,6 +78,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/detect"
 	"repro/internal/engine"
+	"repro/internal/faults"
 	"repro/internal/imgproc"
 	"repro/internal/models"
 	"repro/internal/pipeline"
@@ -99,7 +100,7 @@ func main() {
 	scale := flag.Float64("scale", 0.5, "filter-count scale (1.0 = paper-size model)")
 	weightsPath := flag.String("weights", "", "trained weights file (random init when empty)")
 	precision := flag.String("precision", "fp32", "inference precision: fp32 or int8 (post-training quantized)")
-	modelsFlag := flag.String("models", "", `routed multi-model registry: "name=model:size:precision[:maxalt][:weight],..." (first entry is the default route; overrides -model/-size/-precision)`)
+	modelsFlag := flag.String("models", "", `routed multi-model registry: "name=model:size:precision[:maxalt][:weight][:degrade=sibling],..." (first entry is the default route; overrides -model/-size/-precision)`)
 	calibFrames := flag.Int("calib-frames", 8, "int8: synthetic sample frames for activation-scale calibration")
 	workers := flag.Int("workers", runtime.NumCPU(), "batch worker pool size (model replicas)")
 	maxBatch := flag.Int("max-batch", 8, "maximum images per micro-batch")
@@ -116,7 +117,15 @@ func main() {
 	cpuProfile := flag.String("cpuprofile", "", "selfbench: write a CPU pprof profile of the whole run to this path")
 	memProfile := flag.String("memprofile", "", "selfbench: write a heap pprof profile at the end of the run to this path")
 	kernelPin := flag.String("kernel", "", "pin the GEMM microkernel family (one of "+strings.Join(tensor.AvailableKernels(), ", ")+"; default: auto-detect, env "+tensor.KernelEnv+")")
+	faultsFlag := flag.String("faults", "", `fault-injection spec "site[#key]=kind[:arg],..." (internal/faults; chaos testing only — also honours DRONET_FAULTS)`)
 	flag.Parse()
+
+	if *faultsFlag != "" {
+		if err := faults.Arm(*faultsFlag); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("warning: fault injection armed: %s", *faultsFlag)
+	}
 
 	if *kernelPin != "" {
 		if err := tensor.SelectKernel(*kernelPin); err != nil {
@@ -319,14 +328,19 @@ func buildEntry(spec serve.ModelSpec, scale float64, calibFrames int, cfg engine
 	}
 	mcfg := scfg
 	mcfg.Precision = spec.Precision
-	log.Printf("registered %s (input %dx%d, %s%s%s)", spec.Name, spec.Size, spec.Size, spec.Precision,
-		altLabel(spec.MaxAltitude), weightLabel(spec.Weight))
+	degradeLabel := ""
+	if spec.Degrade != "" {
+		degradeLabel = ", degrades to " + spec.Degrade
+	}
+	log.Printf("registered %s (input %dx%d, %s%s%s%s)", spec.Name, spec.Size, spec.Size, spec.Precision,
+		altLabel(spec.MaxAltitude), weightLabel(spec.Weight), degradeLabel)
 	return serve.ModelEntry{
 		Name:        spec.Name,
 		Engine:      eng,
 		Config:      mcfg,
 		MaxAltitude: spec.MaxAltitude,
 		Weight:      spec.Weight,
+		Degrade:     spec.Degrade,
 	}, nil
 }
 
@@ -533,6 +547,120 @@ type benchReport struct {
 	// by its own client fleet, snapshotted per model.
 	RoutedSpec string                 `json:"routed_spec,omitempty"`
 	Routed     map[string]serve.Stats `json:"routed,omitempty"`
+	// Resilience reports the deadline-chaos leg: a fault-injected slow
+	// kernel plus a storm of under-budget deadlines, proving the shed path
+	// (504s, not late 200s) and the kernel-accounting identity under load.
+	Resilience *resilienceStat `json:"resilience,omitempty"`
+}
+
+// resilienceStat is the selfbench resilience block: outcomes of a
+// deadline storm against a server with an injected 20ms kernel slowdown.
+type resilienceStat struct {
+	StormRequests         int    `json:"storm_requests"`
+	Deadline504           int    `json:"deadline_504"`
+	LatePastDeadline200   int    `json:"late_past_deadline_200"`
+	DeadlineExceededTotal uint64 `json:"deadline_exceeded_total"`
+	ExecutedImages        uint64 `json:"executed_images"`
+	CompletedPlusFailed   uint64 `json:"completed_plus_failed"`
+	// AccountingHolds is executed == completed+failed: dropped-expired
+	// work never reached a kernel.
+	AccountingHolds bool `json:"accounting_holds"`
+}
+
+// benchResilience boots one fp32 server with a fault-injected 20ms kernel
+// slowdown, warms the service-time estimate, then fires a storm of
+// requests carrying 5ms budgets and tallies how the server shed them.
+func benchResilience(det *core.Detector, cfg engine.Config, scfg serve.Config, size, calibFrames int) (*resilienceStat, error) {
+	if err := faults.Arm("engine.execute=slow:20ms"); err != nil {
+		return nil, err
+	}
+	defer faults.Disarm()
+	mdl, err := buildModel(det, "fp32", size, calibFrames)
+	if err != nil {
+		return nil, err
+	}
+	eng, err := engine.New(mdl, cfg)
+	if err != nil {
+		return nil, err
+	}
+	scfg.Precision = "fp32"
+	srv, err := serve.New(eng, scfg)
+	if err != nil {
+		return nil, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	httpSrv := &http.Server{Handler: srv}
+	go func() { _ = httpSrv.Serve(ln) }()
+	url := fmt.Sprintf("http://%s/detect", ln.Addr())
+
+	cam := pipeline.NewSimCamera(dataset.DefaultConfig(size), 1, 300)
+	frame, _ := cam.Next()
+	body, err := json.Marshal(serve.DetectRequest{Width: frame.Image.W, Height: frame.Image.H, Pixels: frame.Image.Pix})
+	if err != nil {
+		return nil, err
+	}
+	post := func(budgetMs int) (int, error) {
+		req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(body))
+		if err != nil {
+			return 0, err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		if budgetMs > 0 {
+			req.Header.Set(serve.DeadlineHeader, fmt.Sprint(budgetMs))
+		}
+		resp, err := benchClient.Do(req)
+		if err != nil {
+			return 0, err
+		}
+		_, _ = io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode, nil
+	}
+	// Warm the engine's observed service time so the batcher can price
+	// the storm's budgets.
+	for i := 0; i < 3; i++ {
+		if _, err := post(0); err != nil {
+			return nil, err
+		}
+	}
+	st := &resilienceStat{StormRequests: 16}
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	for i := 0; i < st.StormRequests; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			code, err := post(5)
+			mu.Lock()
+			defer mu.Unlock()
+			switch {
+			case err != nil:
+				// Counted as neither: the report's totals expose the gap.
+			case code == http.StatusGatewayTimeout:
+				st.Deadline504++
+			case code == http.StatusOK:
+				st.LatePastDeadline200++
+			}
+		}()
+	}
+	wg.Wait()
+	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	_ = httpSrv.Shutdown(shutCtx)
+	if err := srv.Close(); err != nil {
+		return nil, err
+	}
+	stats := srv.Stats()
+	st.DeadlineExceededTotal = stats.DeadlineExceededTotal
+	for k, v := range stats.BatchHist {
+		st.ExecutedImages += uint64(k) * uint64(v)
+	}
+	st.CompletedPlusFailed = stats.Completed + stats.Failed
+	st.AccountingHolds = st.ExecutedImages == st.CompletedPlusFailed
+	return st, nil
 }
 
 // runSelfBench boots the server on a loopback port once per precision,
@@ -599,6 +727,13 @@ func runSelfBench(det *core.Detector, cfg engine.Config, scfg serve.Config, size
 				name, st.AggregateFPS, st.MeanBatchSize, st.LatencyP50Ms, st.LatencyP99Ms)
 		}
 	}
+	res, err := benchResilience(det, cfg, scfg, size, calibFrames)
+	if err != nil {
+		return fmt.Errorf("selfbench resilience: %w", err)
+	}
+	rep.Resilience = res
+	log.Printf("selfbench resilience: %d-request deadline storm -> %d x 504, %d late 200s, accounting holds: %v",
+		res.StormRequests, res.Deadline504, res.LatePastDeadline200, res.AccountingHolds)
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		return err
@@ -727,6 +862,11 @@ func benchOnePrecision(mdl core.Model, cfg engine.Config, scfg serve.Config, pre
 	return srv.Stats(), collected, nil
 }
 
+// benchClient is the selfbench fleet's HTTP client: a per-request timeout
+// turns a wedged server into a reported error instead of a benchmark that
+// hangs forever.
+var benchClient = &http.Client{Timeout: 30 * time.Second}
+
 // postFrame sends one image as a JSON detect request and returns the
 // detections, retrying briefly on 429 so the benchmark exercises
 // backpressure without losing samples.
@@ -737,7 +877,7 @@ func postFrame(url string, img *imgproc.Image) ([]detect.Detection, error) {
 		return nil, err
 	}
 	for attempt := 0; ; attempt++ {
-		resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+		resp, err := benchClient.Post(url, "application/json", bytes.NewReader(body))
 		if err != nil {
 			return nil, err
 		}

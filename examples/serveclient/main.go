@@ -49,10 +49,12 @@ import (
 	"image/png"
 	"io"
 	"log"
+	"math/rand"
 	"net/http"
 	"os"
 	"os/exec"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -806,34 +808,61 @@ func post(url, contentType string, body []byte) serve.DetectResponse {
 }
 
 // postWithHeader posts a body with optional extra headers (the X-Model
-// routing selector) and decodes the detection response.
+// routing selector) and decodes the detection response. Backpressure
+// answers (429/503) carrying Retry-After are honored with a jittered wait
+// — the well-behaved-client side of the server's shedding contract — for
+// a bounded number of retries before giving up.
 func postWithHeader(url, contentType string, body []byte, extra http.Header) serve.DetectResponse {
-	req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(body))
-	if err != nil {
-		log.Fatal(err)
-	}
-	req.Header.Set("Content-Type", contentType)
-	for k, vs := range extra {
-		for _, v := range vs {
-			req.Header.Add(k, v)
+	for attempt := 0; ; attempt++ {
+		req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(body))
+		if err != nil {
+			log.Fatal(err)
 		}
+		req.Header.Set("Content-Type", contentType)
+		for k, vs := range extra {
+			for _, v := range vs {
+				req.Header.Add(k, v)
+			}
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if d, ok := retryAfter(resp); ok && attempt < 3 {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			// Full jitter in [d/2, d) keeps a fleet of clients from
+			// re-arriving in lockstep when the server sheds them together.
+			time.Sleep(d/2 + time.Duration(rand.Int63n(int64(d/2)+1)))
+			continue
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			log.Fatalf("POST %s: %s", url, resp.Status)
+		}
+		var out serve.DetectResponse
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			log.Fatalf("POST %s: bad response JSON: %v", url, err)
+		}
+		if out.Detections == nil {
+			log.Fatalf("POST %s: response missing detections array", url)
+		}
+		return out
 	}
-	resp, err := http.DefaultClient.Do(req)
-	if err != nil {
-		log.Fatal(err)
+}
+
+// retryAfter reports whether the response is a retryable backpressure
+// answer (429/503 with a Retry-After delay in seconds) and the advertised
+// wait.
+func retryAfter(resp *http.Response) (time.Duration, bool) {
+	if resp.StatusCode != http.StatusTooManyRequests && resp.StatusCode != http.StatusServiceUnavailable {
+		return 0, false
 	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		log.Fatalf("POST %s: %s", url, resp.Status)
+	secs, err := strconv.Atoi(resp.Header.Get("Retry-After"))
+	if err != nil || secs < 0 {
+		return 0, false
 	}
-	var out serve.DetectResponse
-	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
-		log.Fatalf("POST %s: bad response JSON: %v", url, err)
-	}
-	if out.Detections == nil {
-		log.Fatalf("POST %s: response missing detections array", url)
-	}
-	return out
+	return time.Duration(secs) * time.Second, true
 }
 
 func getJSON(url string, v any) {

@@ -6,6 +6,8 @@ import (
 	"net/http"
 	"sync"
 	"time"
+
+	"repro/internal/faults"
 )
 
 // shardHealth is the slice of a shard's /healthz document the prober
@@ -50,33 +52,45 @@ func (p *Proxy) probeAll() {
 	wg.Wait()
 }
 
-// probe issues one health check against a shard. Any transport error,
-// non-200 status or non-ok body counts toward the ejection threshold; a
-// clean response re-admits the shard and refreshes its learned shard_id.
+// probe issues one health check against a shard, gated by its breaker
+// (an open breaker suppresses probes until the cooldown elapses; the
+// first probe after it is the half-open recovery trial). Any transport
+// error, non-200 status or non-ok body counts as a probe failure; a clean
+// response closes the breaker and refreshes the learned shard_id. The
+// cluster.probe#<addr> fault site fails the probe before any network I/O
+// — armed together with cluster.forward it simulates a shard dead to both
+// planes.
 func (p *Proxy) probe(s *shardState) {
+	if !s.br.AllowProbe() {
+		return
+	}
+	if err := faults.Fire("cluster.probe", s.addr); err != nil {
+		s.br.RecordProbe(false)
+		return
+	}
 	timeout := p.cfg.HealthInterval
 	if timeout > 2*time.Second {
 		timeout = 2 * time.Second
 	}
 	req, err := http.NewRequest(http.MethodGet, "http://"+s.addr+"/healthz", nil)
 	if err != nil {
-		s.markFailure(p.cfg.FailThreshold)
+		s.br.RecordProbe(false)
 		return
 	}
 	client := &http.Client{Transport: p.client.Transport, Timeout: timeout}
 	resp, err := client.Do(req)
 	if err != nil {
-		s.markFailure(p.cfg.FailThreshold)
+		s.br.RecordProbe(false)
 		return
 	}
 	defer resp.Body.Close()
 	var h shardHealth
 	if resp.StatusCode != http.StatusOK || json.NewDecoder(resp.Body).Decode(&h) != nil || h.Status != "ok" {
-		s.markFailure(p.cfg.FailThreshold)
+		s.br.RecordProbe(false)
 		return
 	}
 	s.setLabel(h.ShardID)
-	s.markSuccess()
+	s.br.RecordProbe(true)
 }
 
 // writeJSON / writeError mirror internal/serve's uniform response shape so

@@ -16,6 +16,7 @@ type ShardMetrics struct {
 	ShardID        string               `json:"shard_id"`
 	Addr           string               `json:"addr"`
 	Alive          bool                 `json:"alive"`
+	Breaker        BreakerSnapshot      `json:"breaker"`
 	ForwardedTotal uint64               `json:"forwarded_total"`
 	ShedTotal      uint64               `json:"shed_total"`
 	ErrorsTotal    uint64               `json:"errors_total"`
@@ -41,6 +42,14 @@ type FleetReport struct {
 	ProxyReceivedTotal  uint64 `json:"proxy_received_total"`
 	ProxyNoShardTotal   uint64 `json:"proxy_no_shard_total"`
 	ProxyFailoversTotal uint64 `json:"proxy_failovers_total"`
+
+	// ProxyDeadlineExceededTotal counts 504s issued by the proxy itself
+	// (deadline expired before or during a forward);
+	// ProxyRetryExhaustedTotal its 503s for an empty retry budget; and
+	// ProxyRetryBudgetTokens the budget's current balance (a gauge).
+	ProxyDeadlineExceededTotal uint64  `json:"proxy_deadline_exceeded_total"`
+	ProxyRetryExhaustedTotal   uint64  `json:"proxy_retry_exhausted_total"`
+	ProxyRetryBudgetTokens     float64 `json:"proxy_retry_budget_tokens"`
 }
 
 // FleetReport scrapes every live shard's /metrics concurrently and returns
@@ -49,11 +58,14 @@ type FleetReport struct {
 // streak like any other missed interaction).
 func (p *Proxy) FleetReport() FleetReport {
 	rep := FleetReport{
-		Shards:              make(map[string]ShardMetrics, len(p.shards)),
-		TotalShards:         len(p.shards),
-		ProxyReceivedTotal:  p.received.Load(),
-		ProxyNoShardTotal:   p.noShard.Load(),
-		ProxyFailoversTotal: p.failovers.Load(),
+		Shards:                     make(map[string]ShardMetrics, len(p.shards)),
+		TotalShards:                len(p.shards),
+		ProxyReceivedTotal:         p.received.Load(),
+		ProxyNoShardTotal:          p.noShard.Load(),
+		ProxyFailoversTotal:        p.failovers.Load(),
+		ProxyDeadlineExceededTotal: p.deadlineExceeded.Load(),
+		ProxyRetryExhaustedTotal:   p.retryExhausted.Load(),
+		ProxyRetryBudgetTokens:     p.retry.Tokens(),
 	}
 	var mu sync.Mutex
 	var wg sync.WaitGroup
@@ -62,10 +74,12 @@ func (p *Proxy) FleetReport() FleetReport {
 		wg.Add(1)
 		go func(addr string, s *shardState) {
 			defer wg.Done()
+			br := s.br.snapshot()
 			sm := ShardMetrics{
 				ShardID:        s.label(),
 				Addr:           addr,
-				Alive:          s.alive.Load(),
+				Alive:          br.State == "closed",
+				Breaker:        br,
 				ForwardedTotal: s.forwarded.Load(),
 				ShedTotal:      s.shed.Load(),
 				ErrorsTotal:    s.errors.Load(),
@@ -97,7 +111,7 @@ func (p *Proxy) scrape(s *shardState) *serve.MetricsReport {
 	client := &http.Client{Transport: p.client.Transport, Timeout: 2 * time.Second}
 	resp, err := client.Get("http://" + s.addr + "/metrics")
 	if err != nil {
-		s.markFailure(p.cfg.FailThreshold)
+		s.br.RecordData(false)
 		return nil
 	}
 	defer resp.Body.Close()
@@ -142,6 +156,8 @@ func rollup(parts []serve.Stats) serve.Stats {
 		out.Failed += s.Failed
 		out.CancelledTotal += s.CancelledTotal
 		out.RetriesExhaustedTotal += s.RetriesExhaustedTotal
+		out.DeadlineExceededTotal += s.DeadlineExceededTotal
+		out.DegradedTotal += s.DegradedTotal
 		out.BorrowedWorkers += s.BorrowedWorkers
 		out.BorrowsTotal += s.BorrowsTotal
 		out.QueueDepth += s.QueueDepth

@@ -2,13 +2,19 @@ package cluster
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/faults"
+	"repro/internal/serve"
 )
 
 // maxForwardBytes bounds a forwarded request body, mirroring the shard's
@@ -29,9 +35,36 @@ type ProxyConfig struct {
 	MaxInflight int
 	// HealthInterval is the active /healthz probe period (default 500ms).
 	HealthInterval time.Duration
-	// FailThreshold is the consecutive-failure count that ejects a shard
-	// (default 3). One successful probe re-admits it.
+	// FailThreshold is the consecutive probe-failure streak that opens a
+	// shard's circuit breaker (default 3). The half-open probe after
+	// BreakerCooldown is the only re-admission path.
 	FailThreshold int
+	// BreakerWindow is the per-shard ring of data-plane forward outcomes
+	// the breaker's error rate is computed over (default 20).
+	BreakerWindow int
+	// BreakerMinSamples is the minimum number of windowed outcomes before
+	// the error rate can open the breaker (default 5) — one early hiccup
+	// must not eject a shard.
+	BreakerMinSamples int
+	// BreakerErrorRate is the windowed data error rate at or above which
+	// the breaker opens (default 0.5).
+	BreakerErrorRate float64
+	// BreakerCooldown is how long an open breaker suppresses probes before
+	// the half-open recovery trial (default 2×HealthInterval — 1s at the
+	// default probe cadence). Scaling the default with the probe period
+	// keeps a fast-probing fleet's recovery fast: a shard ejected by a
+	// transient stall is re-trialed within two probe ticks, not parked for
+	// a fixed wall-clock second.
+	BreakerCooldown time.Duration
+	// RetryBudget caps the proxy's failover retries: each failover past a
+	// request's first attempt draws one token from a shared bucket of this
+	// size (default 10). An empty bucket turns further failovers into 503s
+	// with Retry-After — the anti-retry-storm valve.
+	RetryBudget float64
+	// RetryRefill is the fraction of a token returned to the bucket per
+	// successfully relayed response (default 0.1: one free retry per ten
+	// successes).
+	RetryRefill float64
 	// Client overrides the forwarding/probing HTTP client (tests). The
 	// default keeps connections alive with per-shard idle pools sized to
 	// MaxInflight.
@@ -48,6 +81,34 @@ func (c *ProxyConfig) withDefaults() {
 	if c.FailThreshold < 1 {
 		c.FailThreshold = 3
 	}
+	if c.BreakerWindow < 1 {
+		c.BreakerWindow = 20
+	}
+	if c.BreakerMinSamples < 1 {
+		c.BreakerMinSamples = 5
+	}
+	if c.BreakerErrorRate <= 0 || c.BreakerErrorRate > 1 {
+		c.BreakerErrorRate = 0.5
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = 2 * c.HealthInterval
+	}
+	if c.RetryBudget <= 0 {
+		c.RetryBudget = 10
+	}
+	if c.RetryRefill < 0 {
+		c.RetryRefill = 0.1
+	}
+}
+
+func (c *ProxyConfig) breakerConfig() breakerConfig {
+	return breakerConfig{
+		window:        c.BreakerWindow,
+		minSamples:    c.BreakerMinSamples,
+		errorRate:     c.BreakerErrorRate,
+		cooldown:      c.BreakerCooldown,
+		failThreshold: c.FailThreshold,
+	}
 }
 
 // Proxy fronts a fleet of dronet-serve shards behind the single-process
@@ -61,11 +122,14 @@ type Proxy struct {
 	client *http.Client
 	mux    *http.ServeMux
 
-	rr atomic.Uint64 // round-robin cursor for keyless requests
+	rr    atomic.Uint64 // round-robin cursor for keyless requests
+	retry *serve.RetryBudget
 
-	received  atomic.Uint64 // data-plane requests seen
-	noShard   atomic.Uint64 // 503s: no live shard to try
-	failovers atomic.Uint64 // forwards retried on another shard after a transport error
+	received         atomic.Uint64 // data-plane requests seen
+	noShard          atomic.Uint64 // 503s: no live shard to try
+	failovers        atomic.Uint64 // forwards retried on another shard after a transport error
+	deadlineExceeded atomic.Uint64 // 504s: request deadline expired at or in the proxy
+	retryExhausted   atomic.Uint64 // 503s: failover wanted but the retry budget was empty
 
 	stop chan struct{}
 	wg   sync.WaitGroup
@@ -82,6 +146,7 @@ func NewProxy(cfg ProxyConfig) (*Proxy, error) {
 		ring:   NewRing(cfg.VNodes),
 		shards: make(map[string]*shardState, len(cfg.Shards)),
 		client: cfg.Client,
+		retry:  serve.NewRetryBudget(cfg.RetryBudget, cfg.RetryRefill),
 		stop:   make(chan struct{}),
 	}
 	if p.client == nil {
@@ -98,7 +163,7 @@ func NewProxy(cfg ProxyConfig) (*Proxy, error) {
 		if _, dup := p.shards[addr]; dup {
 			return nil, fmt.Errorf("cluster: duplicate shard address %q", addr)
 		}
-		p.shards[addr] = newShardState(addr, cfg.MaxInflight)
+		p.shards[addr] = newShardState(addr, cfg.MaxInflight, cfg.breakerConfig())
 		p.ring.Add(addr)
 	}
 	p.mux = http.NewServeMux()
@@ -140,7 +205,7 @@ func cameraKey(r *http.Request) string {
 func (p *Proxy) pick(key string, tried map[string]bool) *shardState {
 	usable := func(addr string) bool {
 		s := p.shards[addr]
-		return s != nil && s.alive.Load() && !tried[addr]
+		return s != nil && s.br.Allow() && !tried[addr]
 	}
 	if key != "" {
 		if addr, ok := p.ring.OwnerLive(key, usable); ok {
@@ -161,20 +226,60 @@ func (p *Proxy) pick(key string, tried map[string]bool) *shardState {
 	return nil
 }
 
+// AttemptsHeader reports, on every proxy data-plane response, how many
+// forward attempts the request consumed — 1 for the common case, more when
+// failover retried it, 0 when it never reached a shard.
+const AttemptsHeader = "X-Dronet-Attempts"
+
+// retryAfterBackpressure is the Retry-After hint stamped on proxy-side
+// 429/503 responses.
+const retryAfterBackpressure = "1"
+
+// Proxy-side failover backoff window: full jitter over [0, 2ms<<n] capped
+// at 50ms. Shard failover is intra-datacenter, so the base is small; the
+// cap keeps a deep walk of a mostly-dead ring under the typical client
+// deadline.
+const (
+	failoverBackoffBase = 2 * time.Millisecond
+	failoverBackoffMax  = 50 * time.Millisecond
+)
+
 // handleForward proxies one /detect or /detect/raw request to its owning
 // shard. The body is buffered once so a transport failure can fail over to
-// the next live shard on the ring with the identical payload; HTTP-level
-// responses (200s, the shard's own 429/404/4xx) are passed through
-// verbatim with an X-Dronet-Shard header naming the serving process. A
-// shard whose in-flight pipe is full sheds here with a 429 — for a keyed
-// request that is the answer (its owner is overloaded; rerouting would
-// break camera affinity), for a keyless one the balancer already picked
-// among live shards.
+// the next breaker-closed shard on the ring with the identical payload;
+// HTTP-level responses (200s, the shard's own 429/404/4xx) are passed
+// through verbatim with an X-Dronet-Shard header naming the serving
+// process. A shard whose in-flight pipe is full sheds here with a 429 —
+// for a keyed request that is the answer (its owner is overloaded;
+// rerouting would break camera affinity), for a keyless one the balancer
+// already picked among live shards.
+//
+// Resilience controls, in the order a request meets them: a malformed
+// X-Dronet-Deadline/?deadline_ms is a 400; an expired deadline is a 504
+// before (or between) forwards, and a forward cut short by the deadline
+// firing mid-flight is a 504 that does NOT penalize the shard's breaker —
+// the client ran out of time, the shard did nothing wrong. Every failover
+// past the first attempt draws a token from the shared retry budget; an
+// empty bucket short-circuits to 503 + Retry-After, and each retry waits a
+// full-jitter backoff first. Every response carries X-Dronet-Attempts.
 func (p *Proxy) handleForward(w http.ResponseWriter, r *http.Request) {
 	p.received.Add(1)
 	if r.Method != http.MethodPost {
 		writeError(w, http.StatusMethodNotAllowed, "POST required")
 		return
+	}
+	budget, err := serve.ParseDeadline(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	var deadline time.Time
+	ctx := r.Context()
+	if budget > 0 {
+		deadline = time.Now().Add(budget)
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithDeadline(ctx, deadline)
+		defer cancel()
 	}
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxForwardBytes))
 	if err != nil {
@@ -183,49 +288,92 @@ func (p *Proxy) handleForward(w http.ResponseWriter, r *http.Request) {
 	}
 	key := cameraKey(r)
 	tried := make(map[string]bool, 2)
-	for attempt := 0; attempt < len(p.shards); attempt++ {
+	attempts := 0
+	stamp := func() { w.Header().Set(AttemptsHeader, strconv.Itoa(attempts)) }
+	for len(tried) < len(p.shards) {
+		if !deadline.IsZero() && !time.Now().Before(deadline) {
+			p.deadlineExceeded.Add(1)
+			stamp()
+			writeError(w, http.StatusGatewayTimeout, "deadline exceeded at proxy after %d attempts", attempts)
+			return
+		}
 		s := p.pick(key, tried)
 		if s == nil {
 			break
 		}
+		if attempts > 0 {
+			// Failover: budgeted and backed off. The first attempt is
+			// always free — the budget governs retry amplification, not
+			// admission.
+			if !p.retry.Take() {
+				p.retryExhausted.Add(1)
+				stamp()
+				w.Header().Set("Retry-After", retryAfterBackpressure)
+				writeError(w, http.StatusServiceUnavailable, "retry budget exhausted after %d attempts", attempts)
+				return
+			}
+			time.Sleep(serve.Backoff(attempts-1, failoverBackoffBase, failoverBackoffMax))
+		}
 		tried[s.addr] = true
+		attempts++
 		if !s.acquire() {
-			w.Header().Set("Retry-After", "1")
+			stamp()
+			w.Header().Set("Retry-After", retryAfterBackpressure)
 			w.Header().Set("X-Dronet-Shard", s.label())
 			writeError(w, http.StatusTooManyRequests, "shard %s at forwarding capacity", s.label())
 			return
 		}
-		resp, err := p.forward(r, s, body)
+		resp, err := p.forward(ctx, r, s, body, deadline)
 		s.release()
 		if err != nil {
+			if errors.Is(err, context.DeadlineExceeded) {
+				// The request's own deadline fired mid-forward. The shard
+				// is not at fault: no breaker penalty, no failover (there
+				// is no time left to spend on one).
+				p.deadlineExceeded.Add(1)
+				stamp()
+				writeError(w, http.StatusGatewayTimeout, "deadline exceeded forwarding to %s after %d attempts", s.label(), attempts)
+				return
+			}
 			// Transport-level failure: the shard never produced an HTTP
-			// response. Eject-on-threshold and fail over with the buffered
+			// response. Feed the breaker and fail over with the buffered
 			// body; the request's camera stays keyed so the ring walk picks
-			// the next live owner deterministically.
+			// the next breaker-closed owner deterministically.
 			s.errors.Add(1)
-			s.markFailure(p.cfg.FailThreshold)
+			s.br.RecordData(false)
 			p.failovers.Add(1)
 			continue
 		}
 		s.forwarded.Add(1)
+		s.br.RecordData(true)
+		p.retry.Success()
+		stamp()
 		relay(w, resp, s.label())
 		return
 	}
 	p.noShard.Add(1)
-	w.Header().Set("Retry-After", "1")
+	stamp()
+	w.Header().Set("Retry-After", retryAfterBackpressure)
 	writeError(w, http.StatusServiceUnavailable, "no live shard (fleet %d, live %d)", len(p.shards), p.liveCount())
 }
 
 // forward sends the buffered request to one shard, preserving the path,
 // query string (?model=, ?altitude=, ?camera=) and headers (X-Model,
 // X-Camera-ID, Content-Type) — the shard sees exactly what the client
-// sent.
-func (p *Proxy) forward(r *http.Request, s *shardState, body []byte) (*http.Response, error) {
+// sent, except X-Dronet-Deadline, which is restamped with the budget
+// REMAINING at forward time so the shard's admission and batcher reason
+// about the true end-to-end deadline, not the client's original estimate.
+// The cluster.forward#<addr> fault site injects transport-level failures
+// before any bytes leave the proxy.
+func (p *Proxy) forward(ctx context.Context, r *http.Request, s *shardState, body []byte, deadline time.Time) (*http.Response, error) {
+	if err := faults.Fire("cluster.forward", s.addr); err != nil {
+		return nil, err
+	}
 	url := "http://" + s.addr + r.URL.Path
 	if r.URL.RawQuery != "" {
 		url += "?" + r.URL.RawQuery
 	}
-	req, err := http.NewRequestWithContext(r.Context(), http.MethodPost, url, bytes.NewReader(body))
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
 	if err != nil {
 		return nil, err
 	}
@@ -233,6 +381,13 @@ func (p *Proxy) forward(r *http.Request, s *shardState, body []byte) (*http.Resp
 		for _, v := range vs {
 			req.Header.Add(k, v)
 		}
+	}
+	if !deadline.IsZero() {
+		ms := time.Until(deadline).Milliseconds()
+		if ms < 1 {
+			ms = 1 // expired-in-transit: let the shard classify it as a 504
+		}
+		req.Header.Set(serve.DeadlineHeader, strconv.FormatInt(ms, 10))
 	}
 	return p.client.Do(req)
 }
@@ -250,10 +405,12 @@ func relay(w http.ResponseWriter, resp *http.Response, shardLabel string) {
 	_, _ = io.Copy(w, resp.Body)
 }
 
+// liveCount is the number of shards whose breaker is closed — the shards
+// the data plane will route to right now.
 func (p *Proxy) liveCount() int {
 	n := 0
 	for _, s := range p.shards {
-		if s.alive.Load() {
+		if s.br.Allow() {
 			n++
 		}
 	}
@@ -261,9 +418,10 @@ func (p *Proxy) liveCount() int {
 }
 
 // handleHealthz reports the proxy's own view of the fleet: ring membership
-// and per-shard status. "ok" means every shard is live, "degraded" that at
-// least one is ejected but traffic still flows, and the proxy answers 503
-// only when NO shard is live (the fleet cannot serve at all).
+// and per-shard breaker status. "ok" means every shard's breaker is
+// closed, "degraded" that at least one is open or half-open but traffic
+// still flows, and the proxy answers 503 only when NO breaker is closed
+// (the fleet cannot serve at all).
 func (p *Proxy) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	live := p.liveCount()
 	status := "ok"
@@ -277,26 +435,32 @@ func (p *Proxy) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	}
 	shards := make(map[string]any, len(p.shards))
 	for addr, s := range p.shards {
+		br := s.br.snapshot()
 		shards[addr] = map[string]any{
-			"shard_id":          s.label(),
-			"addr":              addr,
-			"alive":             s.alive.Load(),
-			"consecutive_fails": s.fails.Load(),
-			"inflight":          len(s.inflight),
-			"max_inflight":      cap(s.inflight),
-			"forwarded_total":   s.forwarded.Load(),
-			"shed_total":        s.shed.Load(),
-			"errors_total":      s.errors.Load(),
+			"shard_id":                s.label(),
+			"addr":                    addr,
+			"alive":                   br.State == "closed",
+			"breaker_state":           br.State,
+			"breaker_opened_total":    br.OpenedTotal,
+			"breaker_half_open_total": br.HalfOpenTotal,
+			"breaker_reclosed_total":  br.ReclosedTotal,
+			"consecutive_fails":       br.ProbeFails,
+			"inflight":                len(s.inflight),
+			"max_inflight":            cap(s.inflight),
+			"forwarded_total":         s.forwarded.Load(),
+			"shed_total":              s.shed.Load(),
+			"errors_total":            s.errors.Load(),
 		}
 	}
 	writeJSON(w, code, map[string]any{
-		"status":       status,
-		"role":         "proxy",
-		"ring_members": p.ring.Members(),
-		"vnodes":       p.ring.vnodes,
-		"live_shards":  live,
-		"total_shards": len(p.shards),
-		"shards":       shards,
+		"status":              status,
+		"role":                "proxy",
+		"ring_members":        p.ring.Members(),
+		"vnodes":              p.ring.vnodes,
+		"live_shards":         live,
+		"total_shards":        len(p.shards),
+		"retry_budget_tokens": p.retry.Tokens(),
+		"shards":              shards,
 	})
 }
 

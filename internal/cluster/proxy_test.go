@@ -201,9 +201,10 @@ func (e *echoShard) handler() http.Handler {
 			return
 		}
 		w.Header().Set("Content-Type", "application/json")
-		fmt.Fprintf(w, `{"shard":%q,"path":%q,"model_q":%q,"model_h":%q,"camera_q":%q,"altitude_q":%q}`,
+		fmt.Fprintf(w, `{"shard":%q,"path":%q,"model_q":%q,"model_h":%q,"camera_q":%q,"altitude_q":%q,"deadline_h":%q}`,
 			e.id, r.URL.Path, r.URL.Query().Get("model"), r.Header.Get("X-Model"),
-			r.URL.Query().Get("camera"), r.URL.Query().Get("altitude"))
+			r.URL.Query().Get("camera"), r.URL.Query().Get("altitude"),
+			r.Header.Get(serve.DeadlineHeader))
 	})
 	return mux
 }

@@ -4,10 +4,11 @@ import (
 	"sync/atomic"
 )
 
-// shardState is the proxy's per-shard bookkeeping: liveness, the bounded
-// in-flight pipe, and forwarding counters. The ring addresses shards by
-// their immutable addr; the shard_id label is learned from the shard's own
-// /healthz (the process knows who it is) and is display-only.
+// shardState is the proxy's per-shard bookkeeping: the circuit breaker
+// gating routing, the bounded in-flight pipe, and forwarding counters. The
+// ring addresses shards by their immutable addr; the shard_id label is
+// learned from the shard's own /healthz (the process knows who it is) and
+// is display-only.
 type shardState struct {
 	addr string
 
@@ -15,13 +16,12 @@ type shardState struct {
 	// first successful health probe reports one).
 	id atomic.Value
 
-	// alive gates routing. Shards start alive (fail-open: an unprobed
-	// shard is assumed serving until evidence says otherwise) and are
-	// ejected after FailThreshold consecutive failures — active probe
-	// misses and passive forward errors both count. One successful probe
-	// re-admits.
-	alive atomic.Bool
-	fails atomic.Int32
+	// br gates routing. Shards start with a closed breaker (fail-open: an
+	// unprobed shard is assumed serving until evidence says otherwise);
+	// data-plane transport errors and probe misses open it, and a
+	// successful health probe — the half-open trial — re-closes it. See
+	// the breaker type for the full state machine.
+	br *breaker
 
 	// inflight bounds concurrently-forwarded requests to this shard; a
 	// full pipe sheds at the proxy (429) before the shard sees the bytes.
@@ -32,10 +32,13 @@ type shardState struct {
 	errors    atomic.Uint64 // transport failures talking to this shard
 }
 
-func newShardState(addr string, maxInflight int) *shardState {
-	s := &shardState{addr: addr, inflight: make(chan struct{}, maxInflight)}
+func newShardState(addr string, maxInflight int, bcfg breakerConfig) *shardState {
+	s := &shardState{
+		addr:     addr,
+		br:       newBreaker(bcfg),
+		inflight: make(chan struct{}, maxInflight),
+	}
 	s.id.Store(addr)
-	s.alive.Store(true)
 	return s
 }
 
@@ -61,18 +64,3 @@ func (s *shardState) acquire() bool {
 }
 
 func (s *shardState) release() { <-s.inflight }
-
-// markFailure records one failed interaction (probe miss or forward
-// error) and ejects the shard once the consecutive-failure threshold is
-// reached.
-func (s *shardState) markFailure(threshold int) {
-	if int(s.fails.Add(1)) >= threshold {
-		s.alive.Store(false)
-	}
-}
-
-// markSuccess re-admits the shard and clears the failure streak.
-func (s *shardState) markSuccess() {
-	s.fails.Store(0)
-	s.alive.Store(true)
-}

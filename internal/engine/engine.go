@@ -23,11 +23,13 @@ package engine
 import (
 	"context"
 	"fmt"
+	"sort"
 	"strings"
 	"sync"
 	"time"
 
 	"repro/internal/detect"
+	"repro/internal/faults"
 	"repro/internal/imgproc"
 	"repro/internal/layers"
 	"repro/internal/network"
@@ -110,7 +112,20 @@ type Engine struct {
 	runners   []*pipeline.Runner // pooled worker replicas, grown lazily
 	batchers  []*pipeline.BatchRunner
 	workerCap int // ExecuteBatch id bound when > Workers (idle-worker lending)
+
+	// Service-time estimate: a ring of recent ExecuteBatch wall durations
+	// feeding ServiceP50 — the "can this request still make its deadline"
+	// input the serving batcher consults before spending a kernel on it.
+	svcMu    sync.Mutex
+	svcDur   [svcWindow]time.Duration
+	svcNext  int
+	svcCount int
 }
+
+// svcWindow is how many recent batch executions the service-time estimate
+// remembers: enough to smooth batch-size jitter, small enough to track a
+// load shift within tens of batches.
+const svcWindow = 64
 
 // New creates an engine around a base model — a float32 *network.Network or
 // any other network.Model implementation such as the INT8 *quant.QNet. The
@@ -339,7 +354,45 @@ func (e *Engine) ExecuteBatch(id int, imgs []*imgproc.Image, altitudes []float64
 	if cap := e.WorkerCap(); id < 0 || id >= cap {
 		return nil, fmt.Errorf("engine: worker id %d outside pool cap of %d", id, cap)
 	}
-	return e.batcher(id).Detect(imgs, altitudes)
+	start := time.Now()
+	// The injection site sits inside the timed span on purpose: a chaos test
+	// arming engine.execute=slow:<d> inflates the observed service time the
+	// same way a genuinely slow kernel would, so the deadline-drop logic the
+	// estimate feeds is exercised against the estimate it will see in life.
+	if err := faults.Fire("engine.execute", ""); err != nil {
+		return nil, err
+	}
+	per, err := e.batcher(id).Detect(imgs, altitudes)
+	e.recordService(time.Since(start))
+	return per, err
+}
+
+// recordService appends one batch-execution duration to the estimate ring.
+func (e *Engine) recordService(d time.Duration) {
+	e.svcMu.Lock()
+	e.svcDur[e.svcNext] = d
+	e.svcNext = (e.svcNext + 1) % svcWindow
+	if e.svcCount < svcWindow {
+		e.svcCount++
+	}
+	e.svcMu.Unlock()
+}
+
+// ServiceP50 returns the median wall duration of recent ExecuteBatch calls
+// (0 before any batch has executed). The serving batcher compares a
+// request's remaining deadline budget against it: a request that cannot
+// cover even the typical batch service time is dropped before it reaches a
+// kernel instead of burning GEMM time on an answer that will arrive dead.
+func (e *Engine) ServiceP50() time.Duration {
+	e.svcMu.Lock()
+	defer e.svcMu.Unlock()
+	if e.svcCount == 0 {
+		return 0
+	}
+	window := make([]time.Duration, e.svcCount)
+	copy(window, e.svcDur[:e.svcCount])
+	sort.Slice(window, func(i, j int) bool { return window[i] < window[j] })
+	return window[e.svcCount/2]
 }
 
 // runStream processes one whole stream on the worker's runner, attaching a

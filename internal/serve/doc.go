@@ -65,6 +65,35 @@
 // and counted in cancelled_total — instead of wasting a batch slot on an
 // answer nobody reads.
 //
+// # Deadlines
+//
+// A request may carry an end-to-end budget — the X-Dronet-Deadline header
+// (milliseconds remaining) or ?deadline_ms= — and the server refuses to
+// spend compute on answers nobody can use. A budget already expired at
+// admission is a 504 before the request touches a queue; a budget smaller
+// than the pool's observed p50 service time is dropped by the batcher at
+// assembly, again 504, BEFORE the batch reaches a kernel. Both paths
+// count deadline_exceeded_total, and the accounting identity
+// sum(batch_size*count) == completed+failed over the batch histogram
+// proves dropped-expired work never executed.
+//
+// # Brownout degradation and budgeted retries
+//
+// A model entry may declare a cheaper sibling (ModelEntry.Degrade, the
+// degrade= field of the -models grammar). When the primary's queue is deep
+// (Config.BrownoutEnter fraction of capacity) or its p99 breaches the
+// brownout trigger, implicitly-routed requests shed to the sibling until
+// depth falls below Config.BrownoutExit — enter/exit hysteresis, so the
+// router doesn't flap. Degraded responses carry "degraded":true plus the
+// serving model's name, and count degraded_total on the model that shed.
+// Explicit ?model=/X-Model selections are never degraded — the caller
+// asked for that model by name.
+//
+// Transient execution failures retry against a token bucket (refilled by
+// successes) with exponential backoff and full jitter; when the bucket is
+// dry the request fails fast with 503 + Retry-After instead of feeding a
+// retry storm, and retry_budget_tokens is exported in /metrics.
+//
 // # Idle-worker lending
 //
 // Strict per-model pools waste capacity when load is uneven, so pools

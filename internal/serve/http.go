@@ -13,6 +13,7 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/detect"
 	"repro/internal/imgproc"
@@ -73,6 +74,10 @@ type DetectResponse struct {
 	Generation uint64          `json:"generation,omitempty"`
 	BatchSize  int             `json:"batch_size"`
 	LatencyMs  float64         `json:"latency_ms"`
+	// Degraded marks a response served by the model's cheaper brownout
+	// sibling instead of the model routing selected: Model names the pool
+	// that actually computed it, Degraded says the downgrade happened.
+	Degraded bool `json:"degraded,omitempty"`
 }
 
 // errorJSON is the uniform error body.
@@ -110,6 +115,49 @@ func (s *Server) acquire(w http.ResponseWriter) bool {
 }
 
 func (s *Server) release() { s.inflight.Add(-1) }
+
+// DeadlineHeader carries a request's remaining end-to-end budget in whole
+// milliseconds. Clients set it (or ?deadline_ms=) on the first hop; the
+// proxy re-stamps it decremented on every forward, so each tier sees the
+// budget that is genuinely left, not what the client started with.
+const DeadlineHeader = "X-Dronet-Deadline"
+
+// ParseDeadline extracts a request's deadline budget: the X-Dronet-Deadline
+// header first (the proxy-decremented value wins over the original query
+// the proxy also forwards), then ?deadline_ms=. Returns 0 with no error
+// when the request carries no deadline; the budget must be a positive
+// integer millisecond count.
+func ParseDeadline(r *http.Request) (time.Duration, error) {
+	raw := r.Header.Get(DeadlineHeader)
+	src := DeadlineHeader + " header"
+	if raw == "" {
+		raw = r.URL.Query().Get("deadline_ms")
+		src = "deadline_ms"
+	}
+	if raw == "" {
+		return 0, nil
+	}
+	ms, err := strconv.ParseInt(raw, 10, 64)
+	if err != nil || ms <= 0 {
+		return 0, fmt.Errorf("bad %s %q: want a positive integer millisecond budget", src, raw)
+	}
+	return time.Duration(ms) * time.Millisecond, nil
+}
+
+// deadlineOf stamps the absolute deadline at request receipt (zero time
+// when the request carries none), answering 400 itself on a malformed
+// value.
+func (s *Server) deadlineOf(w http.ResponseWriter, r *http.Request) (time.Time, bool) {
+	budget, err := ParseDeadline(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return time.Time{}, false
+	}
+	if budget == 0 {
+		return time.Time{}, true
+	}
+	return time.Now().Add(budget), true
+}
 
 // routeSel is a request's routing inputs, kept so the dispatch loop can
 // RE-resolve against a fresh table when a submit races a swap/remove:
@@ -178,6 +226,10 @@ func (s *Server) handleDetectJSON(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	deadline, ok := s.deadlineOf(w, r)
+	if !ok {
+		return
+	}
 	if !s.acquire(w) {
 		return
 	}
@@ -200,7 +252,7 @@ func (s *Server) handleDetectJSON(w http.ResponseWriter, r *http.Request) {
 	// the Image's own planar layout — adopt it rather than copying ~50MB at
 	// max dimensions on the hot path.
 	img := &imgproc.Image{W: req.Width, H: req.Height, Pix: req.Pixels}
-	s.respond(w, r.Context(), routeSel{explicit: name, altitude: req.Altitude}, img, req.Altitude)
+	s.respond(w, r.Context(), routeSel{explicit: name, altitude: req.Altitude}, img, req.Altitude, deadline)
 }
 
 // handleDetectRaw serves POST /detect/raw: the body is a PNG or JPEG image,
@@ -227,6 +279,10 @@ func (s *Server) handleDetectRaw(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	deadline, ok := s.deadlineOf(w, r)
+	if !ok {
+		return
+	}
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "read body: %v", err)
@@ -248,7 +304,7 @@ func (s *Server) handleDetectRaw(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "decode image: %v", err)
 		return
 	}
-	s.respond(w, r.Context(), routeSel{explicit: name, altitude: altitude}, imgproc.FromGoImage(src), altitude)
+	s.respond(w, r.Context(), routeSel{explicit: name, altitude: altitude}, imgproc.FromGoImage(src), altitude, deadline)
 }
 
 // maxRouteRetries bounds the re-resolve loop in respond: each retry
@@ -258,36 +314,55 @@ func (s *Server) handleDetectRaw(w http.ResponseWriter, r *http.Request) {
 // handler goroutine indefinitely.
 const maxRouteRetries = 8
 
+// retryBackoffBase / retryBackoffMax bound the jittered pause between
+// re-resolve attempts (see Backoff): long enough to let the racing
+// registry mutation publish its table, short enough to be invisible next
+// to inference time.
+const (
+	retryBackoffBase = time.Millisecond
+	retryBackoffMax  = 50 * time.Millisecond
+)
+
 // respond resolves the route, pushes the image through the routed model's
 // micro-batcher and writes the result. The loop re-resolves and retries
 // when the resolved pool retired between resolution and submit (a
 // swap/remove raced this request) — each retry reads the freshly-published
 // table, so under sane lifecycle churn it terminates in one or two passes;
 // the retry is what turns a lifecycle race into "served by the new
-// generation" instead of an error. The loop is BOUNDED at maxRouteRetries
-// attempts: a request that loses the race that many times in a row is
-// answered 503 and counted in retries_exhausted_total rather than held
-// hostage to pathological registry mutation rates.
-func (s *Server) respond(w http.ResponseWriter, ctx context.Context, sel routeSel, img *imgproc.Image, altitude float64) {
+// generation" instead of an error. Retries are doubly bounded: a hard cap
+// of maxRouteRetries attempts per request, and the server-wide RetryBudget
+// drawn one token per retry (refilled by successes) — either bound
+// exhausted means 503 + Retry-After + retries_exhausted_total rather than
+// goroutines spinning against pathological registry churn. Before the
+// submit, brownout degradation may swap an implicitly-routed request onto
+// the resolved model's cheaper sibling (response tagged "degraded":true).
+func (s *Server) respond(w http.ResponseWriter, ctx context.Context, sel routeSel, img *imgproc.Image, altitude float64, deadline time.Time) {
 	for attempt := 0; ; attempt++ {
-		if attempt >= maxRouteRetries {
-			s.fleet.retryExhausted()
-			w.Header().Set("Retry-After", "1")
-			writeError(w, http.StatusServiceUnavailable,
-				"route retries exhausted: registry mutated %d times during this request", attempt)
-			return
+		if attempt > 0 {
+			if attempt >= maxRouteRetries || !s.retry.Take() {
+				s.fleet.retryExhausted()
+				w.Header().Set("Retry-After", "1")
+				writeError(w, http.StatusServiceUnavailable,
+					"route retries exhausted after %d attempts (registry churn or retry budget drained)", attempt)
+				return
+			}
+			time.Sleep(Backoff(attempt-1, retryBackoffBase, retryBackoffMax))
 		}
 		h, code, err := s.resolve(sel)
 		if err != nil {
 			writeError(w, code, "%v", err)
 			return
 		}
-		resp, lat, err := s.detect(ctx, h, img, altitude)
+		h, degradedFrom := s.maybeDegrade(h, sel)
+		resp, lat, err := s.detect(ctx, h, img, altitude, deadline)
 		switch {
 		case errors.Is(err, errRetired):
 			continue
 		case errors.Is(err, errCancelled):
 			writeError(w, statusClientClosedRequest, "client closed request before batch assembly")
+			return
+		case errors.Is(err, errDeadline):
+			writeError(w, http.StatusGatewayTimeout, "deadline exceeded before the result could be served")
 			return
 		case errors.Is(err, ErrOverloaded):
 			w.Header().Set("Retry-After", "1")
@@ -303,12 +378,21 @@ func (s *Server) respond(w http.ResponseWriter, ctx context.Context, sel routeSe
 			writeError(w, http.StatusInternalServerError, "inference: %v", resp.err)
 			return
 		}
+		s.retry.Success()
+		if degradedFrom != nil {
+			// Counted at completion, on the model that shed the work — a
+			// degraded request that ends up 429'd by the sibling is that
+			// sibling's rejection, not a successful degradation.
+			degradedFrom.met.degrade()
+			s.fleet.degrade()
+		}
 		writeJSON(w, http.StatusOK, DetectResponse{
 			Detections: toJSON(resp.dets),
 			Model:      h.name,
 			Generation: h.gen,
 			BatchSize:  resp.batch,
 			LatencyMs:  lat.Seconds() * 1e3,
+			Degraded:   degradedFrom != nil,
 		})
 		return
 	}

@@ -64,7 +64,7 @@ func TestServedFrameNotRetained(t *testing.T) {
 	img := testImage()
 	collected := make(chan struct{})
 	runtime.SetFinalizer(img, func(*imgproc.Image) { close(collected) })
-	resp, _, err := srv.detect(context.Background(), h, img, 0)
+	resp, _, err := srv.detect(context.Background(), h, img, 0, time.Time{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -86,7 +86,7 @@ func TestRejectedFrameNotRetained(t *testing.T) {
 	img := testImage()
 	collected := make(chan struct{})
 	runtime.SetFinalizer(img, func(*imgproc.Image) { close(collected) })
-	if _, _, err := srv.detect(context.Background(), h, img, 0); err != ErrClosed {
+	if _, _, err := srv.detect(context.Background(), h, img, 0, time.Time{}); err != ErrClosed {
 		t.Fatalf("detect on closed server: err=%v, want ErrClosed", err)
 	}
 	img = nil

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"testing"
+	"time"
 
 	"repro/internal/engine"
 	"repro/internal/models"
@@ -23,11 +24,11 @@ func TestCancelledDroppedAtAssembly(t *testing.T) {
 	dead, cancel := context.WithCancel(context.Background())
 	cancel()
 	for i := 0; i < 3; i++ {
-		if _, _, err := srv.detect(dead, h, testImage(), 0); !errors.Is(err, errCancelled) {
+		if _, _, err := srv.detect(dead, h, testImage(), 0, time.Time{}); !errors.Is(err, errCancelled) {
 			t.Fatalf("pre-cancelled request %d: err=%v, want errCancelled", i, err)
 		}
 	}
-	resp, _, err := srv.detect(context.Background(), h, testImage(), 0)
+	resp, _, err := srv.detect(context.Background(), h, testImage(), 0, time.Time{})
 	if err != nil || resp.err != nil {
 		t.Fatalf("live request after cancelled ones: err=%v resp.err=%v", err, resp.err)
 	}

@@ -59,6 +59,26 @@ type Stats struct {
 	// declined to waste a batch slot on. Disjoint from Completed/Failed.
 	CancelledTotal uint64 `json:"cancelled_total"`
 
+	// DeadlineExceededTotal counts requests whose end-to-end deadline
+	// (X-Dronet-Deadline / ?deadline_ms=) expired in the server's hands:
+	// on arrival (rejected before the queue), at batch assembly (remaining
+	// budget below the pool's observed service time — dropped before any
+	// kernel ran), or after execution (answer computed but late). Only the
+	// last category also appears in Failed; the first two are disjoint
+	// from Completed/Failed, which is the accounting that proves expired
+	// work was dropped pre-kernel.
+	DeadlineExceededTotal uint64 `json:"deadline_exceeded_total"`
+
+	// DegradedTotal counts implicitly-routed requests this model handed to
+	// its cheaper degrade sibling under brownout (counted on the
+	// overloaded model, not the sibling that absorbed the work).
+	DegradedTotal uint64 `json:"degraded_total"`
+
+	// RetryBudgetTokens is the server's current retry-budget balance (the
+	// token bucket the route re-resolve loop draws from). Fleet-aggregate
+	// only; omitted on per-model snapshots.
+	RetryBudgetTokens float64 `json:"retry_budget_tokens,omitempty"`
+
 	// RetriesExhaustedTotal counts requests answered 503 because every
 	// pool they resolved to retired before their submit landed — possible
 	// only when registry mutations outpace the bounded re-resolve loop
@@ -127,7 +147,15 @@ type metrics struct {
 	completed uint64
 	failed    uint64
 	cancelled uint64
-	exhausted uint64 // bounded re-resolve loop gave up (503)
+	exhausted uint64 // re-resolve loop gave up: retry bound or budget (503)
+	deadline  uint64 // deadline breaches: on arrival, at assembly, or late
+	degraded  uint64 // requests downgraded to the brownout sibling
+
+	// p99Cache memoizes the window p99 for the brownout latency trigger,
+	// which is consulted on the request path — recomputing a sorted
+	// percentile over 4096 samples per request would be its own overload.
+	p99Cache float64
+	p99At    time.Time
 
 	borrowedNow  int    // borrowed batch executions in flight
 	borrowsTotal uint64 // granted borrows, all-time
@@ -171,11 +199,45 @@ func (m *metrics) cancel() {
 }
 
 // retryExhausted records one request 503'd because the bounded re-resolve
-// loop ran out of attempts during registry churn.
+// loop ran out of attempts (or retry-budget tokens) during registry churn.
 func (m *metrics) retryExhausted() {
 	m.mu.Lock()
 	m.exhausted++
 	m.mu.Unlock()
+}
+
+// deadlineExceeded records one end-to-end deadline breach (on arrival, at
+// batch assembly, or a late-completed execution).
+func (m *metrics) deadlineExceeded() {
+	m.mu.Lock()
+	m.deadline++
+	m.mu.Unlock()
+}
+
+// degrade records one request downgraded to the brownout sibling.
+func (m *metrics) degrade() {
+	m.mu.Lock()
+	m.degraded++
+	m.mu.Unlock()
+}
+
+// p99Quick returns the window p99 in milliseconds, recomputed at most every
+// 100ms (the brownout trigger's consult path).
+func (m *metrics) p99Quick() float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if !m.p99At.IsZero() && time.Since(m.p99At) < 100*time.Millisecond {
+		return m.p99Cache
+	}
+	m.p99At = time.Now()
+	m.p99Cache = 0
+	if m.latCount > 0 {
+		window := make([]float64, m.latCount)
+		copy(window, m.lat[:m.latCount])
+		sort.Float64s(window)
+		m.p99Cache = percentile(window, 0.99) * 1e3
+	}
+	return m.p99Cache
 }
 
 // borrowStart / borrowEnd bracket one borrowed batch execution, maintaining
@@ -252,6 +314,8 @@ func (m *metrics) snapshot(queueDepth, queueCap, workers, maxBatch int) Stats {
 		Completed:             m.completed,
 		Failed:                m.failed,
 		CancelledTotal:        m.cancelled,
+		DeadlineExceededTotal: m.deadline,
+		DegradedTotal:         m.degraded,
 		RetriesExhaustedTotal: m.exhausted,
 		BorrowedWorkers:       m.borrowedNow,
 		BorrowsTotal:          m.borrowsTotal,

@@ -51,6 +51,12 @@ func (r *request) Enqueued() time.Time { return r.enqueued }
 // at assembly regardless).
 func (r *request) Cancelled() bool { return r.cancelled() }
 
+// Deadline reports the request's absolute end-to-end deadline (zero when
+// the client sent none). A deadline-aware queue can shed doomed work
+// early or order by urgency; the batcher drops expired requests at
+// assembly regardless.
+func (r *request) Deadline() time.Time { return r.deadline }
+
 // chanQueue is the default admission queue: a bounded channel, exactly the
 // pre-interface behavior.
 type chanQueue struct {

@@ -38,11 +38,18 @@ type ModelEntry struct {
 	// stays proportional to its weight. Zero or negative normalizes to 1
 	// (equal shares).
 	Weight float64
+	// Degrade names the cheaper sibling model brownout degradation serves
+	// implicitly-routed requests from while this model's queue depth (or
+	// p99) is over its watermark (see Config.BrownoutEnter). Empty
+	// disables degradation for this model. The name is resolved against
+	// the live table per request, so a hot-removed sibling simply stops
+	// absorbing downgrades.
+	Degrade string
 }
 
 // ModelSpec is one parsed entry of a `-models` flag:
 //
-//	name=model:size:precision[:maxalt][:weight]
+//	name=model:size:precision[:maxalt][:weight][:degrade=sibling]
 //
 // e.g. "low=dronet:96:int8:150" — route name "low", DroNet architecture at
 // 96px input, INT8-quantized, serving the altitude band up to 150m — or
@@ -50,7 +57,11 @@ type ModelEntry struct {
 // share of borrowed workers. The maxalt field is optional; without it the
 // model is routed only explicitly, as the default (first spec), or as the
 // overflow above every bounded altitude band. A weight without an altitude
-// band leaves the fourth field empty: "big=dronet:608:fp32::2".
+// band leaves the fourth field empty: "big=dronet:608:fp32::2". The
+// degrade field, always last when present, names another spec in the same
+// flag as this model's brownout sibling:
+// "high=dronet:96:fp32:degrade=low" serves implicitly-routed requests from
+// "low" while "high" is over its brownout watermark.
 type ModelSpec struct {
 	Name        string
 	Model       string
@@ -61,6 +72,9 @@ type ModelSpec struct {
 	// an absent weight to 1, so a parsed spec always carries a positive
 	// finite value.
 	Weight float64
+	// Degrade is the brownout sibling's route name ("" = none); it must
+	// name another spec in the same -models value.
+	Degrade string
 }
 
 // String formats the spec back into flag syntax; parse→String→parse is the
@@ -77,11 +91,14 @@ func (m ModelSpec) String() string {
 	case m.Weight != 1:
 		s += "::" + strconv.FormatFloat(m.Weight, 'g', -1, 64)
 	}
+	if m.Degrade != "" {
+		s += ":degrade=" + m.Degrade
+	}
 	return s
 }
 
 // specSyntax is the grammar reminder embedded in every parse error.
-const specSyntax = "name=model:size:precision[:maxalt][:weight]"
+const specSyntax = "name=model:size:precision[:maxalt][:weight][:degrade=sibling]"
 
 // ParseModelSpecs parses a comma-separated `-models` flag value. Names must
 // be unique; precision must be fp32 or int8; size must be a positive
@@ -114,13 +131,27 @@ func ParseModelSpecs(s string) ([]ModelSpec, error) {
 		}
 		seen[name] = true
 		fields := strings.Split(rest, ":")
-		if len(fields) < 3 || len(fields) > 5 {
-			return nil, fmt.Errorf("serve: -models entry %q: want %s", raw, specSyntax)
-		}
 		for i, f := range fields {
 			fields[i] = strings.TrimSpace(f)
 		}
-		spec := ModelSpec{Name: name, Model: fields[0], Precision: fields[2], Weight: 1}
+		degrade := ""
+		// The degrade field is positionally last whenever present, after
+		// the three mandatory fields — popping it here lets the optional
+		// maxalt/weight rules below stay exactly as they were.
+		if last := fields[len(fields)-1]; len(fields) >= 4 && strings.HasPrefix(last, "degrade=") {
+			degrade = strings.TrimSpace(strings.TrimPrefix(last, "degrade="))
+			if degrade == "" {
+				return nil, fmt.Errorf("serve: -models entry %q: empty degrade sibling", raw)
+			}
+			if degrade == name {
+				return nil, fmt.Errorf("serve: -models entry %q: model cannot degrade to itself", raw)
+			}
+			fields = fields[:len(fields)-1]
+		}
+		if len(fields) < 3 || len(fields) > 5 {
+			return nil, fmt.Errorf("serve: -models entry %q: want %s", raw, specSyntax)
+		}
+		spec := ModelSpec{Name: name, Model: fields[0], Precision: fields[2], Weight: 1, Degrade: degrade}
 		if spec.Model == "" {
 			return nil, fmt.Errorf("serve: -models entry %q: empty model architecture", raw)
 		}
@@ -154,6 +185,14 @@ func ParseModelSpecs(s string) ([]ModelSpec, error) {
 			spec.Weight = w
 		}
 		specs = append(specs, spec)
+	}
+	// Degrade references resolve within the same flag value: a sibling that
+	// is not hosted could never absorb a downgrade, so catch the typo at
+	// startup instead of silently serving un-degraded under overload.
+	for _, spec := range specs {
+		if spec.Degrade != "" && !seen[spec.Degrade] {
+			return nil, fmt.Errorf("serve: model %q degrades to %q, which is not in -models", spec.Name, spec.Degrade)
+		}
 	}
 	return specs, nil
 }

@@ -1,0 +1,86 @@
+package serve
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// RetryBudget is a token-bucket retry governor shared by the layers that
+// retry work on behalf of a client: the server's route re-resolve loop and
+// the proxy's shard failover (internal/cluster). Every retry draws one
+// token; every SUCCESS refills a fraction of one. The refill-on-success
+// coupling is what prevents retry storms: when the system is healthy,
+// successes keep the bucket topped up and retries are free; when most
+// requests are failing there is nothing refilling the bucket, the budget
+// drains, and the excess retries become honest 503s instead of amplifying
+// the overload that caused the failures.
+type RetryBudget struct {
+	mu     sync.Mutex
+	tokens float64
+	max    float64
+	refill float64 // tokens added per recorded success
+}
+
+// NewRetryBudget creates a budget holding max tokens (its starting balance
+// and cap) and refilling `refill` tokens per recorded success. max < 1 is
+// normalized to 1, refill < 0 to 0 (a non-refilling budget is legal: it is
+// "at most N retries, ever").
+func NewRetryBudget(max, refill float64) *RetryBudget {
+	if max < 1 {
+		max = 1
+	}
+	if refill < 0 {
+		refill = 0
+	}
+	return &RetryBudget{tokens: max, max: max, refill: refill}
+}
+
+// Take consumes one token, reporting false (budget exhausted — do not
+// retry) when less than a full token remains.
+func (b *RetryBudget) Take() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}
+
+// Success records one successful request, refilling the bucket toward max.
+func (b *RetryBudget) Success() {
+	b.mu.Lock()
+	b.tokens += b.refill
+	if b.tokens > b.max {
+		b.tokens = b.max
+	}
+	b.mu.Unlock()
+}
+
+// Tokens reports the current balance (the retry_budget_tokens gauge).
+func (b *RetryBudget) Tokens() float64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.tokens
+}
+
+// Backoff returns the pause before retry number attempt (0-based): full
+// jitter over an exponentially growing window, i.e. uniform in
+// [0, base<<attempt] capped at max. Full jitter (rather than
+// equal-jitter or plain exponential) is the variant that decorrelates a
+// thundering herd fastest — every retrier lands at an independent uniform
+// point of the window instead of the window's far edge.
+func Backoff(attempt int, base, max time.Duration) time.Duration {
+	if base <= 0 {
+		return 0
+	}
+	ceil := base << uint(attempt)
+	if ceil > max || ceil <= 0 { // <<= overflow guard
+		ceil = max
+	}
+	if ceil <= 0 {
+		return 0
+	}
+	return time.Duration(rand.Int63n(int64(ceil) + 1))
+}

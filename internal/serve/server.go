@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"net/http"
 	"sync"
 	"sync/atomic"
@@ -11,7 +12,16 @@ import (
 
 	"repro/internal/detect"
 	"repro/internal/engine"
+	"repro/internal/faults"
 	"repro/internal/imgproc"
+)
+
+// Server-wide retry-budget sizing for the route re-resolve loop: a race
+// with a registry mutation is rare and cheap, so the bucket is generous —
+// its purpose is bounding pathological churn, not taxing healthy traffic.
+const (
+	serverRetryBudget = 64
+	serverRetryRefill = 0.1
 )
 
 // Config tunes one hosted model's micro-batching. The zero value of every
@@ -57,6 +67,21 @@ type Config struct {
 	// QueueDepth; the returned queue's Cap() is what /healthz and /metrics
 	// report.
 	NewQueue func(capacity int) Queue
+	// BrownoutEnter and BrownoutExit are the degradation watermarks as
+	// fractions of the queue capacity, active only on a model with a
+	// declared degrade sibling (ModelEntry.Degrade): queue depth at or
+	// above ceil(BrownoutEnter*cap) enters brownout (implicitly-routed
+	// requests are served by the cheaper sibling), depth at or below
+	// BrownoutExit*cap leaves it. The gap between the two is the
+	// hysteresis band that keeps the downgrade from flapping. Defaults
+	// 0.75 and 0.25.
+	BrownoutEnter float64
+	BrownoutExit  float64
+	// BrownoutP99Ms, when > 0, adds a latency trigger: a p99 at or above
+	// this many milliseconds (over the recent latency window) also enters
+	// brownout, and brownout is not left until p99 falls below half of it.
+	// 0 disables the latency trigger (depth-only brownout).
+	BrownoutP99Ms float64
 }
 
 // withDefaults normalizes the zero-value knobs.
@@ -82,6 +107,17 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Precision == "" {
 		c.Precision = "fp32"
+	}
+	if c.BrownoutEnter <= 0 || c.BrownoutEnter > 1 {
+		c.BrownoutEnter = 0.75
+	}
+	if c.BrownoutExit <= 0 {
+		c.BrownoutExit = 0.25
+	}
+	if c.BrownoutExit >= c.BrownoutEnter {
+		// No hysteresis band means flapping on every queue wiggle; force a
+		// gap rather than erroring.
+		c.BrownoutExit = c.BrownoutEnter / 2
 	}
 	return c
 }
@@ -114,12 +150,20 @@ var errRetired = errors.New("serve: pool retired")
 // (client closed request) and /metrics counts it as cancelled_total.
 var errCancelled = errors.New("serve: request context cancelled")
 
+// errDeadline is the internal signal that a request's end-to-end deadline
+// expired before (or while) the server could usefully serve it — on
+// arrival, at batch assembly (remaining budget below the pool's observed
+// service time), or during execution. The HTTP layer maps it to 504 and
+// /metrics counts it in deadline_exceeded_total.
+var errDeadline = errors.New("serve: request deadline exceeded")
+
 // request is one admitted detection job awaiting a micro-batch slot.
 type request struct {
 	ctx      context.Context
 	img      *imgproc.Image
 	altitude float64
 	enqueued time.Time
+	deadline time.Time // zero = no deadline
 	resp     chan response
 }
 
@@ -142,15 +186,22 @@ type response struct {
 // see on responses, the proof a result was computed by the pool they think
 // it was.
 type hosted struct {
-	name   string
-	eng    *engine.Engine
-	cfg    Config
-	met    *metrics
-	fleet  *metrics // shared server-wide aggregate
-	sched  *scheduler
-	maxAlt float64
-	weight float64
-	gen    uint64
+	name    string
+	eng     *engine.Engine
+	cfg     Config
+	met     *metrics
+	fleet   *metrics // shared server-wide aggregate
+	sched   *scheduler
+	maxAlt  float64
+	weight  float64
+	degrade string // brownout sibling route name ("" = never degrade)
+	gen     uint64
+
+	// brownout is the hysteresis latch of the degradation watermark: set
+	// when queue depth (or p99) crosses the enter threshold, cleared only
+	// when pressure falls below the lower exit threshold, so the downgrade
+	// decision cannot flap on every queue-length wiggle.
+	brownout atomic.Bool
 
 	queue   Queue
 	batches chan []*request
@@ -212,6 +263,12 @@ type Server struct {
 
 	fleet *metrics
 
+	// retry budgets the route re-resolve loop (the errRetired path): every
+	// lifecycle-race retry draws a token, every completed request refills a
+	// fraction of one, so pathological registry churn degrades into honest
+	// 503s instead of handler goroutines spinning on a mutating table.
+	retry *RetryBudget
+
 	// inflight counts concurrently-held request bodies/images against
 	// inflightLimit (twice the summed queue depth, recomputed on every
 	// registry change). Decoding happens in the HTTP handler before
@@ -267,6 +324,7 @@ func NewRouted(entries []ModelEntry) (*Server, error) {
 		group: engine.NewGroup(),
 		sched: newScheduler(),
 		fleet: newMetrics(),
+		retry: NewRetryBudget(serverRetryBudget, serverRetryRefill),
 	}
 	s.table.Store(newTable(nil))
 	for _, e := range entries {
@@ -362,6 +420,7 @@ func (s *Server) startHosted(e ModelEntry, met *metrics) (*hosted, error) {
 		sched:   s.sched,
 		maxAlt:  e.MaxAltitude,
 		weight:  weight,
+		degrade: e.Degrade,
 		gen:     s.genCounter.Add(1),
 		queue:   newQueue(cfg.QueueDepth),
 		batches: make(chan []*request),
@@ -544,6 +603,7 @@ func (s *Server) Stats() Stats {
 	}
 	st := s.fleet.snapshot(depth, cap, workers, maxBatch)
 	st.Precision = precision
+	st.RetryBudgetTokens = s.retry.Tokens()
 	s.stamp(&st)
 	return st
 }
@@ -607,9 +667,27 @@ func (s *Server) submit(h *hosted, r *request) error {
 // only reference dies with this stack frame (the admission-path guarantee
 // behind the inflight cap's memory bound). An errRetired return is
 // metrics-silent: the caller re-resolves and the retry is the admission
-// attempt that counts.
-func (s *Server) detect(ctx context.Context, h *hosted, img *imgproc.Image, altitude float64) (response, time.Duration, error) {
-	req := &request{ctx: ctx, img: img, altitude: altitude, enqueued: time.Now(), resp: make(chan response, 1)}
+// attempt that counts. deadline (zero = none) is the request's absolute
+// end-to-end deadline: expired on arrival ⇒ rejected here with errDeadline
+// (504) before touching the queue; expired after execution ⇒ the result is
+// discarded as errDeadline too, because a detection delivered past its
+// frame deadline is indistinguishable from a failure to the caller.
+func (s *Server) detect(ctx context.Context, h *hosted, img *imgproc.Image, altitude float64, deadline time.Time) (response, time.Duration, error) {
+	if err := faults.Fire("serve.queue", h.name); err != nil {
+		s.fleet.admit()
+		h.met.admit()
+		s.fleet.reject()
+		h.met.reject()
+		return response{}, 0, fmt.Errorf("admission fault: %w", err)
+	}
+	if !deadline.IsZero() && !time.Now().Before(deadline) {
+		s.fleet.admit()
+		h.met.admit()
+		s.fleet.deadlineExceeded()
+		h.met.deadlineExceeded()
+		return response{}, 0, errDeadline
+	}
+	req := &request{ctx: ctx, img: img, altitude: altitude, enqueued: time.Now(), deadline: deadline, resp: make(chan response, 1)}
 	if err := s.submit(h, req); err != nil {
 		if errors.Is(err, errRetired) {
 			return response{}, 0, err
@@ -628,7 +706,25 @@ func (s *Server) detect(ctx context.Context, h *hosted, img *imgproc.Image, alti
 		// Not a completion, not a failure — the client had hung up.
 		return response{}, 0, errCancelled
 	}
+	if errors.Is(resp.err, errDeadline) {
+		// Dropped at batch assembly because the remaining budget could not
+		// cover the pool's service time; already counted in
+		// deadline_exceeded_total, and by construction no kernel ran for it.
+		return response{}, 0, errDeadline
+	}
 	lat := time.Since(req.enqueued)
+	if resp.err == nil && !deadline.IsZero() && !time.Now().Before(deadline) {
+		// The batch executed but the answer is late. Count the breach AND a
+		// failed completion: the request did consume kernel time (it is in
+		// the batch histogram), so completed+failed must still account for
+		// it — that bookkeeping identity is what lets the chaos suite prove
+		// dropped-expired work never reached a kernel.
+		s.fleet.deadlineExceeded()
+		h.met.deadlineExceeded()
+		s.fleet.done(lat, false)
+		h.met.done(lat, false)
+		return response{}, lat, errDeadline
+	}
 	s.fleet.done(lat, resp.err == nil)
 	h.met.done(lat, resp.err == nil)
 	return resp, lat, nil
@@ -657,6 +753,80 @@ func (h *hosted) drop(r *request) {
 	r.resp <- response{err: errCancelled}
 }
 
+// doomed reports whether a deadlined request cannot make it anymore: its
+// remaining budget is below the pool's observed median batch service time
+// (or already negative). svc is resolved once per assembly pass by the
+// batcher — the estimate moves on batch granularity, not per-request.
+func (r *request) doomed(svc time.Duration) bool {
+	if r.deadline.IsZero() {
+		return false
+	}
+	return time.Until(r.deadline) < svc
+}
+
+// dropExpired answers a deadline-doomed request at batch assembly, before
+// any kernel time is spent on it. Counted in deadline_exceeded_total (the
+// same counter as on-arrival and post-execution breaches), NOT in
+// completed/failed — only executed requests appear there, which is the
+// invariant the chaos suite pins expired-work-never-reaches-a-kernel with.
+func (h *hosted) dropExpired(r *request) {
+	h.met.deadlineExceeded()
+	h.fleet.deadlineExceeded()
+	r.img = nil
+	r.resp <- response{err: errDeadline}
+}
+
+// brownoutActive evaluates (and latches) this pool's degradation state.
+// Entering needs queue depth at or above the enter watermark — or, with
+// the latency trigger configured, a recent-window p99 at or above it;
+// leaving needs pressure below the LOWER exit watermark (and p99 below
+// half the trigger), so the decision has a hysteresis band instead of
+// flapping with every queue-length wiggle. Races between concurrent
+// evaluators are benign: both sides converge on the same thresholds.
+func (h *hosted) brownoutActive() bool {
+	if h.degrade == "" {
+		return false
+	}
+	depth, capacity := h.queue.Len(), h.queue.Cap()
+	enter := int(math.Ceil(h.cfg.BrownoutEnter * float64(capacity)))
+	if enter < 1 {
+		enter = 1
+	}
+	exit := int(h.cfg.BrownoutExit * float64(capacity))
+	var p99 float64
+	if h.cfg.BrownoutP99Ms > 0 {
+		p99 = h.met.p99Quick()
+	}
+	if h.brownout.Load() {
+		if depth <= exit && (h.cfg.BrownoutP99Ms <= 0 || p99 < h.cfg.BrownoutP99Ms/2) {
+			h.brownout.Store(false)
+		}
+	} else if depth >= enter || (h.cfg.BrownoutP99Ms > 0 && p99 >= h.cfg.BrownoutP99Ms) {
+		h.brownout.Store(true)
+	}
+	return h.brownout.Load()
+}
+
+// maybeDegrade applies brownout degradation to an implicitly-routed
+// request: when the resolved pool is browned out and declares a degrade
+// sibling that is currently hosted, the request is served by the sibling
+// instead. Explicit ?model= selections are never rerouted — the client
+// asked for that model by name — and degradation is a single hop (the
+// sibling's own brownout state is not consulted), so a chain of degrade
+// declarations cannot walk a request arbitrarily far from what it asked
+// for. Returns the pool to serve on and the pool degraded FROM (nil when
+// not degraded).
+func (s *Server) maybeDegrade(h *hosted, sel routeSel) (*hosted, *hosted) {
+	if sel.explicit != "" || !h.brownoutActive() {
+		return h, nil
+	}
+	sib, ok := s.table.Load().byName[h.degrade]
+	if !ok || sib == h {
+		return h, nil
+	}
+	return sib, h
+}
+
 // batchLoop drains one model's admission queue, coalescing requests into
 // batches of up to MaxBatch images. A forming batch becomes ELIGIBLE for
 // dispatch once it is full, once MinWait has elapsed with at least two
@@ -678,6 +848,14 @@ func (h *hosted) batchLoop() {
 	for first := range h.queue.C() {
 		if first.cancelled() {
 			h.drop(first)
+			continue
+		}
+		// svc is this assembly pass's deadline yardstick: a request whose
+		// remaining budget cannot cover the pool's typical batch service
+		// time would come back expired, so spend nothing on it.
+		svc := h.eng.ServiceP50()
+		if first.doomed(svc) {
+			h.dropExpired(first)
 			continue
 		}
 		batch := append(make([]*request, 0, h.cfg.MaxBatch), first)
@@ -717,6 +895,8 @@ func (h *hosted) batchLoop() {
 					open = false
 				case r.cancelled():
 					h.drop(r)
+				case r.doomed(svc):
+					h.dropExpired(r)
 				default:
 					batch = append(batch, r)
 				}
@@ -804,6 +984,13 @@ func (h *hosted) runBatch(id int, batch []*request, imgs []*imgproc.Image, alts 
 	h.met.batchStart()
 	h.fleet.batchStart()
 	per, err := h.executeBatch(id, imgs, alts)
+	if ferr := faults.Fire("serve.batch", h.name); ferr != nil && err == nil {
+		// An injected batcher fault fails the whole batch the way a real
+		// execution error would; the requests still count as executed
+		// (batch histogram + failed), keeping the kernel-accounting
+		// invariant intact.
+		per, err = nil, ferr
+	}
 	h.met.batch(len(batch))
 	h.fleet.batch(len(batch))
 	for i, r := range batch {
