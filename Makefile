@@ -1,13 +1,13 @@
 GO ?= go
 
-.PHONY: ci vet build test race bench bench-smoke serve-bench serve-smoke swap-smoke shard-smoke chaos fuzz fleet serve profile
+.PHONY: ci vet build test race bench bench-smoke serve-bench serve-smoke swap-smoke shard-smoke stream-smoke stream-soak chaos fuzz fleet serve profile
 
 ## ci: the full tier-1 + hygiene gate (what .github/workflows/ci.yml's main
 ## job runs step by step); bench-smoke runs the GEMM kernels a few iterations
 ## so a kernel regression (or an asm/portable divergence) breaks CI loudly,
 ## not just slowly. Deliberately NOT `bench`: that regenerates (and dirties)
 ## the committed BENCH_serve.json, which is a release chore, not a gate.
-ci: vet build race chaos bench-smoke serve-smoke swap-smoke shard-smoke
+ci: vet build race chaos bench-smoke serve-smoke swap-smoke shard-smoke stream-smoke
 
 ## bench-smoke: quick kernel-level regression tripwire over the packed GEMM
 ## benchmarks (10 iterations — catches crashes and gross slowdowns cheaply);
@@ -92,6 +92,30 @@ shard-smoke:
 	$(GO) build -o bin/dronet-proxy ./cmd/dronet-proxy
 	$(GO) run ./examples/serveclient -sharded -server bin/dronet-serve \
 	    -proxy bin/dronet-proxy -size 96
+
+## stream-smoke: boot the real dronet-serve binary and walk the WebSocket
+## session lifecycle end to end — hello, in-order results with per-session
+## tracker state, the max-sessions 503 + Retry-After, in-band bad-frame
+## errors, idle eviction (bye "idle") and the SIGTERM drain (bye "drain");
+## the -sharded leg then puts two real shards behind a real dronet-proxy
+## and asserts camera-affine placement plus the failover resume: draining
+## the owner shard mid-session must yield a resumed:true marker on the
+## survivor and a fresh tracker (examples/streamclient is the driver)
+stream-smoke:
+	$(GO) build -o bin/dronet-serve ./cmd/dronet-serve
+	$(GO) build -o bin/dronet-proxy ./cmd/dronet-proxy
+	$(GO) run ./examples/streamclient -server bin/dronet-serve
+	$(GO) run ./examples/streamclient -sharded -server bin/dronet-serve \
+	    -proxy bin/dronet-proxy
+
+## stream-soak: the long-running streaming churn test (nightly CI): 16
+## session clients over a 12-session budget cycling normal/idle-out/
+## abrupt-disconnect/graceful modes under the race detector, asserting the
+## session gauge returns to zero and no goroutines leak. SOAK tunes the
+## duration (TestStreamSoak skips entirely when DRONET_SOAK is unset).
+SOAK ?= 30s
+stream-soak:
+	DRONET_SOAK=$(SOAK) $(GO) test -race -run TestStreamSoak -v ./internal/serve/
 
 ## chaos: the fault-injection resilience suite under the race detector —
 ## breaker unit lifecycle, chaos against a faulted shard (breaker opens,

@@ -70,6 +70,9 @@ func main() {
 	maxWait := flag.Duration("max-wait", 2*time.Millisecond, "spawned shards: maximum wait for a batch to fill")
 	precision := flag.String("precision", "fp32", "spawned shards: inference precision (fp32 or int8)")
 	modelsFlag := flag.String("models", "", "spawned shards: routed multi-model registry spec (passed through to dronet-serve -models)")
+	shardMaxSessions := flag.Int("shard-max-sessions", 64, "spawned shards: per-shard cap on open /stream sessions (dronet-serve -max-sessions)")
+	shardSessionIdle := flag.Duration("shard-session-idle", 60*time.Second, "spawned shards: streaming idle-eviction timeout (dronet-serve -session-idle)")
+	shardSessionInflight := flag.Int("shard-session-inflight", 4, "spawned shards: per-session in-flight frame bound (dronet-serve -session-inflight)")
 	vnodes := flag.Int("vnodes", cluster.DefaultVNodes, "virtual nodes per shard on the consistent-hash ring")
 	maxInflight := flag.Int("max-inflight", 32, "per-shard bound on concurrently forwarded requests (429 beyond it)")
 	healthInterval := flag.Duration("health-interval", 500*time.Millisecond, "active /healthz probe interval")
@@ -78,6 +81,7 @@ func main() {
 	breakerMinSamples := flag.Int("breaker-min-samples", 5, "per-shard breaker: minimum windowed samples before the error rate can trip")
 	breakerErrorRate := flag.Float64("breaker-error-rate", 0.5, "per-shard breaker: windowed error rate that opens the breaker")
 	breakerCooldown := flag.Duration("breaker-cooldown", 0, "per-shard breaker: open-state cooldown before a half-open probe (0 = 2x health-interval)")
+	maxStreams := flag.Int("max-streams", 256, "proxy-wide cap on relayed /stream sessions (503 + Retry-After beyond)")
 	retryBudget := flag.Float64("retry-budget", 10, "failover retry token bucket capacity (exhausted retries answer 503 + Retry-After)")
 	retryRefill := flag.Float64("retry-refill", 0.1, "retry tokens refilled per successful forward")
 	faultsFlag := flag.String("faults", "", "arm fault injection, e.g. 'cluster.forward#HOST:PORT=error' (testing only; also via DRONET_FAULTS)")
@@ -104,7 +108,8 @@ func main() {
 			*spawn = 2 // a sharded benchmark needs a fleet to shard across
 		}
 		var err error
-		fleet, err = spawnFleet(*serveBin, *spawn, shardArgs(*size, *scale, *workers, *maxBatch, *maxWait, *precision, *modelsFlag))
+		fleet, err = spawnFleet(*serveBin, *spawn, shardArgs(*size, *scale, *workers, *maxBatch, *maxWait, *precision, *modelsFlag,
+			*shardMaxSessions, *shardSessionIdle, *shardSessionInflight))
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -126,6 +131,7 @@ func main() {
 		BreakerCooldown:   *breakerCooldown,
 		RetryBudget:       *retryBudget,
 		RetryRefill:       *retryRefill,
+		MaxStreamSessions: *maxStreams,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -167,7 +173,8 @@ func main() {
 
 // shardArgs builds the dronet-serve argument list shared by every spawned
 // shard; the per-shard -shard-id and -addr are appended at spawn time.
-func shardArgs(size int, scale float64, workers, maxBatch int, maxWait time.Duration, precision, modelsSpec string) []string {
+func shardArgs(size int, scale float64, workers, maxBatch int, maxWait time.Duration, precision, modelsSpec string,
+	maxSessions int, sessionIdle time.Duration, sessionInflight int) []string {
 	args := []string{
 		"-addr", "127.0.0.1:0",
 		"-size", fmt.Sprint(size),
@@ -175,6 +182,9 @@ func shardArgs(size int, scale float64, workers, maxBatch int, maxWait time.Dura
 		"-workers", fmt.Sprint(workers),
 		"-max-batch", fmt.Sprint(maxBatch),
 		"-max-wait", maxWait.String(),
+		"-max-sessions", fmt.Sprint(maxSessions),
+		"-session-idle", sessionIdle.String(),
+		"-session-inflight", fmt.Sprint(sessionInflight),
 	}
 	if modelsSpec != "" {
 		args = append(args, "-models", modelsSpec)

@@ -84,6 +84,8 @@ import (
 	"repro/internal/pipeline"
 	"repro/internal/serve"
 	"repro/internal/tensor"
+	"repro/internal/tracking"
+	"repro/internal/ws"
 )
 
 // agreementIoU is the overlap bar for counting an fp32 and an int8 detection
@@ -108,6 +110,9 @@ func main() {
 	minWait := flag.Duration("min-wait", 300*time.Microsecond, "batch accumulation floor: a non-full batch is never dispatched earlier")
 	queueDepth := flag.Int("queue", 0, "admission queue depth (0 = 8*max-batch); full queue returns 429")
 	shardID := flag.String("shard-id", "", "fleet identity label stamped on /healthz and /metrics (for sharded deployments behind dronet-proxy)")
+	maxSessions := flag.Int("max-sessions", 64, "streaming: maximum concurrently open /stream sessions (beyond it new opens get 503 + Retry-After)")
+	sessionIdle := flag.Duration("session-idle", 60*time.Second, "streaming: idle timeout before a quiet session is evicted with a bye")
+	sessionInflight := flag.Int("session-inflight", 4, "streaming: per-session bound on buffered frames before backpressure (reject or drop-oldest)")
 	thresh := flag.Float64("thresh", 0.24, "detection confidence threshold")
 	altFilter := flag.Bool("altfilter", false, "apply the altitude size gate when requests carry an altitude")
 	selfbench := flag.Bool("selfbench", false, "run the fp32-vs-int8 serving benchmark instead of serving")
@@ -226,6 +231,11 @@ func main() {
 	}
 
 	srv.SetModelBuilder(builder)
+	srv.ConfigureStreams(serve.StreamConfig{
+		MaxSessions: *maxSessions,
+		IdleTimeout: *sessionIdle,
+		MaxInflight: *sessionInflight,
+	})
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -551,6 +561,10 @@ type benchReport struct {
 	// kernel plus a storm of under-budget deadlines, proving the shed path
 	// (504s, not late 200s) and the kernel-accounting identity under load.
 	Resilience *resilienceStat `json:"resilience,omitempty"`
+	// Streaming reports the session leg: concurrent WebSocket sessions
+	// pipelining frames through the shared batcher with per-session
+	// tracker state, scored against a serial tracking replay.
+	Streaming *streamingStat `json:"streaming,omitempty"`
 }
 
 // resilienceStat is the selfbench resilience block: outcomes of a
@@ -663,6 +677,184 @@ func benchResilience(det *core.Detector, cfg engine.Config, scfg serve.Config, s
 	return st, nil
 }
 
+// streamingStat is the selfbench streaming block: a fleet of concurrent
+// /stream sessions pipelining frames through the shared cross-session
+// batcher, each scored against a serial tracking replay of its own
+// returned detections.
+type streamingStat struct {
+	Sessions         int     `json:"sessions"`
+	FramesPerSession int     `json:"frames_per_session"`
+	FramesPerSecond  float64 `json:"frames_per_second"`
+	MeanBatchSize    float64 `json:"mean_batch_size"`
+	// TrackIDStability is the fraction of frame answers whose full track
+	// set (ids, boxes, velocities, ages) matched a fresh tracker replayed
+	// serially over that session's detections — 1.0 means concurrent
+	// sessions never leaked tracker state into each other.
+	TrackIDStability  float64 `json:"track_id_stability"`
+	TracksRetired     uint64  `json:"tracks_retired"`
+	StreamFramesTotal uint64  `json:"stream_frames_total"`
+}
+
+// benchStreaming boots one fp32 server, opens a fleet of WebSocket
+// sessions (each its own simulated camera, so tracks actually move), and
+// streams every session's frames fully pipelined. Frames from different
+// sessions coalesce into shared micro-batches; per-session track identity
+// is then verified by replaying each session's detections through a fresh
+// serial tracker and comparing the track sets frame by frame.
+func benchStreaming(det *core.Detector, cfg engine.Config, scfg serve.Config, size, calibFrames int) (*streamingStat, error) {
+	const sessions, perSession = 8, 24
+	mdl, err := buildModel(det, "fp32", size, calibFrames)
+	if err != nil {
+		return nil, err
+	}
+	eng, err := engine.New(mdl, cfg)
+	if err != nil {
+		return nil, err
+	}
+	scfg.Precision = "fp32"
+	srv, err := serve.New(eng, scfg)
+	if err != nil {
+		return nil, err
+	}
+	// Inflight = perSession: the bench pipelines a whole session's frames
+	// at once and must measure batching, not backpressure.
+	srv.ConfigureStreams(serve.StreamConfig{MaxSessions: sessions, MaxInflight: perSession})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	httpSrv := &http.Server{Handler: srv}
+	go func() { _ = httpSrv.Serve(ln) }()
+	addr := ln.Addr().String()
+
+	frames := make([][]*imgproc.Image, sessions)
+	for c := range frames {
+		cam := pipeline.NewSimCamera(dataset.DefaultConfig(size), perSession, uint64(500+c))
+		for {
+			f, ok := cam.Next()
+			if !ok {
+				break
+			}
+			frames[c] = append(frames[c], f.Image)
+		}
+	}
+
+	results := make([][]serve.StreamMessage, sessions)
+	errs := make([]error, sessions)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < sessions; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			errs[c] = func() error {
+				conn, err := ws.Dial(addr, fmt.Sprintf("/stream?camera=bench%d", c), nil, 5*time.Second)
+				if err != nil {
+					return err
+				}
+				defer conn.Close()
+				raw, err := conn.ReadMessage()
+				if err != nil {
+					return fmt.Errorf("hello: %w", err)
+				}
+				var hello serve.StreamMessage
+				if err := json.Unmarshal(raw, &hello); err != nil || hello.Type != serve.MsgHello {
+					return fmt.Errorf("bad hello %q: %v", raw, err)
+				}
+				for i, img := range frames[c] {
+					body, err := json.Marshal(serve.StreamFrame{Seq: i + 1, Width: img.W, Height: img.H, Pixels: img.Pix})
+					if err != nil {
+						return err
+					}
+					if err := conn.WriteMessage(body); err != nil {
+						return fmt.Errorf("frame %d: %w", i+1, err)
+					}
+				}
+				for len(results[c]) < len(frames[c]) {
+					raw, err := conn.ReadMessage()
+					if err != nil {
+						return fmt.Errorf("result %d: %w", len(results[c])+1, err)
+					}
+					var msg serve.StreamMessage
+					if err := json.Unmarshal(raw, &msg); err != nil {
+						return err
+					}
+					if msg.Type != serve.MsgResult {
+						return fmt.Errorf("answer %d: type %q (err %q)", len(results[c])+1, msg.Type, msg.Error)
+					}
+					results[c] = append(results[c], msg)
+				}
+				if err := conn.WriteClose(1000, "bench done"); err != nil {
+					return err
+				}
+				for {
+					if _, err := conn.ReadMessage(); err != nil {
+						return nil
+					}
+				}
+			}()
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	for c, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("session %d: %w", c, err)
+		}
+	}
+
+	st := &streamingStat{
+		Sessions:         sessions,
+		FramesPerSession: perSession,
+		FramesPerSecond:  float64(sessions*perSession) / elapsed.Seconds(),
+	}
+	matched, total := 0, 0
+	for c := range results {
+		oracle := tracking.New(tracking.Config{})
+		for _, msg := range results[c] {
+			dets := make([]detect.Detection, len(msg.Detections))
+			for i, d := range msg.Detections {
+				dets[i] = detect.Detection{Box: detect.Box{X: d.X, Y: d.Y, W: d.W, H: d.H}, Class: d.Class, Score: d.Score}
+			}
+			var want []serve.TrackJSON
+			for _, tr := range oracle.Update(dets) {
+				want = append(want, serve.TrackJSON{
+					ID: tr.ID, X: tr.Box.X, Y: tr.Box.Y, W: tr.Box.W, H: tr.Box.H,
+					Class: tr.Class, Score: tr.Score, VX: tr.VX, VY: tr.VY,
+					Hits: tr.Hits, Age: tr.LastFrame - tr.FirstFrame,
+				})
+			}
+			wantJSON, err := json.Marshal(want)
+			if err != nil {
+				return nil, err
+			}
+			gotJSON, err := json.Marshal(msg.Tracks)
+			if err != nil {
+				return nil, err
+			}
+			total++
+			if bytes.Equal(wantJSON, gotJSON) {
+				matched++
+			}
+		}
+	}
+	if total > 0 {
+		st.TrackIDStability = float64(matched) / float64(total)
+	}
+
+	if err := srv.Close(); err != nil {
+		return nil, err
+	}
+	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	_ = httpSrv.Shutdown(shutCtx)
+	stats := srv.Stats()
+	st.MeanBatchSize = stats.MeanBatchSize
+	st.TracksRetired = stats.StreamTracksRetired
+	st.StreamFramesTotal = stats.StreamFramesTotal
+	return st, nil
+}
+
 // runSelfBench boots the server on a loopback port once per precision,
 // drives both with the same pre-rendered frames over real HTTP (the path
 // production traffic takes), and writes the side-by-side report. With
@@ -734,6 +926,13 @@ func runSelfBench(det *core.Detector, cfg engine.Config, scfg serve.Config, size
 	rep.Resilience = res
 	log.Printf("selfbench resilience: %d-request deadline storm -> %d x 504, %d late 200s, accounting holds: %v",
 		res.StormRequests, res.Deadline504, res.LatePastDeadline200, res.AccountingHolds)
+	stream, err := benchStreaming(det, cfg, scfg, size, calibFrames)
+	if err != nil {
+		return fmt.Errorf("selfbench streaming: %w", err)
+	}
+	rep.Streaming = stream
+	log.Printf("selfbench streaming: %d sessions x %d frames -> %.1f frames/s, mean batch %.2f, track-id stability %.3f",
+		stream.Sessions, stream.FramesPerSession, stream.FramesPerSecond, stream.MeanBatchSize, stream.TrackIDStability)
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		return err

@@ -50,6 +50,14 @@ type FleetReport struct {
 	ProxyDeadlineExceededTotal uint64  `json:"proxy_deadline_exceeded_total"`
 	ProxyRetryExhaustedTotal   uint64  `json:"proxy_retry_exhausted_total"`
 	ProxyRetryBudgetTokens     float64 `json:"proxy_retry_budget_tokens"`
+
+	// ProxyStreamSessions is the live relayed-session gauge;
+	// ProxyStreamsTotal counts every /stream open seen (including
+	// refusals) and ProxyStreamResumesTotal the sessions re-homed to
+	// another shard by failover.
+	ProxyStreamSessions     int64  `json:"proxy_stream_sessions"`
+	ProxyStreamsTotal       uint64 `json:"proxy_streams_total"`
+	ProxyStreamResumesTotal uint64 `json:"proxy_stream_resumes_total"`
 }
 
 // FleetReport scrapes every live shard's /metrics concurrently and returns
@@ -66,6 +74,9 @@ func (p *Proxy) FleetReport() FleetReport {
 		ProxyDeadlineExceededTotal: p.deadlineExceeded.Load(),
 		ProxyRetryExhaustedTotal:   p.retryExhausted.Load(),
 		ProxyRetryBudgetTokens:     p.retry.Tokens(),
+		ProxyStreamSessions:        p.streamSessions.Load(),
+		ProxyStreamsTotal:          p.streamsTotal.Load(),
+		ProxyStreamResumesTotal:    p.streamResumes.Load(),
 	}
 	var mu sync.Mutex
 	var wg sync.WaitGroup

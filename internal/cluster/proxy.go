@@ -65,6 +65,10 @@ type ProxyConfig struct {
 	// successfully relayed response (default 0.1: one free retry per ten
 	// successes).
 	RetryRefill float64
+	// MaxStreamSessions bounds concurrently relayed /stream sessions
+	// across the whole proxy (default 256). An open over the bound is a
+	// plain-HTTP 503 + Retry-After before any upgrade.
+	MaxStreamSessions int
 	// Client overrides the forwarding/probing HTTP client (tests). The
 	// default keeps connections alive with per-shard idle pools sized to
 	// MaxInflight.
@@ -99,6 +103,9 @@ func (c *ProxyConfig) withDefaults() {
 	if c.RetryRefill < 0 {
 		c.RetryRefill = 0.1
 	}
+	if c.MaxStreamSessions < 1 {
+		c.MaxStreamSessions = 256
+	}
 }
 
 func (c *ProxyConfig) breakerConfig() breakerConfig {
@@ -131,6 +138,16 @@ type Proxy struct {
 	deadlineExceeded atomic.Uint64 // 504s: request deadline expired at or in the proxy
 	retryExhausted   atomic.Uint64 // 503s: failover wanted but the retry budget was empty
 
+	// Streaming-relay state: the live-session gauge and counters, and the
+	// registry Close tears down (a relay outliving the proxy would hold
+	// both sockets forever).
+	streamSessions atomic.Int64
+	streamsTotal   atomic.Uint64 // /stream opens seen (including refusals)
+	streamResumes  atomic.Uint64 // sessions re-homed by failover
+	relayMu        sync.Mutex
+	relays         map[*streamRelay]struct{}
+	relayWG        sync.WaitGroup
+
 	stop chan struct{}
 	wg   sync.WaitGroup
 }
@@ -147,6 +164,7 @@ func NewProxy(cfg ProxyConfig) (*Proxy, error) {
 		shards: make(map[string]*shardState, len(cfg.Shards)),
 		client: cfg.Client,
 		retry:  serve.NewRetryBudget(cfg.RetryBudget, cfg.RetryRefill),
+		relays: make(map[*streamRelay]struct{}),
 		stop:   make(chan struct{}),
 	}
 	if p.client == nil {
@@ -169,6 +187,7 @@ func NewProxy(cfg ProxyConfig) (*Proxy, error) {
 	p.mux = http.NewServeMux()
 	p.mux.HandleFunc("/detect", p.handleForward)
 	p.mux.HandleFunc("/detect/raw", p.handleForward)
+	p.mux.HandleFunc("/stream", p.handleStream)
 	p.mux.HandleFunc("/healthz", p.handleHealthz)
 	p.mux.HandleFunc("/metrics", p.handleMetrics)
 	p.wg.Add(1)
@@ -176,11 +195,13 @@ func NewProxy(cfg ProxyConfig) (*Proxy, error) {
 	return p, nil
 }
 
-// Close stops the health loop and drops idle connections. In-flight
-// forwards finish on their own requests' lifetimes.
+// Close stops the health loop, tears down every live stream relay and
+// drops idle connections. In-flight forwards finish on their own requests'
+// lifetimes.
 func (p *Proxy) Close() {
 	close(p.stop)
 	p.wg.Wait()
+	p.closeRelays()
 	if t, ok := p.client.Transport.(*http.Transport); ok {
 		t.CloseIdleConnections()
 	}
@@ -460,6 +481,10 @@ func (p *Proxy) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		"live_shards":         live,
 		"total_shards":        len(p.shards),
 		"retry_budget_tokens": p.retry.Tokens(),
+		"stream_sessions":     p.streamSessions.Load(),
+		"streams_total":       p.streamsTotal.Load(),
+		"stream_resumes":      p.streamResumes.Load(),
+		"max_streams":         p.cfg.MaxStreamSessions,
 		"shards":              shards,
 	})
 }

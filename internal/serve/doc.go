@@ -161,10 +161,47 @@
 // SetModelBuilder (cmd/dronet-serve wires its startup constructor,
 // including int8 calibration); without one, mutating requests get 501.
 //
+// # Streaming sessions
+//
+// GET /stream upgrades to a WebSocket (internal/ws) and opens a SESSION:
+// a camera streams frames and receives, in order, one answer per frame
+// carrying the detections plus the session's live TRACKS — stable ids,
+// velocity estimates and ages from a per-session internal/tracking
+// tracker, state one-shot /detect cannot offer. Frames from concurrent
+// sessions still coalesce into the same cross-stream micro-batches as
+// /detect requests (the tracker update happens after the batch, on the
+// session's own goroutine), so batching stays model-identical to one-shot
+// serving — pinned by a race-mode test comparing eight concurrent
+// sessions byte-for-byte against a serial per-session oracle.
+//
+// Session lifecycle is bounded end to end: StreamConfig.MaxSessions caps
+// concurrently open sessions (beyond it the upgrade is refused with a
+// plain-HTTP 503 + Retry-After), a sweeper evicts sessions idle past
+// StreamConfig.IdleTimeout with an in-band bye ("idle") before the close
+// frame, and per-session backpressure bounds buffered frames at
+// StreamConfig.MaxInflight — the overflow policy (?policy=reject, the
+// default, answers an in-band 429-style reject; ?policy=drop displaces
+// the oldest buffered frame with a drop notice) is the client's choice
+// at open. A session may set a default per-frame
+// deadline at open (?deadline_ms=); any frame's own deadline_ms
+// overrides it, and expired frames are answered in-band with code 504
+// without ever reaching a kernel. On Close/SIGTERM every session gets a
+// bye ("drain") and the server waits for their goroutines — sessions are
+// part of the drain guarantee, not an exception to it.
+//
+// The wire protocol is JSON text messages (StreamMessage, discriminated
+// by "type"): "hello" echoes the session id, camera, shard and knobs;
+// "result" answers one frame; "reject"/"drop"/"error" are per-frame
+// in-band failures that never kill the session; "bye" announces the
+// reason before the close frame. Behind dronet-proxy, sessions pin to
+// the camera's ring owner and are transparently re-homed on shard
+// failure with an injected "resumed" marker (internal/cluster).
+//
 // # Shutdown
 //
 // Close (or Shutdown with a context) stops admission on every model at
 // once — late requests get HTTP 503 — then drains every queued request of
 // every pool through its workers before returning, so no accepted request
-// is ever dropped regardless of which model it routed to.
+// is ever dropped regardless of which model it routed to. Streaming
+// sessions drain the same way: bye, close frame, goroutines joined.
 package serve

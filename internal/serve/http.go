@@ -455,6 +455,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		"workspace_bytes": s.group.WorkspaceBytes(),
 		"default_model":   t.def.name,
 		"models":          models,
+		"streaming":       s.streamHealth(),
 	})
 }
 

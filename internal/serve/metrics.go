@@ -95,6 +95,24 @@ type Stats struct {
 	BorrowedWorkers int    `json:"borrowed_workers"`
 	BorrowsTotal    uint64 `json:"borrows_total"`
 
+	// Streaming-session counters (fleet-aggregate only; the session tier
+	// sits in front of model routing). SessionsOpen is the gauge of live
+	// sessions at snapshot time; SessionsTotal counts every session ever
+	// opened; SessionsEvictedIdle the ones the sweeper closed for
+	// exceeding the idle timeout. StreamFramesTotal counts frames
+	// received on sessions, StreamFramesDropped the ones displaced by the
+	// drop-oldest backpressure policy, StreamFramesRejected the in-band
+	// 429s (session backlog full or server-wide in-flight cap), and
+	// StreamTracksRetired the per-session tracks that ended (miss budget
+	// or session teardown).
+	SessionsOpen         int    `json:"sessions_open"`
+	SessionsTotal        uint64 `json:"sessions_total,omitempty"`
+	SessionsEvictedIdle  uint64 `json:"sessions_evicted_idle,omitempty"`
+	StreamFramesTotal    uint64 `json:"stream_frames_total,omitempty"`
+	StreamFramesDropped  uint64 `json:"stream_frames_dropped,omitempty"`
+	StreamFramesRejected uint64 `json:"stream_frames_rejected,omitempty"`
+	StreamTracksRetired  uint64 `json:"stream_tracks_retired,omitempty"`
+
 	// QueueDepth is the number of requests waiting at snapshot time;
 	// QueueCap the bounded queue's capacity (the 429 threshold).
 	QueueDepth int `json:"queue_depth"`
@@ -159,6 +177,14 @@ type metrics struct {
 
 	borrowedNow  int    // borrowed batch executions in flight
 	borrowsTotal uint64 // granted borrows, all-time
+
+	// Streaming-session counters (only touched on the fleet aggregate).
+	sessionsTotal  uint64
+	sessionsIdle   uint64 // idle evictions
+	streamFrames   uint64
+	streamDropped  uint64
+	streamRejected uint64
+	tracksRetired  uint64
 
 	batches     int
 	batchImages int
@@ -240,6 +266,16 @@ func (m *metrics) p99Quick() float64 {
 	return m.p99Cache
 }
 
+// Streaming-session recorders: one session opened, one idle eviction, one
+// frame received, one frame displaced by drop-oldest, one in-band 429, one
+// tracker track retired.
+func (m *metrics) streamSession() { m.mu.Lock(); m.sessionsTotal++; m.mu.Unlock() }
+func (m *metrics) streamEvict()   { m.mu.Lock(); m.sessionsIdle++; m.mu.Unlock() }
+func (m *metrics) streamFrame()   { m.mu.Lock(); m.streamFrames++; m.mu.Unlock() }
+func (m *metrics) streamDrop()    { m.mu.Lock(); m.streamDropped++; m.mu.Unlock() }
+func (m *metrics) streamReject()  { m.mu.Lock(); m.streamRejected++; m.mu.Unlock() }
+func (m *metrics) trackRetired()  { m.mu.Lock(); m.tracksRetired++; m.mu.Unlock() }
+
 // borrowStart / borrowEnd bracket one borrowed batch execution, maintaining
 // the borrowed_workers gauge and borrows_total counter.
 func (m *metrics) borrowStart() {
@@ -319,6 +355,12 @@ func (m *metrics) snapshot(queueDepth, queueCap, workers, maxBatch int) Stats {
 		RetriesExhaustedTotal: m.exhausted,
 		BorrowedWorkers:       m.borrowedNow,
 		BorrowsTotal:          m.borrowsTotal,
+		SessionsTotal:         m.sessionsTotal,
+		SessionsEvictedIdle:   m.sessionsIdle,
+		StreamFramesTotal:     m.streamFrames,
+		StreamFramesDropped:   m.streamDropped,
+		StreamFramesRejected:  m.streamRejected,
+		StreamTracksRetired:   m.tracksRetired,
 		QueueDepth:            queueDepth,
 		QueueCap:              queueCap,
 		Workers:               workers,

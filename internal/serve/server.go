@@ -263,6 +263,12 @@ type Server struct {
 
 	fleet *metrics
 
+	// streams is the streaming-session tier: the bounded session
+	// registry, idle sweeper and drain barrier behind GET /stream (see
+	// session.go). Sessions feed the same per-model queues/batchers as
+	// one-shot requests — the tier adds lifecycle, not a second data path.
+	streams *sessionManager
+
 	// retry budgets the route re-resolve loop (the errRetired path): every
 	// lifecycle-race retry draws a token, every completed request refills a
 	// fraction of one, so pathological registry churn degrades into honest
@@ -326,6 +332,7 @@ func NewRouted(entries []ModelEntry) (*Server, error) {
 		fleet: newMetrics(),
 		retry: NewRetryBudget(serverRetryBudget, serverRetryRefill),
 	}
+	s.streams = newSessionManager(s)
 	s.table.Store(newTable(nil))
 	for _, e := range entries {
 		if _, err := s.AddModel(e); err != nil {
@@ -336,6 +343,7 @@ func NewRouted(entries []ModelEntry) (*Server, error) {
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/detect", s.handleDetectJSON)
 	s.mux.HandleFunc("/detect/raw", s.handleDetectRaw)
+	s.mux.HandleFunc("/stream", s.handleStream)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	return s, nil
@@ -604,6 +612,7 @@ func (s *Server) Stats() Stats {
 	st := s.fleet.snapshot(depth, cap, workers, maxBatch)
 	st.Precision = precision
 	st.RetryBudgetTokens = s.retry.Tokens()
+	st.SessionsOpen = s.streams.openCount()
 	s.stamp(&st)
 	return st
 }
@@ -1038,6 +1047,11 @@ func (h *hosted) executeBatch(id int, imgs []*imgproc.Image, alts []float64) (pe
 // shutdown begins. Safe to call more than once.
 func (s *Server) Close() error {
 	s.closeOnce.Do(func() {
+		// Drain the streaming sessions FIRST, while the model pools are
+		// still serving: a draining session's buffered frames ride the
+		// normal batch path and their results are delivered before the
+		// session's bye. Only then are the pools themselves fenced.
+		s.streams.closeAndDrain()
 		s.adminMu.Lock()
 		defer s.adminMu.Unlock()
 		t := s.table.Load()

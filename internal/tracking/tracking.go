@@ -6,7 +6,25 @@
 //
 // The tracker is the standard "IoU tracker" baseline: greedy association of
 // detections to live tracks by IoU, a miss budget before a track is
-// retired, and a hit threshold before a track is confirmed.
+// retired, and a hit threshold before a track is confirmed. Each confirmed
+// track carries a per-frame velocity estimate (the last center step, in
+// normalized image units per frame) so a streaming consumer gets flow
+// direction and speed, not just boxes.
+//
+// # Concurrency contract
+//
+// A Tracker is NOT safe for concurrent use: every method must be called
+// from a single goroutine (or under external serialization). The serving
+// tier's streaming sessions each own a private Tracker driven from that
+// session's worker goroutine — N concurrent camera sessions mean N
+// independent Trackers, never N goroutines sharing one. This is the
+// contract that keeps track-id assignment deterministic per session
+// regardless of how sessions' frames interleave inside cross-stream
+// micro-batches.
+//
+// Config.OnRetire, when set, is invoked (on the Update caller's goroutine)
+// each time a track leaves the live set — the eviction hook a session uses
+// to account finished tracks; Flush retires everything at session end.
 package tracking
 
 import (
@@ -20,6 +38,16 @@ import (
 type Track struct {
 	ID  int
 	Box detect.Box
+	// Class and Score echo the most recently associated detection, so a
+	// streaming consumer reading tracks alone loses nothing the raw
+	// detections carried.
+	Class int
+	Score float64
+	// VX and VY estimate the track's velocity as the center displacement
+	// per frame (normalized image units), averaged over the gap since the
+	// previous association — zero until the second association, since one
+	// observation has no direction.
+	VX, VY float64
 	// Hits is the number of frames with an associated detection; Misses is
 	// the current consecutive miss streak.
 	Hits, Misses int
@@ -40,6 +68,11 @@ type Config struct {
 	MaxMisses int
 	// MinHits confirms a track after this many associations.
 	MinHits int
+	// OnRetire, when non-nil, is called for every track leaving the live
+	// set — aged out by the miss budget during Update, or drained by
+	// Flush. Invoked on the caller's goroutine under the tracker's
+	// single-goroutine contract; keep it cheap.
+	OnRetire func(*Track)
 }
 
 // DefaultConfig returns the usual IoU-tracker baseline settings.
@@ -97,7 +130,16 @@ func (t *Tracker) Update(dets []detect.Detection) []*Track {
 		if bestJ >= 0 {
 			tr := t.live[bestJ]
 			claimed[bestJ] = true
+			// Velocity is the center step since the last association,
+			// normalized by the frame gap so a track re-acquired after
+			// misses doesn't report an inflated jump as speed.
+			if gap := t.frame - tr.LastFrame; gap > 0 {
+				tr.VX = (d.Box.X - tr.Box.X) / float64(gap)
+				tr.VY = (d.Box.Y - tr.Box.Y) / float64(gap)
+			}
 			tr.Box = d.Box
+			tr.Class = d.Class
+			tr.Score = d.Score
 			tr.Hits++
 			tr.Misses = 0
 			tr.LastFrame = t.frame
@@ -108,7 +150,7 @@ func (t *Tracker) Update(dets []detect.Detection) []*Track {
 			}
 		} else {
 			tr := &Track{
-				ID: t.nextID, Box: d.Box, Hits: 1,
+				ID: t.nextID, Box: d.Box, Class: d.Class, Score: d.Score, Hits: 1,
 				FirstFrame: t.frame, LastFrame: t.frame,
 				Trajectory: []detect.Box{d.Box},
 			}
@@ -129,10 +171,26 @@ func (t *Tracker) Update(dets []detect.Detection) []*Track {
 		}
 		if tr.Misses <= t.cfg.MaxMisses {
 			kept = append(kept, tr)
+		} else if t.cfg.OnRetire != nil {
+			t.cfg.OnRetire(tr)
 		}
 	}
 	t.live = kept
 	return t.Confirmed()
+}
+
+// Flush retires every live track (invoking OnRetire for each) and empties
+// the live set — the end-of-session drain, so a streaming session's
+// teardown accounts its in-progress tracks the same way the miss budget
+// would have. Frame and id counters are NOT reset: a Tracker is
+// single-stream, and a resumed stream gets a fresh Tracker.
+func (t *Tracker) Flush() {
+	for _, tr := range t.live {
+		if t.cfg.OnRetire != nil {
+			t.cfg.OnRetire(tr)
+		}
+	}
+	t.live = t.live[:0]
 }
 
 // Confirmed returns the currently live, confirmed tracks.

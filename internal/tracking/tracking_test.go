@@ -126,6 +126,73 @@ func TestNoCrossTalkBetweenDistantDetections(t *testing.T) {
 	}
 }
 
+func TestVelocityTracksCenterStep(t *testing.T) {
+	tr := New(Config{MatchIoU: 0.3, MaxMisses: 3, MinHits: 1})
+	tr.Update([]detect.Detection{det(0.30, 0.50)})
+	c := tr.Confirmed()[0]
+	if c.VX != 0 || c.VY != 0 {
+		t.Fatalf("first observation has velocity (%g,%g), want zero", c.VX, c.VY)
+	}
+	tr.Update([]detect.Detection{det(0.32, 0.49)})
+	c = tr.Confirmed()[0]
+	if !approx(c.VX, 0.02) || !approx(c.VY, -0.01) {
+		t.Fatalf("velocity (%g,%g), want (0.02,-0.01)", c.VX, c.VY)
+	}
+	// One missed frame, then re-acquired two frames after the last hit:
+	// the step must be normalized by the gap, not reported as one jump.
+	tr.Update(nil)
+	tr.Update([]detect.Detection{det(0.36, 0.49)})
+	c = tr.Confirmed()[0]
+	if !approx(c.VX, 0.02) || !approx(c.VY, 0) {
+		t.Fatalf("gap-normalized velocity (%g,%g), want (0.02,0)", c.VX, c.VY)
+	}
+}
+
+func approx(a, b float64) bool {
+	d := a - b
+	return d < 1e-12 && d > -1e-12
+}
+
+func TestTrackCarriesDetectionClassAndScore(t *testing.T) {
+	tr := New(Config{MatchIoU: 0.3, MaxMisses: 3, MinHits: 1})
+	d := det(0.5, 0.5)
+	d.Class = 2
+	d.Score = 0.7
+	tr.Update([]detect.Detection{d})
+	c := tr.Confirmed()[0]
+	if c.Class != 2 || c.Score != 0.7 {
+		t.Fatalf("track class/score = %d/%g, want 2/0.7", c.Class, c.Score)
+	}
+	d.Score = 0.8
+	tr.Update([]detect.Detection{d})
+	if c = tr.Confirmed()[0]; c.Score != 0.8 {
+		t.Fatalf("score not refreshed on association: %g", c.Score)
+	}
+}
+
+func TestOnRetireHookFiresOnAgeOutAndFlush(t *testing.T) {
+	var retired []int
+	cfg := Config{MatchIoU: 0.3, MaxMisses: 1, MinHits: 1,
+		OnRetire: func(tr *Track) { retired = append(retired, tr.ID) }}
+	tr := New(cfg)
+	tr.Update([]detect.Detection{det(0.1, 0.1), det(0.9, 0.9)})
+	// First object vanishes: after MaxMisses+1 empty frames its track must
+	// retire through the hook.
+	tr.Update([]detect.Detection{det(0.9, 0.9)})
+	tr.Update([]detect.Detection{det(0.9, 0.9)})
+	if len(retired) != 1 {
+		t.Fatalf("retire hook fired %d times, want 1 (ids %v)", len(retired), retired)
+	}
+	// Flush drains the survivor through the same hook and empties the set.
+	tr.Flush()
+	if len(retired) != 2 {
+		t.Fatalf("retire hook after Flush fired %d times, want 2", len(retired))
+	}
+	if tr.Live() != 0 {
+		t.Fatalf("live after Flush = %d", tr.Live())
+	}
+}
+
 func TestConfigFallbacks(t *testing.T) {
 	tr := New(Config{}) // all invalid → defaults
 	tr.Update([]detect.Detection{det(0.5, 0.5)})

@@ -1,0 +1,199 @@
+package ws_test
+
+import (
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/ws"
+)
+
+// echoServer accepts one WebSocket connection and echoes every message
+// back until the peer closes.
+func echoServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	return httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		c, err := ws.Accept(w, r)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		defer c.Close()
+		for {
+			msg, err := c.ReadMessage()
+			if err != nil {
+				return
+			}
+			if err := c.WriteMessage(msg); err != nil {
+				return
+			}
+		}
+	}))
+}
+
+func dialTest(t *testing.T, ts *httptest.Server, path string) *ws.Conn {
+	t.Helper()
+	u, err := url.Parse(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := ws.Dial(u.Host, path, nil, 2*time.Second)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	return c
+}
+
+// TestEchoRoundTrip pins the core frame path both directions: masked
+// client frames in, unmasked server frames out, across the size-encoding
+// breakpoints (7-bit, 16-bit and 64-bit payload lengths).
+func TestEchoRoundTrip(t *testing.T) {
+	ts := echoServer(t)
+	defer ts.Close()
+	c := dialTest(t, ts, "/")
+	defer c.Close()
+
+	for _, size := range []int{0, 1, 125, 126, 127, 65535, 65536, 200000} {
+		msg := []byte(strings.Repeat("x", size))
+		if size > 0 {
+			msg[0], msg[size-1] = 'a', 'z'
+		}
+		if err := c.WriteMessage(msg); err != nil {
+			t.Fatalf("write %d bytes: %v", size, err)
+		}
+		got, err := c.ReadMessage()
+		if err != nil {
+			t.Fatalf("read %d bytes: %v", size, err)
+		}
+		if string(got) != string(msg) {
+			t.Fatalf("echo of %d bytes corrupted (got %d bytes)", size, len(got))
+		}
+	}
+}
+
+// TestCloseHandshake pins the orderly shutdown: a client close frame
+// surfaces as ErrPeerClosed on the server and is echoed back.
+func TestCloseHandshake(t *testing.T) {
+	got := make(chan error, 1)
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		c, err := ws.Accept(w, r)
+		if err != nil {
+			t.Errorf("accept: %v", err)
+			return
+		}
+		defer c.Close()
+		_, err = c.ReadMessage()
+		got <- err
+	}))
+	defer ts.Close()
+
+	c := dialTest(t, ts, "/")
+	if err := c.WriteClose(1000, "done"); err != nil {
+		t.Fatalf("write close: %v", err)
+	}
+	select {
+	case err := <-got:
+		if !errors.Is(err, ws.ErrPeerClosed) {
+			t.Fatalf("server read after close: %v, want ErrPeerClosed", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("server never observed the close frame")
+	}
+	// The echoed close frame comes back to the client too.
+	if _, err := c.ReadMessage(); !errors.Is(err, ws.ErrPeerClosed) {
+		t.Fatalf("client read after close: %v, want ErrPeerClosed", err)
+	}
+	c.Close()
+}
+
+// TestDialRejection pins the non-101 handshake path: a plain HTTP refusal
+// (the session tier's 503 + Retry-After) comes back as *HandshakeError
+// with the status and Retry-After preserved.
+func TestDialRejection(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "3")
+		http.Error(w, "full up", http.StatusServiceUnavailable)
+	}))
+	defer ts.Close()
+
+	u, _ := url.Parse(ts.URL)
+	_, err := ws.Dial(u.Host, "/", nil, 2*time.Second)
+	var he *ws.HandshakeError
+	if !errors.As(err, &he) {
+		t.Fatalf("dial err %v, want *HandshakeError", err)
+	}
+	if he.StatusCode != http.StatusServiceUnavailable || he.RetryAfter != "3" {
+		t.Fatalf("handshake error %+v, want 503 with Retry-After 3", he)
+	}
+}
+
+// TestAcceptRejectsPlainGET pins that a non-upgrade request fails BEFORE
+// the connection is hijacked, so the handler can still answer over HTTP.
+func TestAcceptRejectsPlainGET(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if _, err := ws.Accept(w, r); err == nil {
+			t.Error("Accept allowed a plain GET")
+			return
+		}
+		http.Error(w, "upgrade required", http.StatusUpgradeRequired)
+	}))
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusUpgradeRequired {
+		t.Fatalf("status %d, want 426 (handler could not answer after failed Accept)", resp.StatusCode)
+	}
+}
+
+// TestConcurrentWriters pins the write path's frame atomicity: many
+// goroutines share one connection and every echoed frame must come back
+// intact, never interleaved.
+func TestConcurrentWriters(t *testing.T) {
+	ts := echoServer(t)
+	defer ts.Close()
+	c := dialTest(t, ts, "/")
+	defer c.Close()
+
+	const writers, perWriter = 8, 20
+	var wg sync.WaitGroup
+	for i := 0; i < writers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			msg := []byte(strings.Repeat(string(rune('a'+i)), 64+i))
+			for j := 0; j < perWriter; j++ {
+				if err := c.WriteMessage(msg); err != nil {
+					t.Errorf("writer %d: %v", i, err)
+					return
+				}
+			}
+		}(i)
+	}
+	seen := 0
+	for seen < writers*perWriter {
+		msg, err := c.ReadMessage()
+		if err != nil {
+			t.Fatalf("read after %d echoes: %v", seen, err)
+		}
+		if len(msg) < 64 || len(msg) > 64+writers {
+			t.Fatalf("frame of %d bytes came back interleaved/corrupt", len(msg))
+		}
+		ch := msg[0]
+		for _, b := range msg {
+			if b != ch {
+				t.Fatalf("frame bytes mixed: %q", msg)
+			}
+		}
+		seen++
+	}
+	wg.Wait()
+}
